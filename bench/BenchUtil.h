@@ -1,0 +1,59 @@
+//===- bench/BenchUtil.h - Shared benchmark-harness helpers -----*- C++ -*-===//
+//
+// Helpers shared by the table-reproduction binaries: source line counting
+// (the "Size (lines)" column of Table 1), wall-clock repetition, and the
+// classification of warnings against a workload's ground truth.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_BENCH_BENCHUTIL_H
+#define VELO_BENCH_BENCHUTIL_H
+
+#include "support/Stopwatch.h"
+#include "workloads/Workload.h"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <string>
+
+namespace velo {
+namespace bench {
+
+/// Count the lines of a workload's implementing source file (best effort;
+/// returns 0 if unreadable — e.g. when running from an installed binary).
+inline size_t sourceLines(const Workload &W) {
+  std::ifstream In(W.sourceFile());
+  if (!In)
+    return 0;
+  size_t Lines = 0;
+  std::string Buf;
+  while (std::getline(In, Buf))
+    ++Lines;
+  return Lines;
+}
+
+/// Minimum wall-clock seconds over Reps repetitions of Fn.
+inline double minSeconds(int Reps, const std::function<void()> &Fn) {
+  double Best = 1e30;
+  for (int R = 0; R < Reps; ++R) {
+    Stopwatch Timer;
+    Fn();
+    Best = std::min(Best, Timer.seconds());
+  }
+  return Best;
+}
+
+/// Ground-truth method set of a workload.
+inline std::set<std::string> truthSet(const Workload &W) {
+  std::set<std::string> Out;
+  for (const std::string &M : W.nonAtomicMethods())
+    Out.insert(M);
+  return Out;
+}
+
+} // namespace bench
+} // namespace velo
+
+#endif // VELO_BENCH_BENCHUTIL_H

@@ -1,0 +1,95 @@
+//===- bench/backend_throughput.cpp - Per-back-end event throughput -------===//
+//
+// google-benchmark microbenchmarks: events/second for every analysis
+// back-end over pre-recorded synthetic streams, swept across stream shapes
+// (thread count, guarded fraction, transaction density). This is the
+// microscopic version of Table 1's slowdown columns: the per-event cost
+// ordering Empty < Eraser <= HB <= Atomizer <= Velodrome should hold, with
+// Velodrome within a small factor of the incomplete tools.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/EmptyBackend.h"
+#include "atomizer/Atomizer.h"
+#include "core/Velodrome.h"
+#include "eraser/Eraser.h"
+#include "events/TraceGen.h"
+#include "hbrace/HbRaceDetector.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace velo;
+
+namespace {
+
+/// Shared pre-generated stream per (threads, guardedPct) shape.
+const Trace &streamFor(int Threads, int GuardedPct) {
+  struct Key {
+    int Threads, GuardedPct;
+    bool operator<(const Key &O) const {
+      return Threads != O.Threads ? Threads < O.Threads
+                                  : GuardedPct < O.GuardedPct;
+    }
+  };
+  static std::map<Key, std::unique_ptr<Trace>> Cache;
+  auto &Slot = Cache[{Threads, GuardedPct}];
+  if (!Slot) {
+    TraceGenOptions Opts;
+    Opts.Threads = static_cast<uint32_t>(Threads);
+    Opts.Vars = 16;
+    Opts.Locks = 8;
+    Opts.Steps = 200000;
+    Opts.GuardedAccessPct = static_cast<unsigned>(GuardedPct);
+    Slot = std::make_unique<Trace>(
+        generateRandomTrace(0x5eedULL + Threads * 131 + GuardedPct, Opts));
+  }
+  return *Slot;
+}
+
+template <typename BackendT> void runBackend(benchmark::State &State) {
+  const Trace &T =
+      streamFor(static_cast<int>(State.range(0)),
+                static_cast<int>(State.range(1)));
+  for (auto _ : State) {
+    BackendT B;
+    replay(T, B);
+    benchmark::DoNotOptimize(B.warnings().size());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(T.size()));
+  State.counters["events"] = static_cast<double>(T.size());
+}
+
+void velodromeNoMerge(benchmark::State &State) {
+  const Trace &T =
+      streamFor(static_cast<int>(State.range(0)),
+                static_cast<int>(State.range(1)));
+  for (auto _ : State) {
+    VelodromeOptions Opts;
+    Opts.UseMerge = false;
+    Opts.EmitDot = false;
+    Velodrome B(Opts);
+    replay(T, B);
+    benchmark::DoNotOptimize(B.sawViolation());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(T.size()));
+}
+
+// Shapes: {threads, guarded%}. Guarded 85% approximates well-synchronized
+// programs; 0% maximizes conflict-edge traffic.
+#define SHAPES                                                                \
+  ->Args({2, 85})->Args({4, 85})->Args({8, 85})->Args({4, 0})->Args({4, 40})
+
+BENCHMARK(runBackend<EmptyBackend>)->Name("Empty") SHAPES;
+BENCHMARK(runBackend<Eraser>)->Name("Eraser") SHAPES;
+BENCHMARK(runBackend<HbRaceDetector>)->Name("HB") SHAPES;
+BENCHMARK(runBackend<Atomizer>)->Name("Atomizer") SHAPES;
+BENCHMARK(runBackend<Velodrome>)->Name("Velodrome") SHAPES;
+BENCHMARK(velodromeNoMerge)->Name("VelodromeNoMerge") SHAPES;
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+//===- bench/exhaustive_micro.cpp - Exhaustive schedule-space results -----===//
+//
+// Schedule-complete verification of micro-programs (cf. the model-checking
+// discussion in the paper's related work): enumerate every interleaving of
+// each program with the systematic explorer and report how many schedules
+// Velodrome flags. For correct programs the violating count must be zero —
+// a statement about *all* schedules of the given input, not one trace.
+//
+// Also reports the fraction of schedules on which the violation is
+// observable at all: the quantitative version of why single-run dynamic
+// checking needs adversarial scheduling (Table: the buggy RMW is invisible
+// on most interleavings).
+//
+// Usage: exhaustive_micro
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/ScheduleExplorer.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace velo;
+
+namespace {
+
+/// Two increment threads over one counter; Guarded selects correct locking.
+std::function<void(Runtime &)> counter(bool Guarded, int Rounds) {
+  return [Guarded, Rounds](Runtime &RT) {
+    SharedVar &X = RT.var("x");
+    LockVar &Mu = RT.lock("mu");
+    RT.run([&, Guarded, Rounds](MonitoredThread &T0) {
+      auto Body = [&, Guarded, Rounds](MonitoredThread &T) {
+        for (int I = 0; I < Rounds; ++I) {
+          AtomicRegion A(T, "bump");
+          if (Guarded)
+            T.lockAcquire(Mu);
+          T.write(X, T.read(X) + 1);
+          if (Guarded)
+            T.lockRelease(Mu);
+        }
+      };
+      Tid W = T0.fork(Body);
+      Body(T0);
+      T0.join(W);
+    });
+  };
+}
+
+/// The Set.add check-then-act against a concurrent full add.
+void setAdd(Runtime &RT) {
+  SharedVar &Elems = RT.var("elems");
+  LockVar &Mu = RT.lock("vec");
+  RT.run([&](MonitoredThread &T0) {
+    Tid W = T0.fork([&](MonitoredThread &T) {
+      AtomicRegion A(T, "Set.add");
+      T.lockAcquire(Mu);
+      T.read(Elems);
+      T.lockRelease(Mu);
+      T.lockAcquire(Mu);
+      T.write(Elems, 1);
+      T.lockRelease(Mu);
+    });
+    {
+      AtomicRegion A(T0, "Set.add");
+      T0.lockAcquire(Mu);
+      T0.read(Elems);
+      T0.lockRelease(Mu);
+      T0.lockAcquire(Mu);
+      T0.write(Elems, 1);
+      T0.lockRelease(Mu);
+    }
+    T0.join(W);
+  });
+}
+
+/// The same, fixed: one critical section per add.
+void setAddFixed(Runtime &RT) {
+  SharedVar &Elems = RT.var("elems");
+  LockVar &Mu = RT.lock("vec");
+  RT.run([&](MonitoredThread &T0) {
+    Tid W = T0.fork([&](MonitoredThread &T) {
+      AtomicRegion A(T, "Set.add");
+      T.lockAcquire(Mu);
+      T.read(Elems);
+      T.write(Elems, 1);
+      T.lockRelease(Mu);
+    });
+    {
+      AtomicRegion A(T0, "Set.add");
+      T0.lockAcquire(Mu);
+      T0.read(Elems);
+      T0.write(Elems, 1);
+      T0.lockRelease(Mu);
+    }
+    T0.join(W);
+  });
+}
+
+/// Fork-ordered publication: serializable on every schedule.
+void forkPublish(Runtime &RT) {
+  SharedVar &Cfg = RT.var("cfg");
+  RT.run([&](MonitoredThread &T0) {
+    T0.write(Cfg, 42);
+    Tid A = T0.fork([&](MonitoredThread &T) {
+      AtomicRegion R(T, "reader");
+      T.read(Cfg);
+      T.read(Cfg);
+    });
+    Tid B = T0.fork([&](MonitoredThread &T) {
+      AtomicRegion R(T, "reader");
+      T.read(Cfg);
+      T.read(Cfg);
+    });
+    T0.join(A);
+    T0.join(B);
+  });
+}
+
+} // namespace
+
+int main() {
+  struct Row {
+    const char *Name;
+    std::function<void(Runtime &)> Program;
+    bool ExpectClean;
+  } Programs[] = {
+      {"racy counter (1 round)", counter(false, 1), false},
+      {"racy counter (2 rounds)", counter(false, 2), false},
+      {"locked counter (1 round)", counter(true, 1), true},
+      {"locked counter (2 rounds)", counter(true, 2), true},
+      {"Set.add check-then-act", setAdd, false},
+      {"Set.add fixed", setAddFixed, true},
+      {"fork-published config", forkPublish, true},
+  };
+
+  std::printf("Exhaustive schedule-space verification of micro-programs\n\n");
+  TablePrinter Table({"Program", "Schedules", "Violating", "Rate",
+                      "Verdict"});
+  bool AllOk = true;
+  for (Row &P : Programs) {
+    ExplorationOptions Opts;
+    Opts.MaxSchedules = 500000;
+    ExplorationResult R = exploreSchedules(P.Program, Opts);
+    bool Clean = R.ViolatingSchedules == 0;
+    bool Ok = Clean == P.ExpectClean; // capped runs report a sampled verdict
+    AllOk = AllOk && Ok;
+    Table.startRow();
+    Table.cell(std::string(P.Name));
+    Table.cell(TablePrinter::withCommas(R.SchedulesExplored) +
+               (R.Exhausted ? "" : "+"));
+    Table.cell(TablePrinter::withCommas(R.ViolatingSchedules));
+    Table.cell(TablePrinter::fixed(
+                   R.SchedulesExplored
+                       ? 100.0 * R.ViolatingSchedules / R.SchedulesExplored
+                       : 0.0,
+                   1) +
+               "%");
+    std::string Verdict =
+        !Ok ? "UNEXPECTED"
+            : (Clean ? (R.Exhausted ? "clean (all schedules)"
+                                    : "clean (sampled)")
+                     : "violations exist");
+    Table.cell(Verdict);
+  }
+  std::printf("%s\n", Table.str().c_str());
+  std::printf("a 'clean' verdict here quantifies over *every* interleaving "
+              "of the program —\nthe exhaustive complement to Velodrome's "
+              "per-trace guarantee; the violating\nfraction of the racy "
+              "programs is why Section 5's adversarial scheduling "
+              "matters.\n");
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+//===- bench/table1_graph_stats.cpp - Table 1 (right): node statistics ----===//
+//
+// Regenerates the right half of the paper's Table 1: per benchmark, the
+// number of happens-before graph nodes Velodrome allocates and the maximum
+// number simultaneously live, with the merge optimization disabled
+// ("Without Merge": the naive [INS OUTSIDE] rule, one node per unary
+// operation, GC still on) and enabled ("With Merge": the Figure 4 rules).
+//
+// The two claims under test (Section 6):
+//   1. garbage collection keeps at most a few dozen nodes live even when
+//      hundreds of thousands are allocated (up to four orders of magnitude
+//      reduction), and
+//   2. merging cuts allocations themselves by up to several orders of
+//      magnitude.
+//
+// Usage: table1_graph_stats [scale] [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "analysis/TraceRecorder.h"
+#include "core/Velodrome.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace velo;
+using namespace velo::bench;
+
+int main(int argc, char **argv) {
+  int Scale = argc > 1 ? std::atoi(argv[1]) : 40;
+  uint64_t Seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  std::printf("Table 1 (right): happens-before graph node statistics\n");
+  std::printf("(scale=%d, seed=%llu; identical recorded trace replayed "
+              "into both configurations)\n\n",
+              Scale, static_cast<unsigned long long>(Seed));
+
+  TablePrinter Table({"Program", "Events", "NoMerge:Alloc", "NoMerge:MaxAlive",
+                      "Merge:Alloc", "Merge:MaxAlive"});
+
+  for (const auto &W : makeAllWorkloads()) {
+    W->Scale = Scale;
+
+    // Record once so both configurations see the identical interleaving.
+    TraceRecorder Rec;
+    {
+      RuntimeOptions Opts;
+      Opts.ExecMode = RuntimeOptions::Mode::Deterministic;
+      Opts.SchedulerSeed = Seed;
+      Opts.WorkloadSeed = Seed;
+      Runtime RT(Opts, {&Rec});
+      // Paper methodology: known-non-atomic methods are unchecked, so most
+      // of their operations run outside any transaction.
+      for (const std::string &M : W->nonAtomicMethods())
+        RT.excludeMethod(M);
+      W->run(RT);
+    }
+    Trace T = Rec.takeTrace();
+
+    VelodromeOptions NoMergeOpts;
+    NoMergeOpts.UseMerge = false;
+    NoMergeOpts.EmitDot = false;
+    Velodrome NoMerge(NoMergeOpts);
+    replay(T, NoMerge);
+
+    VelodromeOptions MergeOpts;
+    MergeOpts.EmitDot = false;
+    Velodrome Merge(MergeOpts);
+    replay(T, Merge);
+
+    Table.startRow();
+    Table.cell(std::string(W->name()));
+    Table.cell(TablePrinter::withCommas(T.size()));
+    Table.cell(TablePrinter::withCommas(NoMerge.graph().nodesAllocated()));
+    Table.cell(NoMerge.graph().maxNodesAlive());
+    Table.cell(TablePrinter::withCommas(Merge.graph().nodesAllocated()));
+    Table.cell(Merge.graph().maxNodesAlive());
+  }
+
+  std::printf("%s\n", Table.str().c_str());
+  std::printf("paper's shape: tsp allocates >1,000,000 nodes without merge "
+              "but keeps <=8 alive;\nwith merge, several benchmarks "
+              "allocate orders of magnitude fewer nodes.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- examples/adversarial_hunt.cpp - Atomizer-guided bug hunting --------===//
+//
+// Section 5's adversarial scheduling in action. The raytracer benchmark
+// carries a narrow-window defect (Scene.reuseBuffer: a one-shot unguarded
+// check-then-act) that a uniform random scheduler almost never catches.
+// Running the Atomizer alongside and stalling a thread whenever it performs
+// a suspicious operation gives conflicting operations time to interleave,
+// so Velodrome — whose verdicts stay sound and complete — witnesses the
+// violation far more often.
+//
+// Build & run:   ./examples/adversarial_hunt [trials]
+//
+//===----------------------------------------------------------------------===//
+
+#include "atomizer/Atomizer.h"
+#include "core/Velodrome.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+using namespace velo;
+
+/// One raytracer run; returns the set of methods Velodrome blamed.
+static std::set<std::string> hunt(uint64_t Seed, bool Adversarial) {
+  std::unique_ptr<Workload> W = makeWorkload("raytracer");
+
+  RuntimeOptions Opts;
+  Opts.ExecMode = RuntimeOptions::Mode::Deterministic;
+  Opts.SchedulerSeed = Seed;
+  Opts.WorkloadSeed = Seed * 31 + 5;
+  Opts.Adversarial = Adversarial;
+  Opts.AdversarialStall = 60;
+
+  Velodrome Checker;
+  Atomizer Guide;
+  Runtime RT(Opts, {&Guide, &Checker});
+  if (Adversarial)
+    RT.setGuide(&Guide);
+  W->run(RT);
+
+  std::set<std::string> Blamed;
+  for (const AtomicityViolation &V : Checker.violations())
+    if (V.Method != NoLabel)
+      Blamed.insert(RT.symbols().labelName(V.Method));
+  return Blamed;
+}
+
+int main(int argc, char **argv) {
+  int Trials = argc > 1 ? std::atoi(argv[1]) : 40;
+  const std::string Narrow = "Scene.reuseBuffer";
+
+  int PlainHits = 0, GuidedHits = 0;
+  for (int T = 0; T < Trials; ++T) {
+    PlainHits += hunt(static_cast<uint64_t>(T), false).count(Narrow);
+    GuidedHits += hunt(static_cast<uint64_t>(T), true).count(Narrow);
+  }
+
+  std::printf("Hunting raytracer's narrow-window defect (%s):\n",
+              Narrow.c_str());
+  std::printf("  uniform scheduling:      caught in %2d/%d runs\n", PlainHits,
+              Trials);
+  std::printf("  adversarial scheduling:  caught in %2d/%d runs\n",
+              GuidedHits, Trials);
+  std::printf("\nThe paper reports the same effect on injected defects: "
+              "~30%% -> ~70%% per run\n(Section 6). Coverage improves with "
+              "no loss of completeness: every report\nis still a real "
+              "serializability violation of the observed trace.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- examples/exhaustive_verify.cpp - Every interleaving, checked -------===//
+//
+// Velodrome's guarantee is per observed trace; this example shows the
+// systematic schedule explorer upgrading it, for small programs, to a
+// statement about *every* interleaving: "no schedule of this program
+// violates atomicity" — or, for the buggy variant, exactly how rare the
+// violating interleavings are (which is why Section 5's adversarial
+// scheduling exists).
+//
+// Build & run:   ./examples/exhaustive_verify
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/ScheduleExplorer.h"
+
+#include <cstdio>
+
+using namespace velo;
+
+namespace {
+
+/// A tiny account-transfer program; Fixed selects the one-critical-section
+/// version.
+std::function<void(Runtime &)> transferProgram(bool Fixed) {
+  return [Fixed](Runtime &RT) {
+    SharedVar &Balance = RT.var("Account.balance");
+    LockVar &Mu = RT.lock("Account.mu");
+    RT.run([&, Fixed](MonitoredThread &T0) {
+      T0.write(Balance, 100);
+      auto Withdraw = [&, Fixed](MonitoredThread &T) {
+        AtomicRegion A(T, Fixed ? "withdraw" : "withdrawBuggy");
+        if (Fixed) {
+          T.lockAcquire(Mu);
+          int64_t Bal = T.read(Balance);
+          if (Bal >= 60)
+            T.write(Balance, Bal - 60);
+          T.lockRelease(Mu);
+        } else {
+          T.lockAcquire(Mu);
+          int64_t Bal = T.read(Balance); // check...
+          T.lockRelease(Mu);
+          if (Bal >= 60) {
+            T.lockAcquire(Mu);
+            T.write(Balance, Bal - 60); // ...then act on a stale balance
+            T.lockRelease(Mu);
+          }
+        }
+      };
+      Tid W = T0.fork(Withdraw);
+      Withdraw(T0);
+      T0.join(W);
+    });
+  };
+}
+
+void report(const char *Name, const ExplorationResult &R) {
+  std::printf("%-16s %8llu schedules, %6llu violating (%.1f%%)%s\n", Name,
+              static_cast<unsigned long long>(R.SchedulesExplored),
+              static_cast<unsigned long long>(R.ViolatingSchedules),
+              R.SchedulesExplored
+                  ? 100.0 * R.ViolatingSchedules / R.SchedulesExplored
+                  : 0.0,
+              R.Exhausted ? "" : "  [capped]");
+  for (const auto &[Method, Count] : R.MethodCounts)
+    std::printf("                   blamed %s on %llu schedules\n",
+                Method.c_str(), static_cast<unsigned long long>(Count));
+}
+
+} // namespace
+
+int main() {
+  std::printf("Exhaustively exploring every thread interleaving...\n\n");
+
+  ExplorationResult Buggy = exploreSchedules(transferProgram(false));
+  report("buggy withdraw", Buggy);
+
+  ExplorationResult Fixed = exploreSchedules(transferProgram(true));
+  report("fixed withdraw", Fixed);
+
+  std::printf("\nThe fixed program is verified over the *entire* schedule "
+              "space of this input;\nthe buggy one's violating fraction "
+              "quantifies exactly how lucky a single\nobserved run has to "
+              "be — when that fraction is small, the Atomizer-guided\n"
+              "adversarial scheduler (Section 5) makes up the difference.\n");
+  return Fixed.ViolatingSchedules == 0 && Buggy.ViolatingSchedules > 0 ? 0
+                                                                       : 1;
+}

@@ -1,0 +1,97 @@
+//===- examples/monitored_counter.cpp - Online checking of a live program -===//
+//
+// Shows the monitored runtime end to end: a small bank-transfer program is
+// executed under the deterministic cooperative scheduler with Velodrome
+// attached online, across many seeds. The buggy transfer (balance read and
+// write in separate critical sections) is caught on the seeds whose
+// interleaving actually violates serializability; the fixed transfer is
+// never flagged on any seed.
+//
+// Build & run:   ./examples/monitored_counter [seeds]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Velodrome.h"
+#include "rt/Runtime.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace velo;
+
+/// Run `Transfers` random transfers between two accounts on two threads.
+/// When Buggy, the debit side re-reads the balance outside the lock.
+static bool runBank(uint64_t Seed, bool Buggy) {
+  RuntimeOptions Opts;
+  Opts.ExecMode = RuntimeOptions::Mode::Deterministic;
+  Opts.SchedulerSeed = Seed;
+  Opts.WorkloadSeed = Seed;
+
+  Velodrome Checker;
+  Runtime RT(Opts, {&Checker});
+  SharedVar &Checking = RT.var("Account.checking");
+  SharedVar &Savings = RT.var("Account.savings");
+  LockVar &BankMu = RT.lock("Bank.mu");
+
+  RT.run([&](MonitoredThread &Main) {
+    Main.write(Checking, 100);
+    Main.write(Savings, 100);
+    auto Teller = [&, Buggy](MonitoredThread &T) {
+      for (int I = 0; I < 4; ++I) {
+        AtomicRegion A(T, Buggy ? "Bank.transferBuggy" : "Bank.transfer");
+        if (Buggy) {
+          // Balance check in one critical section...
+          T.lockAcquire(BankMu);
+          int64_t Bal = T.read(Checking);
+          T.lockRelease(BankMu);
+          if (Bal >= 10) {
+            // ...movement in another: a stale-balance overdraft.
+            T.lockAcquire(BankMu);
+            T.write(Checking, Bal - 10);
+            T.write(Savings, T.read(Savings) + 10);
+            T.lockRelease(BankMu);
+          }
+        } else {
+          T.lockAcquire(BankMu);
+          int64_t Bal = T.read(Checking);
+          if (Bal >= 10) {
+            T.write(Checking, Bal - 10);
+            T.write(Savings, T.read(Savings) + 10);
+          }
+          T.lockRelease(BankMu);
+        }
+      }
+    };
+    Tid A = Main.fork(Teller);
+    Tid B = Main.fork(Teller);
+    Main.join(A);
+    Main.join(B);
+  });
+
+  for (const AtomicityViolation &V : Checker.violations()) {
+    std::printf("    seed %3llu: blamed %s (cycle of %zu transactions%s)\n",
+                static_cast<unsigned long long>(Seed),
+                RT.symbols().labelName(V.Method).c_str(), V.CycleLength,
+                V.BlameResolved ? ", blame resolved" : "");
+  }
+  return Checker.sawViolation();
+}
+
+int main(int argc, char **argv) {
+  int Seeds = argc > 1 ? std::atoi(argv[1]) : 20;
+
+  std::printf("Buggy transfer (split critical sections):\n");
+  int BuggyHits = 0;
+  for (int S = 0; S < Seeds; ++S)
+    BuggyHits += runBank(static_cast<uint64_t>(S), /*Buggy=*/true);
+  std::printf("  -> flagged on %d/%d seeds\n\n", BuggyHits, Seeds);
+
+  std::printf("Fixed transfer (single critical section):\n");
+  int FixedHits = 0;
+  for (int S = 0; S < Seeds; ++S)
+    FixedHits += runBank(static_cast<uint64_t>(S), /*Buggy=*/false);
+  std::printf("  -> flagged on %d/%d seeds (must be 0: zero false alarms)\n",
+              FixedHits, Seeds);
+
+  return FixedHits == 0 ? 0 : 1;
+}

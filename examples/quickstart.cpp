@@ -1,0 +1,96 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+//
+// Reproduces the paper's two motivating examples in a few lines each:
+//
+//   1. The Set.add bug from the introduction: race-free (every Vector call
+//      is synchronized) yet not atomic. Velodrome finds the cycle, blames
+//      Set.add, and renders the dot error graph of Section 5.
+//
+//   2. The volatile-flag handoff from Section 2: no locks at all, yet every
+//      trace is serializable. The Atomizer false-alarms; Velodrome, being
+//      complete, stays silent.
+//
+// Build & run:   ./examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "atomizer/Atomizer.h"
+#include "core/Velodrome.h"
+#include "events/TraceBuilder.h"
+
+#include <cstdio>
+
+using namespace velo;
+
+static void runSetAddExample() {
+  std::printf("== 1. Set.add: race-free but not atomic ==\n\n");
+
+  // Two threads race Set.add(x) on one Set backed by a synchronized
+  // Vector. Thread 0's contains() and add() straddle thread 1's whole
+  // call, so both threads insert the same element.
+  TraceBuilder B;
+  B.begin(0, "Set.add") // T0: if (!elems.contains(x))
+      .acq(0, "elems")
+      .rd(0, "elems.data")
+      .rel(0, "elems");
+  B.begin(1, "Set.add") // T1: the full add slips in between
+      .acq(1, "elems")
+      .rd(1, "elems.data")
+      .rel(1, "elems")
+      .acq(1, "elems")
+      .wr(1, "elems.data")
+      .rel(1, "elems")
+      .end(1);
+  B.acq(0, "elems") //     ...elems.add(x)
+      .wr(0, "elems.data")
+      .rel(0, "elems")
+      .end(0);
+
+  Velodrome Checker;
+  replay(B.trace(), Checker);
+
+  for (const Warning &W : Checker.warnings()) {
+    std::printf("%s\n\n", W.Message.c_str());
+    std::printf("dot error graph (render with `dot -Tpng`):\n%s\n",
+                W.Dot.c_str());
+  }
+}
+
+static void runFlagHandoffExample() {
+  std::printf("== 2. Volatile-flag handoff: atomic without locks ==\n\n");
+
+  // Thread 0 and thread 1 alternate exclusive access to x using flag b —
+  // the Section 2 program that defeats lockset-based tools.
+  TraceBuilder B;
+  B.rd(1, "b") // T1 spins: b != 2 yet
+      .begin(0, "inc0")
+      .rd(0, "x")
+      .wr(0, "x")
+      .wr(0, "b") // b = 2: hand off to T1
+      .end(0)
+      .rd(1, "b") // T1 sees 2
+      .begin(1, "inc1")
+      .rd(1, "x")
+      .wr(1, "x")
+      .wr(1, "b") // b = 1: hand back
+      .end(1);
+
+  Velodrome Checker;
+  Atomizer Baseline;
+  replayAll(B.trace(), {&Checker, &Baseline});
+
+  std::printf("Velodrome warnings: %zu (complete: no false alarms)\n",
+              Checker.warnings().size());
+  std::printf("Atomizer  warnings: %zu", Baseline.warnings().size());
+  if (!Baseline.warnings().empty())
+    std::printf("  e.g. \"%s\"", Baseline.warnings()[0].Message.c_str());
+  std::printf("\n\nThe trace is serializable, so the Atomizer reports are "
+              "false alarms;\nVelodrome reports an error iff the observed "
+              "trace is not conflict-serializable.\n");
+}
+
+int main() {
+  runSetAddExample();
+  runFlagHandoffExample();
+  return 0;
+}

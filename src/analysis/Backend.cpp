@@ -1,0 +1,35 @@
+//===- analysis/Backend.cpp - Back-end driver helpers ---------------------===//
+
+#include "analysis/Backend.h"
+
+#include <set>
+
+namespace velo {
+
+void replay(const Trace &T, Backend &B) {
+  B.beginAnalysis(T.symbols());
+  for (const Event &E : T)
+    B.onEvent(E);
+  B.endAnalysis();
+}
+
+void replayAll(const Trace &T, const std::vector<Backend *> &Backends) {
+  for (Backend *B : Backends)
+    B->beginAnalysis(T.symbols());
+  for (const Event &E : T)
+    for (Backend *B : Backends)
+      B->onEvent(E);
+  for (Backend *B : Backends)
+    B->endAnalysis();
+}
+
+std::vector<Warning> dedupeByMethod(const std::vector<Warning> &Ws) {
+  std::set<std::pair<std::string, Label>> Seen;
+  std::vector<Warning> Out;
+  for (const Warning &W : Ws)
+    if (Seen.insert({W.Category, W.Method}).second)
+      Out.push_back(W);
+  return Out;
+}
+
+} // namespace velo

@@ -1,0 +1,90 @@
+//===- analysis/Backend.h - Dynamic-analysis back-end interface -*- C++ -*-===//
+//
+// RoadRunner instruments the target program and forwards one event stream to
+// a pluggable analysis back-end. This is the C++ analogue: the monitored
+// runtime (src/rt) or the offline replayer feeds Events to any number of
+// Backends. Velodrome, the Atomizer, Eraser, the vector-clock race detector,
+// and the Empty baseline all implement this interface.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_ANALYSIS_BACKEND_H
+#define VELO_ANALYSIS_BACKEND_H
+
+#include "events/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace velo {
+
+/// One analysis warning. Warnings are deduplicated by (Category, Method) in
+/// the evaluation harness, matching the paper's "distinct warnings" counting.
+struct Warning {
+  std::string Analysis; ///< Back-end that produced it ("velodrome", ...).
+  std::string Category; ///< "atomicity", "race", ...
+  Label Method;         ///< Blamed atomic block / method label, or NoLabel.
+  std::string Message;  ///< Human-readable description.
+  std::string Dot;      ///< Optional rendered error graph (dot syntax).
+};
+
+/// Base class for analysis back-ends.
+class Backend {
+public:
+  virtual ~Backend() = default;
+
+  /// Stable short name, used in tables ("Velodrome", "Atomizer", ...).
+  virtual const char *name() const = 0;
+
+  /// Called once before any event. Syms outlives the analysis.
+  virtual void beginAnalysis(const SymbolTable &Syms) { Symbols = &Syms; }
+
+  /// Called for every monitored operation, in trace order. Back-ends are
+  /// driven single-threaded: the runtime serializes event delivery exactly
+  /// as RoadRunner presents a linearized event stream.
+  virtual void onEvent(const Event &E) = 0;
+
+  /// Called once after the last event. Back-ends that detect conditions at
+  /// trace end (e.g. transactions still open) report here.
+  virtual void endAnalysis() {}
+
+  /// True if the most recent event looked like the start of a potential
+  /// violation. The adversarial scheduler (Section 5) polls this to decide
+  /// which thread to stall; only the Atomizer overrides it.
+  virtual bool lastEventSuspicious() const { return false; }
+
+  const std::vector<Warning> &warnings() const { return Reports; }
+  uint64_t eventCount() const { return NumEvents; }
+
+  /// Clear warnings and counters so the back-end object can be reused for
+  /// another trace (state must be reset by the subclass via beginAnalysis).
+  void resetReports() {
+    Reports.clear();
+    NumEvents = 0;
+  }
+
+protected:
+  void report(Warning W) { Reports.push_back(std::move(W)); }
+  void countEvent() { ++NumEvents; }
+
+  const SymbolTable *Symbols = nullptr;
+
+private:
+  std::vector<Warning> Reports;
+  uint64_t NumEvents = 0;
+};
+
+/// Feed a recorded trace through a back-end (begin, all events, end).
+void replay(const Trace &T, Backend &B);
+
+/// Feed a recorded trace through several back-ends in lockstep.
+void replayAll(const Trace &T, const std::vector<Backend *> &Backends);
+
+/// Deduplicate warnings by (Category, Method), preserving first occurrence
+/// order — the unit the paper's Table 2 counts ("distinct warnings").
+std::vector<Warning> dedupeByMethod(const std::vector<Warning> &Ws);
+
+} // namespace velo
+
+#endif // VELO_ANALYSIS_BACKEND_H

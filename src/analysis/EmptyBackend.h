@@ -1,0 +1,35 @@
+//===- analysis/EmptyBackend.h - Instrumentation-overhead baseline -*-C++-*-=//
+//
+// The "Empty" back-end of Table 1: it does no analysis work, so the slowdown
+// it induces measures pure instrumentation overhead (event construction and
+// dispatch). A volatile-ish checksum keeps the event loop from being
+// optimized away.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_ANALYSIS_EMPTYBACKEND_H
+#define VELO_ANALYSIS_EMPTYBACKEND_H
+
+#include "analysis/Backend.h"
+
+namespace velo {
+
+/// Back-end that consumes events and does nothing else.
+class EmptyBackend : public Backend {
+public:
+  const char *name() const override { return "Empty"; }
+
+  void onEvent(const Event &E) override {
+    countEvent();
+    Checksum += static_cast<uint64_t>(E.Kind) * 3 + E.Thread + E.Target;
+  }
+
+  uint64_t checksum() const { return Checksum; }
+
+private:
+  uint64_t Checksum = 0;
+};
+
+} // namespace velo
+
+#endif // VELO_ANALYSIS_EMPTYBACKEND_H

@@ -1,0 +1,49 @@
+//===- analysis/TraceRecorder.h - Record events to a Trace ------*- C++ -*-===//
+//
+// Back-end that records the observed event stream into a Trace so it can be
+// replayed offline into other back-ends. The Table 2 harness records each
+// (workload, seed) execution once and replays the identical trace into the
+// Atomizer and Velodrome, so both tools see exactly the same interleaving.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_ANALYSIS_TRACERECORDER_H
+#define VELO_ANALYSIS_TRACERECORDER_H
+
+#include "analysis/Backend.h"
+
+#include <utility>
+
+namespace velo {
+
+/// Records the event stream verbatim.
+class TraceRecorder : public Backend {
+public:
+  const char *name() const override { return "Recorder"; }
+
+  void beginAnalysis(const SymbolTable &Syms) override {
+    Backend::beginAnalysis(Syms);
+    Recorded = Trace();
+  }
+
+  void onEvent(const Event &E) override {
+    countEvent();
+    Recorded.push(E);
+  }
+
+  void endAnalysis() override {
+    // Copy symbols so the trace is self-contained once the runtime dies.
+    if (Symbols)
+      Recorded.symbols() = *Symbols;
+  }
+
+  const Trace &trace() const { return Recorded; }
+  Trace takeTrace() { return std::move(Recorded); }
+
+private:
+  Trace Recorded;
+};
+
+} // namespace velo
+
+#endif // VELO_ANALYSIS_TRACERECORDER_H

@@ -1,0 +1,152 @@
+//===- core/BasicVelodrome.cpp - Figure 2 reference analysis --------------===//
+
+#include "core/BasicVelodrome.h"
+
+#include <cassert>
+
+namespace velo {
+
+void BasicVelodrome::beginAnalysis(const SymbolTable &Syms) {
+  Backend::beginAnalysis(Syms);
+  Nodes.clear();
+  Current.clear();
+  Depth.clear();
+  LastTxn.clear();
+  Unlock.clear();
+  LastWr.clear();
+  LastRd.clear();
+  ViolationCount = 0;
+  Flagged.clear();
+}
+
+uint32_t BasicVelodrome::newNode(Tid Owner, Label Root) {
+  Nodes.push_back({Owner, Root, {}});
+  return static_cast<uint32_t>(Nodes.size() - 1);
+}
+
+bool BasicVelodrome::reaches(uint32_t From, uint32_t To) const {
+  // Plain DFS; the reference analysis favors clarity over speed.
+  std::vector<uint32_t> Work{From};
+  std::set<uint32_t> Seen{From};
+  while (!Work.empty()) {
+    uint32_t N = Work.back();
+    Work.pop_back();
+    if (N == To)
+      return true;
+    for (uint32_t Succ : Nodes[N].Out)
+      if (Seen.insert(Succ).second)
+        Work.push_back(Succ);
+  }
+  return false;
+}
+
+void BasicVelodrome::addEdge(uint32_t From, uint32_t To) {
+  if (From == None || From == To)
+    return; // the (+) operation filters bottom sources and self edges
+  if (reaches(To, From)) {
+    // Non-trivial cycle: record a violation against the transaction the
+    // closing edge enters, keep the graph acyclic.
+    ++ViolationCount;
+    Flagged.insert(Nodes[To].Root);
+    return;
+  }
+  for (uint32_t Succ : Nodes[From].Out)
+    if (Succ == To)
+      return;
+  Nodes[From].Out.push_back(To);
+}
+
+uint32_t BasicVelodrome::opNode(Tid T) {
+  auto It = Current.find(T);
+  if (It != Current.end() && It->second != None)
+    return It->second;
+  // [INS OUTSIDE]: enter a fresh unary transaction for this operation.
+  uint32_t N = newNode(T, NoLabel);
+  auto L = LastTxn.find(T);
+  addEdge(L == LastTxn.end() ? None : L->second, N);
+  return N;
+}
+
+void BasicVelodrome::finishOp(Tid T, uint32_t Node) {
+  // [INS EXIT] for the implicit unary transaction (no-op when inside a
+  // real transaction, which ends at its own end(t)).
+  auto It = Current.find(T);
+  if (It == Current.end() || It->second == None)
+    LastTxn[T] = Node;
+}
+
+void BasicVelodrome::onEvent(const Event &E) {
+  countEvent();
+  Tid T = E.Thread;
+  switch (E.Kind) {
+  case Op::Begin: {
+    int &D = Depth[T];
+    if (D++ > 0)
+      return; // nested: stays inside the enclosing transaction
+    // [INS ENTER]
+    uint32_t N = newNode(T, E.label());
+    auto L = LastTxn.find(T);
+    addEdge(L == LastTxn.end() ? None : L->second, N);
+    Current[T] = N;
+    return;
+  }
+  case Op::End: {
+    int &D = Depth[T];
+    assert(D > 0 && "end without begin");
+    if (--D > 0)
+      return;
+    // [INS EXIT]
+    LastTxn[T] = Current[T];
+    Current[T] = None;
+    return;
+  }
+  case Op::Acquire: {
+    uint32_t N = opNode(T);
+    auto U = Unlock.find(E.lock());
+    addEdge(U == Unlock.end() ? None : U->second, N); // [INS ACQUIRE]
+    finishOp(T, N);
+    return;
+  }
+  case Op::Release: {
+    uint32_t N = opNode(T);
+    Unlock[E.lock()] = N; // [INS RELEASE]
+    finishOp(T, N);
+    return;
+  }
+  case Op::Read: {
+    uint32_t N = opNode(T);
+    auto W = LastWr.find(E.var());
+    addEdge(W == LastWr.end() ? None : W->second, N); // [INS READ]
+    LastRd[E.var()][T] = N;
+    finishOp(T, N);
+    return;
+  }
+  case Op::Write: {
+    uint32_t N = opNode(T);
+    auto W = LastWr.find(E.var());
+    addEdge(W == LastWr.end() ? None : W->second, N); // [INS WRITE]
+    for (const auto &[Rt, Rn] : LastRd[E.var()])
+      addEdge(Rn, N);
+    LastWr[E.var()] = N;
+    finishOp(T, N);
+    return;
+  }
+  case Op::Fork: {
+    // Thread-ordering edge: the child's first transaction happens after
+    // the fork operation's transaction.
+    uint32_t N = opNode(T);
+    LastTxn[E.child()] = N;
+    finishOp(T, N);
+    return;
+  }
+  case Op::Join: {
+    uint32_t N = opNode(T);
+    auto L = LastTxn.find(E.child());
+    addEdge(L == LastTxn.end() ? None : L->second, N);
+    finishOp(T, N);
+    return;
+  }
+  }
+}
+
+} // namespace velo

@@ -1,0 +1,305 @@
+//===- core/HbGraph.cpp - Transactional happens-before graph --------------===//
+
+#include "core/HbGraph.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace velo {
+
+Step HbGraph::freshStamp(NodeId Slot) {
+  Node &N = Slots[Slot];
+  assert(N.InUse && "stamp requested on a free slot");
+  return Step::make(Slot, ++N.CurStamp);
+}
+
+Step HbGraph::allocNode(Tid Owner, Label Root, bool Active) {
+  NodeId Slot;
+  if (!FreeList.empty()) {
+    Slot = FreeList.back();
+    FreeList.pop_back();
+  } else {
+    if (Slots.size() >= Step::MaxSlots) {
+      // The GC keeps at most a few dozen nodes live (Table 1); exhausting
+      // 65535 slots means live-node leakage, which is a checker bug.
+      std::fprintf(stderr, "velodrome: node slot space exhausted\n");
+      std::abort();
+    }
+    Slot = static_cast<NodeId>(Slots.size());
+    Slots.emplace_back();
+  }
+  Node &N = Slots[Slot];
+  assert(!N.InUse && "allocating an in-use slot");
+  N.InUse = true;
+  N.Active = Active;
+  N.RefCount = Active ? 1 : 0; // the C-stack reference while open
+  N.Owner = Owner;
+  N.Root = Root;
+  assert(N.Out.empty() && N.Ancestors.empty() && "slot not cleaned");
+
+  ++NumAllocated;
+  Alive.inc();
+  return freshStamp(Slot);
+}
+
+Step HbGraph::tick(Step S) {
+  if (S.isBottom() || !isLive(S))
+    return Step::bottom();
+  return freshStamp(S.slot());
+}
+
+bool HbGraph::isLive(Step S) const {
+  if (S.isBottom())
+    return false;
+  NodeId Slot = S.slot();
+  assert(Slot < Slots.size() && "step references an unknown slot");
+  // Timestamps within a slot are monotone across recycling, so a stamp at or
+  // below the collection watermark belongs to a collected incarnation.
+  return S.stamp() > Slots[Slot].StaleAtOrBelow;
+}
+
+bool HbGraph::happensBeforeEq(NodeId A, NodeId B) const {
+  return A == B || Slots[B].Ancestors.contains(A);
+}
+
+void HbGraph::buildCycleReport(NodeId From, NodeId To, const HbEdge &Closing,
+                               CycleReport &Out) const {
+  // Find a path From => To in the acyclic live graph by DFS; the closing
+  // edge To -> From (already rejected) completes the cycle.
+  struct Frame {
+    NodeId Node;
+    size_t NextEdge;
+  };
+  std::vector<Frame> Stack;
+  FlatSet<NodeId> Visited;
+  Stack.push_back({From, 0});
+  Visited.insert(From);
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    if (F.Node == To)
+      break;
+    const Node &N = Slots[F.Node];
+    if (F.NextEdge >= N.Out.size()) {
+      Stack.pop_back();
+      continue;
+    }
+    const HbEdge &E = N.Out[F.NextEdge++];
+    // Only traverse toward nodes that can reach To (ancestor pruning keeps
+    // this linear in the cycle length for typical graphs).
+    if (!Visited.contains(E.Dst) &&
+        (E.Dst == To || Slots[To].Ancestors.contains(E.Dst))) {
+      Visited.insert(E.Dst);
+      Stack.push_back({E.Dst, 0});
+    }
+  }
+  assert(!Stack.empty() && "cycle path must exist when ancestors say so");
+
+  Out.Entries.clear();
+  for (size_t I = 0; I < Stack.size(); ++I) {
+    const Node &N = Slots[Stack[I].Node];
+    CycleEntry Entry;
+    Entry.Node = Stack[I].Node;
+    Entry.Owner = N.Owner;
+    Entry.Root = N.Root;
+    // The edge leaving this node: for interior nodes it is the path edge
+    // just taken (NextEdge - 1); for the last node it is the closing edge.
+    if (I + 1 < Stack.size())
+      Entry.OutEdge = N.Out[Stack[I].NextEdge - 1];
+    else
+      Entry.OutEdge = Closing;
+    Out.Entries.push_back(Entry);
+  }
+
+  // Increasing-cycle test (Section 4.3): at every node except the blamed
+  // first one, the incoming timestamp must be <= the outgoing timestamp.
+  Out.Increasing = true;
+  for (size_t I = 1; I < Out.Entries.size(); ++I) {
+    uint64_t InStamp = Out.Entries[I - 1].OutEdge.HeadStamp;
+    uint64_t OutStamp = Out.Entries[I].OutEdge.TailStamp;
+    if (InStamp > OutStamp) {
+      Out.Increasing = false;
+      break;
+    }
+  }
+  Out.RootStamp = Out.Entries.front().OutEdge.TailStamp;
+  Out.TargetStamp = Closing.HeadStamp;
+}
+
+HbGraph::AddEdgeResult HbGraph::addEdge(Step From, Step To,
+                                        const EdgeInfo &Info,
+                                        CycleReport *CycleOut) {
+  From = resolve(From);
+  if (From.isBottom())
+    return AddEdgeResult::Skipped;
+  assert(isLive(To) && "edge head must be a live step");
+
+  NodeId A = From.slot(), B = To.slot();
+  if (A == B)
+    return AddEdgeResult::Skipped; // intra-transaction; filtered by (+)
+
+  // The edge A -> B closes a cycle iff B already reaches A.
+  if (Slots[A].Ancestors.contains(B)) {
+    if (CycleOut) {
+      HbEdge Closing;
+      Closing.Dst = B;
+      Closing.TailStamp = From.stamp();
+      Closing.HeadStamp = To.stamp();
+      Closing.Info = Info;
+      buildCycleReport(B, A, Closing, *CycleOut);
+    }
+    return AddEdgeResult::Cycle;
+  }
+
+  // At most one edge per node pair: refresh stamps on re-addition.
+  for (HbEdge &E : Slots[A].Out) {
+    if (E.Dst == B) {
+      E.TailStamp = From.stamp();
+      E.HeadStamp = To.stamp();
+      E.Info = Info;
+      return AddEdgeResult::Added;
+    }
+  }
+
+  HbEdge E;
+  E.Dst = B;
+  E.TailStamp = From.stamp();
+  E.HeadStamp = To.stamp();
+  E.Info = Info;
+  Slots[A].Out.push_back(E);
+  ++NumEdges;
+  ++Slots[B].RefCount;
+
+  // Propagate ancestors: B and all its descendants gain Ancestors(A)+{A}.
+  // Pruning on "did not grow" is sound because ancestor sets are closed
+  // (child's set always contains parent's set plus the parent).
+  FlatSet<NodeId> Gain = Slots[A].Ancestors;
+  Gain.insert(A);
+  std::vector<NodeId> Work{B};
+  while (!Work.empty()) {
+    NodeId X = Work.back();
+    Work.pop_back();
+    if (!Slots[X].Ancestors.unionWith(Gain))
+      continue;
+    for (const HbEdge &Succ : Slots[X].Out)
+      Work.push_back(Succ.Dst);
+  }
+  return AddEdgeResult::Added;
+}
+
+void HbGraph::finishNode(NodeId Slot) {
+  Node &N = Slots[Slot];
+  assert(N.InUse && N.Active && "finishing a non-open node");
+  N.Active = false;
+  assert(N.RefCount > 0 && "open node must hold its own reference");
+  if (--N.RefCount == 0)
+    collect(Slot);
+}
+
+void HbGraph::collect(NodeId Slot) {
+  std::vector<NodeId> Work{Slot};
+  while (!Work.empty()) {
+    NodeId S = Work.back();
+    Work.pop_back();
+    Node &N = Slots[S];
+    assert(N.InUse && !N.Active && N.RefCount == 0 && "collecting live node");
+
+    // Remove S from the ancestor sets of everything it reaches. Because S
+    // has no incoming edges, no other node's ancestry passes through S, so
+    // erasing S itself is the only repair needed.
+    {
+      FlatSet<NodeId> Visited;
+      std::vector<NodeId> Dfs;
+      for (const HbEdge &E : N.Out)
+        Dfs.push_back(E.Dst);
+      while (!Dfs.empty()) {
+        NodeId X = Dfs.back();
+        Dfs.pop_back();
+        if (!Visited.insert(X))
+          continue;
+        Slots[X].Ancestors.erase(S);
+        for (const HbEdge &E : Slots[X].Out)
+          Dfs.push_back(E.Dst);
+      }
+    }
+
+    // Drop outgoing edges; successors whose last reference this was are
+    // collected in cascade.
+    for (const HbEdge &E : N.Out) {
+      Node &Dst = Slots[E.Dst];
+      assert(Dst.RefCount > 0 && "edge refcount underflow");
+      if (--Dst.RefCount == 0 && !Dst.Active)
+        Work.push_back(E.Dst);
+    }
+
+    N.Out.clear();
+    N.Ancestors.clear();
+    N.StaleAtOrBelow = N.CurStamp; // stale-step watermark
+    N.InUse = false;
+    FreeList.push_back(S);
+    Alive.dec();
+  }
+}
+
+Step HbGraph::merge(const std::vector<Step> &Inputs, Tid Owner,
+                    const EdgeInfo &Info) {
+  // Resolve and deduplicate by slot (keeping the latest stamp per slot).
+  std::vector<Step> Live;
+  for (Step S : Inputs) {
+    S = resolve(S);
+    if (S.isBottom())
+      continue;
+    bool Dup = false;
+    for (Step &Existing : Live) {
+      if (Existing.slot() == S.slot()) {
+        if (S.stamp() > Existing.stamp())
+          Existing = S;
+        Dup = true;
+        break;
+      }
+    }
+    if (!Dup)
+      Live.push_back(S);
+  }
+
+  if (Live.empty())
+    return Step::bottom();
+
+  // A representative must be a *finished* node that every other input
+  // happens-before-or-equals. (Reusing a still-open transaction node would
+  // merge the unary operation into a transaction that can still perform
+  // conflicting operations after it, hiding two-node cycles; see DESIGN.md.)
+  for (const Step &Cand : Live) {
+    if (Slots[Cand.slot()].Active)
+      continue;
+    bool Dominates = true;
+    for (const Step &Other : Live) {
+      if (!happensBeforeEq(Other.slot(), Cand.slot())) {
+        Dominates = false;
+        break;
+      }
+    }
+    if (Dominates) {
+      ++NumMerged;
+      return Cand;
+    }
+  }
+
+  // Otherwise: a fresh unary node, born finished, fed by every live input.
+  Step Fresh = allocNode(Owner, NoLabel, /*Active=*/false);
+  for (const Step &S : Live) {
+    AddEdgeResult R = addEdge(S, Fresh, Info, nullptr);
+    (void)R;
+    assert(R == AddEdgeResult::Added && "fresh node cannot close a cycle");
+  }
+  return Fresh;
+}
+
+void HbGraph::clear() {
+  Slots.clear();
+  FreeList.clear();
+  NumAllocated = NumEdges = NumMerged = 0;
+  Alive = HighWater();
+}
+
+} // namespace velo

@@ -1,0 +1,71 @@
+//===- core/Step.h - Packed transaction steps -------------------*- C++ -*-===//
+//
+// A Step identifies one operation within one transaction node: Section 5 of
+// the paper represents it as a 64-bit integer whose top 16 bits identify a
+// Node (slot) and whose low 48 bits are a timestamp within that node. We
+// reserve the all-zero value for the bottom step (the paper's ".").
+//
+// Node slots are recycled; staleness of a step against a recycled slot is
+// detected by the graph (HbGraph::isLive) using the slot's collection
+// watermark, because timestamps within a slot grow monotonically across
+// incarnations.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_CORE_STEP_H
+#define VELO_CORE_STEP_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace velo {
+
+/// Index of a transaction-node slot in the happens-before graph.
+using NodeId = uint32_t;
+
+/// A (node, timestamp) pair packed into 64 bits; value 0 is bottom.
+class Step {
+public:
+  /// The bottom step "." (no transaction).
+  Step() : Bits(0) {}
+
+  static Step bottom() { return Step(); }
+
+  static Step make(NodeId Slot, uint64_t Stamp) {
+    assert(Slot < MaxSlots && "node slot exceeds 16-bit space");
+    assert(Stamp != 0 && Stamp <= StampMask && "timestamp out of range");
+    return Step((static_cast<uint64_t>(Slot) + 1) << StampBits | Stamp);
+  }
+
+  bool isBottom() const { return Bits == 0; }
+
+  NodeId slot() const {
+    assert(!isBottom() && "bottom step has no slot");
+    return static_cast<NodeId>((Bits >> StampBits) - 1);
+  }
+
+  uint64_t stamp() const {
+    assert(!isBottom() && "bottom step has no stamp");
+    return Bits & StampMask;
+  }
+
+  uint64_t raw() const { return Bits; }
+
+  bool operator==(const Step &Other) const { return Bits == Other.Bits; }
+  bool operator!=(const Step &Other) const { return Bits != Other.Bits; }
+
+  /// 2^16 - 1 usable slots (slot field stores slot+1).
+  static constexpr NodeId MaxSlots = (1u << 16) - 1;
+
+private:
+  explicit Step(uint64_t Bits) : Bits(Bits) {}
+
+  static constexpr int StampBits = 48;
+  static constexpr uint64_t StampMask = (1ULL << StampBits) - 1;
+
+  uint64_t Bits;
+};
+
+} // namespace velo
+
+#endif // VELO_CORE_STEP_H

@@ -1,0 +1,359 @@
+//===- core/Velodrome.cpp - Sound & complete atomicity checker ------------===//
+
+#include "core/Velodrome.h"
+
+#include "support/DotWriter.h"
+
+#include <cassert>
+
+namespace velo {
+
+void Velodrome::beginAnalysis(const SymbolTable &Syms) {
+  Backend::beginAnalysis(Syms);
+  Graph.clear();
+  Threads.clear();
+  LastUnlock.clear();
+  LastWrite.clear();
+  LastReads.clear();
+  Violations.clear();
+  ReportedMethods.clear();
+}
+
+Velodrome::ThreadState &Velodrome::state(Tid T) { return Threads[T]; }
+
+Step Velodrome::tickInside(ThreadState &TS) {
+  assert(TS.InTxn && "tickInside outside a transaction");
+  Step S = Graph.tick(TS.Last);
+  assert(!S.isBottom() && S.slot() == TS.CurNode &&
+         "inside a transaction, L(t) tracks the open node");
+  return S;
+}
+
+Step Velodrome::unaryProgramStep(ThreadState &TS, Tid T,
+                                 const EdgeInfo &Info) {
+  // The paper's outside-transaction "s = L(t)+1" is only sound when L(t)'s
+  // node can perform no further operations. That holds for a thread's own
+  // finished transactions, but our fork extension can leave L(t) pointing
+  // into the *parent's still-open* node; ticking would merge this unary
+  // operation into a transaction that may later conflict after it. Allocate
+  // a fresh successor node in that case instead.
+  Step L = Graph.resolve(TS.Last);
+  if (L.isBottom())
+    return Step::bottom();
+  if (!Graph.isActive(L.slot()))
+    return Graph.tick(L);
+  return Graph.merge({L}, T, Info); // active predecessor: fresh unary node
+}
+
+Step Velodrome::naiveUnary(Tid T, const std::vector<Step> &Sources,
+                           const EdgeInfo &Info) {
+  Step S = Graph.allocNode(T, NoLabel, /*Active=*/true);
+  for (Step Src : Sources)
+    Graph.addEdge(Src, S, Info, nullptr); // fresh node: no cycle possible
+  Graph.finishNode(S.slot());
+  return S;
+}
+
+void Velodrome::addEdgeChecked(Step Src, Step Dst, const EdgeInfo &Info,
+                               ThreadState &TS) {
+  CycleReport Cycle;
+  if (Graph.addEdge(Src, Dst, Info, &Cycle) == HbGraph::AddEdgeResult::Cycle)
+    reportCycle(Cycle, TS);
+}
+
+void Velodrome::onEvent(const Event &E) {
+  countEvent();
+  switch (E.Kind) {
+  case Op::Begin:
+    onBegin(E);
+    break;
+  case Op::End:
+    onEnd(E);
+    break;
+  case Op::Acquire:
+    onAcquire(E);
+    break;
+  case Op::Release:
+    onRelease(E);
+    break;
+  case Op::Read:
+    onRead(E);
+    break;
+  case Op::Write:
+    onWrite(E);
+    break;
+  case Op::Fork:
+    onFork(E);
+    break;
+  case Op::Join:
+    onJoin(E);
+    break;
+  }
+}
+
+void Velodrome::onBegin(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  if (!TS.InTxn) {
+    // [INS2 ENTER]: fresh node; program-order edge from L(t).
+    Step S = Graph.allocNode(E.Thread, E.label(), /*Active=*/true);
+    TS.CurNode = S.slot();
+    TS.InTxn = true;
+    TS.Stack.push_back({E.label(), S.stamp()});
+    Graph.addEdge(TS.Last, S, {Op::Begin, E.label(), E.Thread}, nullptr);
+    TS.Last = S;
+    return;
+  }
+  // [INS2 RE-ENTER]: nested block within the open transaction.
+  Step S = tickInside(TS);
+  TS.Stack.push_back({E.label(), S.stamp()});
+  TS.Last = S;
+}
+
+void Velodrome::onEnd(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  assert(TS.InTxn && !TS.Stack.empty() && "end without begin");
+  Step S = tickInside(TS);
+  TS.Last = S;
+  TS.Stack.pop_back();
+  if (TS.Stack.empty()) {
+    TS.InTxn = false;
+    Graph.finishNode(TS.CurNode);
+  }
+}
+
+void Velodrome::onAcquire(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  EdgeInfo Info{Op::Acquire, E.lock(), E.Thread};
+  Step &U = LastUnlock[E.lock()];
+  if (TS.InTxn) {
+    // [INS2 INSIDE ACQUIRE]: edge from the last unlock.
+    Step S = tickInside(TS);
+    addEdgeChecked(U, S, Info, TS);
+    TS.Last = S;
+    return;
+  }
+  if (Opts.UseMerge) {
+    TS.Last = Graph.merge({TS.Last, U}, E.Thread, Info);
+    return;
+  }
+  TS.Last = naiveUnary(E.Thread, {TS.Last, U}, Info);
+}
+
+void Velodrome::onRelease(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  EdgeInfo Info{Op::Release, E.lock(), E.Thread};
+  if (TS.InTxn) {
+    Step S = tickInside(TS);
+    LastUnlock[E.lock()] = S;
+    TS.Last = S;
+    return;
+  }
+  if (Opts.UseMerge) {
+    // [INS2 OUTSIDE RELEASE]: s = L(t)+1 — the release's only predecessor
+    // is program order, so it merges into the thread's previous node (or
+    // vanishes if that node was already collected).
+    Step S = unaryProgramStep(TS, E.Thread, Info);
+    LastUnlock[E.lock()] = S;
+    TS.Last = S;
+    return;
+  }
+  Step S = naiveUnary(E.Thread, {TS.Last}, Info);
+  LastUnlock[E.lock()] = S;
+  TS.Last = S;
+}
+
+void Velodrome::onRead(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  EdgeInfo Info{Op::Read, E.var(), E.Thread};
+  Step &W = LastWrite[E.var()];
+  std::vector<Step> &Reads = LastReads[E.var()];
+  if (Reads.size() <= E.Thread)
+    Reads.resize(E.Thread + 1);
+
+  if (TS.InTxn) {
+    // [INS2 INSIDE READ]: edge from the last write.
+    Step S = tickInside(TS);
+    addEdgeChecked(W, S, Info, TS);
+    Reads[E.Thread] = S;
+    TS.Last = S;
+    return;
+  }
+  Step S = Opts.UseMerge ? Graph.merge({TS.Last, W}, E.Thread, Info)
+                         : naiveUnary(E.Thread, {TS.Last, W}, Info);
+  Reads[E.Thread] = S;
+  TS.Last = S;
+}
+
+void Velodrome::onWrite(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  EdgeInfo Info{Op::Write, E.var(), E.Thread};
+  Step &W = LastWrite[E.var()];
+  std::vector<Step> &Reads = LastReads[E.var()];
+
+  if (TS.InTxn) {
+    // [INS2 INSIDE WRITE]: edges from the last write and all last reads.
+    Step S = tickInside(TS);
+    addEdgeChecked(W, S, Info, TS);
+    for (Step R : Reads)
+      addEdgeChecked(R, S, Info, TS);
+    Reads.clear(); // frontier reduction: later conflicts reach them via S
+    W = S;
+    TS.Last = S;
+    return;
+  }
+  std::vector<Step> Sources;
+  Sources.push_back(TS.Last);
+  Sources.push_back(W);
+  for (Step R : Reads)
+    Sources.push_back(R);
+  Step S = Opts.UseMerge ? Graph.merge(Sources, E.Thread, Info)
+                         : naiveUnary(E.Thread, Sources, Info);
+  Reads.clear();
+  W = S;
+  TS.Last = S;
+}
+
+void Velodrome::onFork(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  // The fork is an operation of the parent; its step becomes the child's
+  // initial L(u), so the child's first transaction is ordered after it.
+  Step S;
+  if (TS.InTxn) {
+    S = tickInside(TS);
+  } else if (Opts.UseMerge) {
+    // Program order only, like outside-release.
+    S = unaryProgramStep(TS, E.Thread, {Op::Fork, E.child(), E.Thread});
+  } else {
+    S = naiveUnary(E.Thread, {TS.Last}, {Op::Fork, E.child(), E.Thread});
+  }
+  TS.Last = S;
+  state(E.child()).Last = S;
+}
+
+void Velodrome::onJoin(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  ThreadState &Child = state(E.child());
+  EdgeInfo Info{Op::Join, E.child(), E.Thread};
+  if (TS.InTxn) {
+    Step S = tickInside(TS);
+    addEdgeChecked(Child.Last, S, Info, TS);
+    TS.Last = S;
+    return;
+  }
+  TS.Last = Opts.UseMerge
+                ? Graph.merge({TS.Last, Child.Last}, E.Thread, Info)
+                : naiveUnary(E.Thread, {TS.Last, Child.Last}, Info);
+}
+
+void Velodrome::endAnalysis() {}
+
+std::string Velodrome::describeEdge(const EdgeInfo &Info) const {
+  std::string Out = opName(Info.Kind);
+  Out += " ";
+  switch (Info.Kind) {
+  case Op::Read:
+  case Op::Write:
+    Out += Symbols ? Symbols->varName(Info.Target)
+                   : std::to_string(Info.Target);
+    break;
+  case Op::Acquire:
+  case Op::Release:
+    Out += Symbols ? Symbols->lockName(Info.Target)
+                   : std::to_string(Info.Target);
+    break;
+  case Op::Begin:
+    Out += Symbols ? Symbols->labelName(Info.Target)
+                   : std::to_string(Info.Target);
+    break;
+  case Op::Fork:
+  case Op::Join:
+    Out += "T" + std::to_string(Info.Target);
+    break;
+  case Op::End:
+    break;
+  }
+  return Out;
+}
+
+std::string Velodrome::renderDot(const CycleReport &Cycle,
+                                 Label Blamed) const {
+  DotWriter Dot("atomicity_violation");
+  auto NodeName = [](size_t I) { return "txn" + std::to_string(I); };
+  for (size_t I = 0; I < Cycle.Entries.size(); ++I) {
+    const CycleEntry &Entry = Cycle.Entries[I];
+    std::string LabelText = "Thread " + std::to_string(Entry.Owner) + ":\n";
+    if (Entry.Root == NoLabel)
+      LabelText += "(unary)";
+    else
+      LabelText += Symbols ? Symbols->labelName(Entry.Root)
+                           : std::to_string(Entry.Root);
+    std::string Extra;
+    if (I == 0 && Entry.Root == Blamed && Blamed != NoLabel)
+      Extra = "peripheries=2"; // the blamed transaction, outlined
+    Dot.addNode(NodeName(I), LabelText, Extra);
+  }
+  for (size_t I = 0; I < Cycle.Entries.size(); ++I) {
+    size_t Next = (I + 1) % Cycle.Entries.size();
+    bool Closing = I + 1 == Cycle.Entries.size();
+    Dot.addEdge(NodeName(I), NodeName(Next),
+                describeEdge(Cycle.Entries[I].OutEdge.Info), Closing);
+  }
+  return Dot.str();
+}
+
+void Velodrome::reportCycle(const CycleReport &Cycle, ThreadState &TS) {
+  assert(!Cycle.Entries.empty());
+  const CycleEntry &Blamed = Cycle.Entries.front();
+
+  AtomicityViolation V;
+  V.Thread = Blamed.Owner;
+  V.CycleLength = Cycle.Entries.size();
+  V.BlameResolved = Cycle.Increasing;
+  V.Method = Blamed.Root;
+
+  // Refute every open atomic block that contains both the root and target
+  // operations of an increasing cycle, i.e. every block that began at or
+  // before the root operation's timestamp (Section 4.3; nested blocks that
+  // began later stay unrefuted).
+  if (Cycle.Increasing) {
+    for (const BlockEntry &Block : TS.Stack)
+      if (Block.BeginStamp <= Cycle.RootStamp)
+        V.RefutedBlocks.push_back(Block.BlockLabel);
+    if (!V.RefutedBlocks.empty())
+      V.Method = V.RefutedBlocks.front(); // outermost refuted block
+  }
+
+  if (ReportedMethods.count(V.Method))
+    return;
+  if (Violations.size() >= Opts.MaxWarnings)
+    return;
+  ReportedMethods.insert(V.Method);
+  Violations.push_back(V);
+
+  Warning W;
+  W.Analysis = "velodrome";
+  W.Category = "atomicity";
+  W.Method = V.Method;
+  std::string MethodName =
+      V.Method == NoLabel
+          ? std::string("(unattributed)")
+          : (Symbols ? Symbols->labelName(V.Method) : std::to_string(V.Method));
+  W.Message = "atomicity violation: " + MethodName +
+              " is not conflict-serializable (cycle of " +
+              std::to_string(V.CycleLength) + " transactions";
+  W.Message += Cycle.Increasing ? ", blame resolved)" : ", blame unresolved)";
+  for (size_t I = 0; I < Cycle.Entries.size(); ++I) {
+    const CycleEntry &Entry = Cycle.Entries[I];
+    W.Message += "\n  T" + std::to_string(Entry.Owner) + " ";
+    W.Message += Entry.Root == NoLabel
+                     ? std::string("(unary)")
+                     : (Symbols ? Symbols->labelName(Entry.Root)
+                                : std::to_string(Entry.Root));
+    W.Message += " --[" + describeEdge(Entry.OutEdge.Info) + "]--> ";
+  }
+  if (Opts.EmitDot)
+    W.Dot = renderDot(Cycle, V.Method);
+  report(std::move(W));
+}
+
+} // namespace velo

@@ -1,0 +1,73 @@
+//===- eraser/Eraser.h - Eraser race-detection back-end ---------*- C++ -*-===//
+//
+// Back-end wrapper over LockSetEngine: the "Eraser" row of Table 1. Reports
+// one race warning per variable that reaches SharedModified with an empty
+// candidate lockset.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_ERASER_ERASER_H
+#define VELO_ERASER_ERASER_H
+
+#include "analysis/Backend.h"
+#include "eraser/LockSetEngine.h"
+
+#include <set>
+
+namespace velo {
+
+/// Lockset-based dynamic race detector (Savage et al.), RoadRunner-style.
+class Eraser : public Backend {
+public:
+  const char *name() const override { return "Eraser"; }
+
+  void beginAnalysis(const SymbolTable &Syms) override {
+    Backend::beginAnalysis(Syms);
+    Engine.clear();
+    ReportedVars.clear();
+  }
+
+  void onEvent(const Event &E) override {
+    countEvent();
+    switch (E.Kind) {
+    case Op::Acquire:
+      Engine.onAcquire(E.Thread, E.lock());
+      return;
+    case Op::Release:
+      Engine.onRelease(E.Thread, E.lock());
+      return;
+    case Op::Read:
+    case Op::Write: {
+      Engine.accessIsUnprotected(E.Thread, E.var(), E.Kind == Op::Write);
+      if (Engine.isRacyVar(E.var()) && ReportedVars.insert(E.var()).second) {
+        Warning W;
+        W.Analysis = "eraser";
+        W.Category = "race";
+        W.Method = NoLabel;
+        W.Message =
+            "possible race: variable " +
+            (Symbols ? Symbols->varName(E.var()) : std::to_string(E.var())) +
+            " is write-shared with an empty candidate lockset (T" +
+            std::to_string(E.Thread) + ")";
+        report(std::move(W));
+      }
+      return;
+    }
+    case Op::Begin:
+    case Op::End:
+    case Op::Fork: // classic Eraser has no fork/join awareness
+    case Op::Join:
+      return;
+    }
+  }
+
+  const LockSetEngine &engine() const { return Engine; }
+
+private:
+  LockSetEngine Engine;
+  std::set<VarId> ReportedVars;
+};
+
+} // namespace velo
+
+#endif // VELO_ERASER_ERASER_H

@@ -1,0 +1,59 @@
+//===- eraser/LockSetEngine.cpp - Eraser lockset state machine ------------===//
+
+#include "eraser/LockSetEngine.h"
+
+#include <algorithm>
+
+namespace velo {
+
+bool LockSetEngine::accessIsUnprotected(Tid T, VarId X, bool IsWrite) {
+  VarInfo &V = Vars[X];
+  const std::set<LockId> &Locks = Held[T];
+
+  auto Intersect = [&]() {
+    std::set<LockId> Out;
+    std::set_intersection(V.Candidate.begin(), V.Candidate.end(),
+                          Locks.begin(), Locks.end(),
+                          std::inserter(Out, Out.begin()));
+    V.Candidate = std::move(Out);
+  };
+
+  switch (V.State) {
+  case VarState::Virgin:
+    V.State = VarState::Exclusive;
+    V.Owner = T;
+    return false;
+  case VarState::Exclusive:
+    if (V.Owner == T)
+      return false; // still thread-local
+    V.Candidate = Locks;
+    V.State = IsWrite ? VarState::SharedModified : VarState::Shared;
+    if (V.State == VarState::SharedModified && V.Candidate.empty()) {
+      V.RacySharedModified = true;
+      return true;
+    }
+    // First sharing with an empty lockset is already suspicious for the
+    // Atomizer's mover classification.
+    return V.Candidate.empty();
+  case VarState::Shared:
+    Intersect();
+    if (IsWrite) {
+      V.State = VarState::SharedModified;
+      if (V.Candidate.empty()) {
+        V.RacySharedModified = true;
+        return true;
+      }
+    }
+    return V.Candidate.empty();
+  case VarState::SharedModified:
+    Intersect();
+    if (V.Candidate.empty()) {
+      V.RacySharedModified = true;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+} // namespace velo

@@ -1,0 +1,85 @@
+//===- eraser/LockSetEngine.h - Eraser lockset state machine ----*- C++ -*-===//
+//
+// The Eraser algorithm (Savage et al. 1997), as used in the paper twice:
+// as the standalone race-detection baseline of Table 1, and embedded inside
+// the Atomizer to classify memory accesses as both-movers (consistently
+// lock-protected) or non-movers (potentially racy).
+//
+// Per-variable state machine:
+//
+//   Virgin --first access--> Exclusive(t)
+//   Exclusive --read by u!=t--> Shared          (candidate set initialized)
+//   Exclusive --write by u!=t--> SharedModified (candidate set initialized)
+//   Shared --write--> SharedModified
+//
+// In Shared and SharedModified the candidate lockset is intersected with
+// the accessor's held locks; an empty candidate set in SharedModified is a
+// (potential) race. Deliberately no fork/join or volatile awareness — that
+// imprecision is the source of the Atomizer false alarms that Velodrome
+// eliminates (Table 2).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_ERASER_LOCKSETENGINE_H
+#define VELO_ERASER_LOCKSETENGINE_H
+
+#include "events/Event.h"
+
+#include <set>
+#include <unordered_map>
+
+namespace velo {
+
+/// Shared Eraser state machine used by the Eraser back-end and the Atomizer.
+class LockSetEngine {
+public:
+  void clear() {
+    Held.clear();
+    Vars.clear();
+  }
+
+  void onAcquire(Tid T, LockId M) { Held[T].insert(M); }
+  void onRelease(Tid T, LockId M) { Held[T].erase(M); }
+
+  /// Record an access and report whether it is *unprotected* (the candidate
+  /// lockset is empty while the variable is shared between threads). The
+  /// Atomizer treats unprotected accesses as non-movers; the Eraser back-end
+  /// reports a race when this returns true in the SharedModified state.
+  bool accessIsUnprotected(Tid T, VarId X, bool IsWrite);
+
+  /// Has variable X entered the SharedModified state with an empty
+  /// candidate lockset at some point (a reportable Eraser race)?
+  bool isRacyVar(VarId X) const {
+    auto It = Vars.find(X);
+    return It != Vars.end() && It->second.RacySharedModified;
+  }
+
+  /// Has variable X been observed by more than one thread (left the
+  /// Virgin/Exclusive states)?
+  bool isSharedVar(VarId X) const {
+    auto It = Vars.find(X);
+    return It != Vars.end() && (It->second.State == VarState::Shared ||
+                                It->second.State == VarState::SharedModified);
+  }
+
+  const std::set<LockId> &heldLocks(Tid T) {
+    return Held[T];
+  }
+
+private:
+  enum class VarState { Virgin, Exclusive, Shared, SharedModified };
+
+  struct VarInfo {
+    VarState State = VarState::Virgin;
+    Tid Owner = 0;
+    std::set<LockId> Candidate;
+    bool RacySharedModified = false;
+  };
+
+  std::unordered_map<Tid, std::set<LockId>> Held;
+  std::unordered_map<VarId, VarInfo> Vars;
+};
+
+} // namespace velo
+
+#endif // VELO_ERASER_LOCKSETENGINE_H

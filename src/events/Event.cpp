@@ -1,0 +1,49 @@
+//===- events/Event.cpp - Monitored-operation event model -----------------===//
+
+#include "events/Event.h"
+
+namespace velo {
+
+const char *opName(Op Kind) {
+  switch (Kind) {
+  case Op::Read:
+    return "rd";
+  case Op::Write:
+    return "wr";
+  case Op::Acquire:
+    return "acq";
+  case Op::Release:
+    return "rel";
+  case Op::Begin:
+    return "begin";
+  case Op::End:
+    return "end";
+  case Op::Fork:
+    return "fork";
+  case Op::Join:
+    return "join";
+  }
+  return "?";
+}
+
+bool conflicts(const Event &A, const Event &B) {
+  if (A.Thread == B.Thread)
+    return true;
+  if (A.isAccess() && B.isAccess() && A.var() == B.var() &&
+      (A.Kind == Op::Write || B.Kind == Op::Write))
+    return true;
+  if (A.isLockOp() && B.isLockOp() && A.lock() == B.lock())
+    return true;
+  // Fork happens-before every operation of the child; join happens-after.
+  if (A.Kind == Op::Fork && A.child() == B.Thread)
+    return true;
+  if (B.Kind == Op::Fork && B.child() == A.Thread)
+    return true;
+  if (A.Kind == Op::Join && A.child() == B.Thread)
+    return true;
+  if (B.Kind == Op::Join && B.child() == A.Thread)
+    return true;
+  return false;
+}
+
+} // namespace velo

@@ -1,0 +1,103 @@
+//===- events/Trace.cpp - Execution traces --------------------------------===//
+
+#include "events/Trace.h"
+
+#include <map>
+#include <set>
+
+namespace velo {
+
+std::string Trace::describe(const Event &E) const {
+  std::string Out = "T" + std::to_string(E.Thread) + ": " + opName(E.Kind);
+  switch (E.Kind) {
+  case Op::Read:
+  case Op::Write:
+    Out += " " + Symbols.varName(E.var());
+    break;
+  case Op::Acquire:
+  case Op::Release:
+    Out += " " + Symbols.lockName(E.lock());
+    break;
+  case Op::Begin:
+    Out += " " + Symbols.labelName(E.label());
+    break;
+  case Op::End:
+    break;
+  case Op::Fork:
+  case Op::Join:
+    Out += " T" + std::to_string(E.child());
+    break;
+  }
+  return Out;
+}
+
+std::string Trace::describe(size_t I) const { return describe(Events[I]); }
+
+bool Trace::validate(std::vector<std::string> *ErrorsOut) const {
+  bool Ok = true;
+  auto Fail = [&](size_t I, const std::string &Msg) {
+    Ok = false;
+    if (ErrorsOut)
+      ErrorsOut->push_back("event " + std::to_string(I) + " (" + describe(I) +
+                           "): " + Msg);
+  };
+
+  std::map<Tid, int> BlockDepth;
+  std::map<LockId, Tid> Holder;
+  std::set<Tid> Forked, Joined, Ran;
+
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const Event &E = Events[I];
+    if (Joined.count(E.Thread))
+      Fail(I, "thread acts after being joined");
+    Ran.insert(E.Thread);
+    switch (E.Kind) {
+    case Op::Begin:
+      BlockDepth[E.Thread]++;
+      break;
+    case Op::End:
+      if (BlockDepth[E.Thread] <= 0)
+        Fail(I, "end without matching begin");
+      else
+        BlockDepth[E.Thread]--;
+      break;
+    case Op::Acquire: {
+      auto It = Holder.find(E.lock());
+      if (It != Holder.end())
+        Fail(I, It->second == E.Thread
+                    ? "re-entrant acquire (should be filtered)"
+                    : "acquire of a held lock");
+      Holder[E.lock()] = E.Thread;
+      break;
+    }
+    case Op::Release: {
+      auto It = Holder.find(E.lock());
+      if (It == Holder.end() || It->second != E.Thread)
+        Fail(I, "release of a lock not held by this thread");
+      else
+        Holder.erase(It);
+      break;
+    }
+    case Op::Fork:
+      if (E.child() == E.Thread)
+        Fail(I, "thread forks itself");
+      if (!Forked.insert(E.child()).second)
+        Fail(I, "thread forked twice");
+      if (Ran.count(E.child()))
+        Fail(I, "forked thread already ran");
+      break;
+    case Op::Join:
+      if (E.child() == E.Thread)
+        Fail(I, "thread joins itself");
+      if (!Joined.insert(E.child()).second)
+        Fail(I, "thread joined twice");
+      break;
+    case Op::Read:
+    case Op::Write:
+      break;
+    }
+  }
+  return Ok;
+}
+
+} // namespace velo

@@ -1,0 +1,79 @@
+//===- events/Trace.h - Execution traces ------------------------*- C++ -*-===//
+//
+// A Trace is the sequence of operations observed during one execution of a
+// multithreaded program (Section 2 of the paper), together with symbol
+// tables mapping variable/lock/label ids back to names for error reporting.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_EVENTS_TRACE_H
+#define VELO_EVENTS_TRACE_H
+
+#include "events/Event.h"
+#include "support/StringInterner.h"
+
+#include <string>
+#include <vector>
+
+namespace velo {
+
+/// Symbol tables for the entities appearing in a trace.
+struct SymbolTable {
+  StringInterner Vars;
+  StringInterner Locks;
+  StringInterner Labels;
+
+  std::string varName(VarId X) const { return Vars.nameOr(X, "var"); }
+  std::string lockName(LockId M) const { return Locks.nameOr(M, "lock"); }
+  std::string labelName(Label L) const { return Labels.nameOr(L, "label"); }
+};
+
+/// An execution trace: an ordered event sequence plus symbols.
+class Trace {
+public:
+  void push(const Event &E) {
+    Events.push_back(E);
+    if (E.Thread >= NumThreadsSeen)
+      NumThreadsSeen = E.Thread + 1;
+    if ((E.Kind == Op::Fork || E.Kind == Op::Join) &&
+        E.child() >= NumThreadsSeen)
+      NumThreadsSeen = E.child() + 1;
+  }
+
+  size_t size() const { return Events.size(); }
+  bool empty() const { return Events.empty(); }
+  const Event &operator[](size_t I) const { return Events[I]; }
+
+  std::vector<Event>::const_iterator begin() const { return Events.begin(); }
+  std::vector<Event>::const_iterator end() const { return Events.end(); }
+
+  /// Number of distinct thread ids referenced (threads are dense from 0).
+  uint32_t numThreads() const { return NumThreadsSeen; }
+
+  SymbolTable &symbols() { return Symbols; }
+  const SymbolTable &symbols() const { return Symbols; }
+
+  /// Structural well-formedness of the event sequence. Checks, per thread,
+  /// that End has a matching Begin; that a lock is acquired only when free
+  /// and released only by its holder (re-entrant acquires must already be
+  /// filtered, as RoadRunner does); that a thread performs no operations
+  /// before being forked (if it is forked at all) or after being joined; and
+  /// that fork/join targets are forked/joined at most once. Violations are
+  /// appended to ErrorsOut; returns true when well-formed.
+  bool validate(std::vector<std::string> *ErrorsOut = nullptr) const;
+
+  /// Human-readable rendering of event I, e.g. "T1: wr x".
+  std::string describe(size_t I) const;
+
+  /// Human-readable rendering of an arbitrary event against our symbols.
+  std::string describe(const Event &E) const;
+
+private:
+  std::vector<Event> Events;
+  SymbolTable Symbols;
+  uint32_t NumThreadsSeen = 0;
+};
+
+} // namespace velo
+
+#endif // VELO_EVENTS_TRACE_H

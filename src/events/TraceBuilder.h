@@ -1,0 +1,93 @@
+//===- events/TraceBuilder.h - Fluent trace construction --------*- C++ -*-===//
+//
+// Name-based fluent builder for hand-written traces in tests, examples, and
+// the paper_examples bench. The trace diagrams from the paper translate
+// almost verbatim:
+//
+//   TraceBuilder B;
+//   B.begin(1, "A").rel(1, "m").acq(2, "m").wr(2, "y") ...
+//   Trace T = B.take();
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_EVENTS_TRACEBUILDER_H
+#define VELO_EVENTS_TRACEBUILDER_H
+
+#include "events/Trace.h"
+
+#include <string_view>
+#include <utility>
+
+namespace velo {
+
+/// Fluent, name-interning Trace builder.
+class TraceBuilder {
+public:
+  TraceBuilder &rd(Tid T, std::string_view X) {
+    Result.push(Event::read(T, Result.symbols().Vars.intern(X)));
+    return *this;
+  }
+
+  TraceBuilder &wr(Tid T, std::string_view X) {
+    Result.push(Event::write(T, Result.symbols().Vars.intern(X)));
+    return *this;
+  }
+
+  TraceBuilder &acq(Tid T, std::string_view M) {
+    Result.push(Event::acquire(T, Result.symbols().Locks.intern(M)));
+    return *this;
+  }
+
+  TraceBuilder &rel(Tid T, std::string_view M) {
+    Result.push(Event::release(T, Result.symbols().Locks.intern(M)));
+    return *this;
+  }
+
+  TraceBuilder &begin(Tid T, std::string_view L) {
+    Result.push(Event::begin(T, Result.symbols().Labels.intern(L)));
+    return *this;
+  }
+
+  TraceBuilder &end(Tid T) {
+    Result.push(Event::end(T));
+    return *this;
+  }
+
+  TraceBuilder &fork(Tid T, Tid Child) {
+    Result.push(Event::fork(T, Child));
+    return *this;
+  }
+
+  TraceBuilder &join(Tid T, Tid Child) {
+    Result.push(Event::join(T, Child));
+    return *this;
+  }
+
+  /// Convenience: a whole synchronized block acq(m); body; rel(m).
+  template <typename FnT>
+  TraceBuilder &sync(Tid T, std::string_view M, FnT Body) {
+    acq(T, M);
+    Body(*this);
+    return rel(T, M);
+  }
+
+  /// Convenience: begin(l); body; end.
+  template <typename FnT>
+  TraceBuilder &atomic(Tid T, std::string_view L, FnT Body) {
+    begin(T, L);
+    Body(*this);
+    return end(T);
+  }
+
+  const Trace &trace() const { return Result; }
+
+  /// Move the built trace out of the builder.
+  Trace take() { return std::move(Result); }
+
+private:
+  Trace Result;
+};
+
+} // namespace velo
+
+#endif // VELO_EVENTS_TRACEBUILDER_H

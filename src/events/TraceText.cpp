@@ -1,0 +1,135 @@
+//===- events/TraceText.cpp - Trace text serialization --------------------===//
+
+#include "events/TraceText.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace velo {
+
+std::string printTrace(const Trace &T) {
+  std::string Out;
+  const SymbolTable &Syms = T.symbols();
+  for (const Event &E : T) {
+    Out += "T" + std::to_string(E.Thread) + " " + opName(E.Kind);
+    switch (E.Kind) {
+    case Op::Read:
+    case Op::Write:
+      Out += " " + Syms.varName(E.var());
+      break;
+    case Op::Acquire:
+    case Op::Release:
+      Out += " " + Syms.lockName(E.lock());
+      break;
+    case Op::Begin:
+      Out += " " + Syms.labelName(E.label());
+      break;
+    case Op::End:
+      break;
+    case Op::Fork:
+    case Op::Join:
+      Out += " T" + std::to_string(E.child());
+      break;
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+/// Parse "T<digits>" into a thread id.
+bool parseTid(const std::string &Token, Tid &Out) {
+  if (Token.size() < 2 || Token[0] != 'T')
+    return false;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Token.c_str() + 1, &End, 10);
+  if (*End != '\0')
+    return false;
+  Out = static_cast<Tid>(V);
+  return true;
+}
+
+} // namespace
+
+bool parseTrace(const std::string &Text, Trace &Out, std::string &ErrorOut) {
+  std::istringstream In(Text);
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream Fields(Line);
+    std::string TidTok, OpTok, Arg;
+    if (!(Fields >> TidTok))
+      continue; // blank line
+    auto Fail = [&](const std::string &Msg) {
+      ErrorOut = "line " + std::to_string(LineNo) + ": " + Msg;
+      return false;
+    };
+    Tid T;
+    if (!parseTid(TidTok, T))
+      return Fail("expected thread id 'T<n>', got '" + TidTok + "'");
+    if (!(Fields >> OpTok))
+      return Fail("missing operation");
+    bool HasArg = static_cast<bool>(Fields >> Arg);
+    std::string Extra;
+    if (Fields >> Extra)
+      return Fail("trailing token '" + Extra + "'");
+
+    SymbolTable &Syms = Out.symbols();
+    if (OpTok == "rd" || OpTok == "wr") {
+      if (!HasArg)
+        return Fail("missing variable name");
+      VarId X = Syms.Vars.intern(Arg);
+      Out.push(OpTok == "rd" ? Event::read(T, X) : Event::write(T, X));
+    } else if (OpTok == "acq" || OpTok == "rel") {
+      if (!HasArg)
+        return Fail("missing lock name");
+      LockId M = Syms.Locks.intern(Arg);
+      Out.push(OpTok == "acq" ? Event::acquire(T, M) : Event::release(T, M));
+    } else if (OpTok == "begin") {
+      if (!HasArg)
+        return Fail("missing label");
+      Out.push(Event::begin(T, Syms.Labels.intern(Arg)));
+    } else if (OpTok == "end") {
+      if (HasArg)
+        return Fail("'end' takes no argument");
+      Out.push(Event::end(T));
+    } else if (OpTok == "fork" || OpTok == "join") {
+      Tid Child;
+      if (!HasArg || !parseTid(Arg, Child))
+        return Fail("expected child thread id");
+      Out.push(OpTok == "fork" ? Event::fork(T, Child)
+                               : Event::join(T, Child));
+    } else {
+      return Fail("unknown operation '" + OpTok + "'");
+    }
+  }
+  return true;
+}
+
+bool writeTraceFile(const Trace &T, const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << printTrace(T);
+  return static_cast<bool>(Out);
+}
+
+bool readTraceFile(const std::string &Path, Trace &Out,
+                   std::string &ErrorOut) {
+  std::ifstream In(Path);
+  if (!In) {
+    ErrorOut = "cannot open " + Path;
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return parseTrace(Buf.str(), Out, ErrorOut);
+}
+
+} // namespace velo

@@ -1,0 +1,41 @@
+//===- events/TraceText.h - Trace text serialization ------------*- C++ -*-===//
+//
+// Line-oriented text format for traces, used to record runtime executions to
+// disk and replay them into analysis back-ends offline (the Table 2 harness
+// records each (workload, seed) trace once and feeds the identical trace to
+// both the Atomizer and Velodrome, exactly as RoadRunner feeds one event
+// stream to every back-end).
+//
+// Grammar (one event per line, '#' starts a comment):
+//
+//   T<tid> rd <var>        T<tid> acq <lock>      T<tid> begin <label>
+//   T<tid> wr <var>        T<tid> rel <lock>      T<tid> end
+//   T<tid> fork T<tid>     T<tid> join T<tid>
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_EVENTS_TRACETEXT_H
+#define VELO_EVENTS_TRACETEXT_H
+
+#include "events/Trace.h"
+
+#include <string>
+
+namespace velo {
+
+/// Render a trace in the text format above.
+std::string printTrace(const Trace &T);
+
+/// Parse the text format. On success returns true and fills Out; on failure
+/// returns false and sets ErrorOut to "line N: message".
+bool parseTrace(const std::string &Text, Trace &Out, std::string &ErrorOut);
+
+/// Write a trace to a file. Returns false on I/O failure.
+bool writeTraceFile(const Trace &T, const std::string &Path);
+
+/// Read a trace from a file. Returns false and sets ErrorOut on failure.
+bool readTraceFile(const std::string &Path, Trace &Out, std::string &ErrorOut);
+
+} // namespace velo
+
+#endif // VELO_EVENTS_TRACETEXT_H

@@ -1,0 +1,86 @@
+//===- hbrace/HbRaceDetector.cpp - Vector-clock race detector -------------===//
+
+#include "hbrace/HbRaceDetector.h"
+
+namespace velo {
+
+void HbRaceDetector::beginAnalysis(const SymbolTable &Syms) {
+  Backend::beginAnalysis(Syms);
+  ThreadClocks.clear();
+  LockClocks.clear();
+  Vars.clear();
+  RacyVars.clear();
+}
+
+VectorClock &HbRaceDetector::threadClock(Tid T) {
+  auto It = ThreadClocks.find(T);
+  if (It != ThreadClocks.end())
+    return It->second;
+  VectorClock &C = ThreadClocks[T];
+  C.set(T, 1); // each thread starts in its own epoch
+  return C;
+}
+
+void HbRaceDetector::reportRace(const Event &E, Tid Witness,
+                                const char *PriorKind) {
+  if (!RacyVars.insert(E.var()).second)
+    return; // one warning per variable
+  Warning W;
+  W.Analysis = "hb";
+  W.Category = "race";
+  W.Method = NoLabel;
+  W.Message = "race: " + std::string(opName(E.Kind)) + " of " +
+              (Symbols ? Symbols->varName(E.var()) : std::to_string(E.var())) +
+              " by T" + std::to_string(E.Thread) + " is concurrent with a " +
+              PriorKind + " by T" + std::to_string(Witness);
+  report(std::move(W));
+}
+
+void HbRaceDetector::onEvent(const Event &E) {
+  countEvent();
+  switch (E.Kind) {
+  case Op::Acquire:
+    threadClock(E.Thread).joinWith(LockClocks[E.lock()]);
+    return;
+  case Op::Release: {
+    VectorClock &C = threadClock(E.Thread);
+    LockClocks[E.lock()] = C;
+    C.tick(E.Thread);
+    return;
+  }
+  case Op::Fork: {
+    VectorClock &Parent = threadClock(E.Thread);
+    threadClock(E.child()).joinWith(Parent);
+    Parent.tick(E.Thread);
+    return;
+  }
+  case Op::Join:
+    threadClock(E.Thread).joinWith(threadClock(E.child()));
+    return;
+  case Op::Read: {
+    VectorClock &C = threadClock(E.Thread);
+    VarClocks &V = Vars[E.var()];
+    Tid Witness;
+    if (!V.Writes.leq(C) && V.Writes.exceedsAt(C, Witness))
+      reportRace(E, Witness, "write");
+    V.Reads.set(E.Thread, C.get(E.Thread));
+    return;
+  }
+  case Op::Write: {
+    VectorClock &C = threadClock(E.Thread);
+    VarClocks &V = Vars[E.var()];
+    Tid Witness;
+    if (!V.Writes.leq(C) && V.Writes.exceedsAt(C, Witness))
+      reportRace(E, Witness, "write");
+    else if (!V.Reads.leq(C) && V.Reads.exceedsAt(C, Witness))
+      reportRace(E, Witness, "read");
+    V.Writes.set(E.Thread, C.get(E.Thread));
+    return;
+  }
+  case Op::Begin:
+  case Op::End:
+    return; // atomic-block markers carry no synchronization
+  }
+}
+
+} // namespace velo

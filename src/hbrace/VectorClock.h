@@ -1,0 +1,72 @@
+//===- hbrace/VectorClock.h - Vector clocks ---------------------*- C++ -*-===//
+//
+// Classic Mattern-style vector clocks. The paper notes RoadRunner ships "a
+// complete happens-before detector" alongside Eraser; this is ours. (The
+// paper also explains why vector clocks cannot represent Velodrome's
+// *transactional* happens-before relation — clocks order individual
+// operations, not compound transactions — which is why HbGraph exists.)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_HBRACE_VECTORCLOCK_H
+#define VELO_HBRACE_VECTORCLOCK_H
+
+#include "events/Event.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace velo {
+
+/// A vector clock: component per thread, missing components are 0.
+class VectorClock {
+public:
+  uint64_t get(Tid T) const { return T < Clocks.size() ? Clocks[T] : 0; }
+
+  void set(Tid T, uint64_t Value) {
+    if (T >= Clocks.size())
+      Clocks.resize(T + 1, 0);
+    Clocks[T] = Value;
+  }
+
+  void tick(Tid T) { set(T, get(T) + 1); }
+
+  /// Pointwise maximum (join).
+  void joinWith(const VectorClock &Other) {
+    if (Other.Clocks.size() > Clocks.size())
+      Clocks.resize(Other.Clocks.size(), 0);
+    for (size_t I = 0; I < Other.Clocks.size(); ++I)
+      Clocks[I] = std::max(Clocks[I], Other.Clocks[I]);
+  }
+
+  /// Does every component of this clock satisfy this <= Other (i.e., all
+  /// events represented here happen before or at Other)?
+  bool leq(const VectorClock &Other) const {
+    for (size_t I = 0; I < Clocks.size(); ++I)
+      if (Clocks[I] > Other.get(static_cast<Tid>(I)))
+        return false;
+    return true;
+  }
+
+  /// First thread component (if any) where this clock exceeds Other — the
+  /// witness of a concurrent prior access for race reporting.
+  bool exceedsAt(const VectorClock &Other, Tid &WitnessOut) const {
+    for (size_t I = 0; I < Clocks.size(); ++I) {
+      if (Clocks[I] > Other.get(static_cast<Tid>(I))) {
+        WitnessOut = static_cast<Tid>(I);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void clear() { Clocks.clear(); }
+
+private:
+  std::vector<uint64_t> Clocks;
+};
+
+} // namespace velo
+
+#endif // VELO_HBRACE_VECTORCLOCK_H

@@ -1,0 +1,172 @@
+//===- oracle/ConflictGraph.cpp - Transactional conflict graph ------------===//
+
+#include "oracle/ConflictGraph.h"
+
+#include <cassert>
+#include <map>
+
+namespace velo {
+
+void ConflictGraph::addEdge(uint32_t From, uint32_t To, size_t FromOp,
+                            size_t ToOp) {
+  if (From == To)
+    return; // intra-transaction orderings are not graph edges
+  Edges.push_back({From, To, FromOp, ToOp});
+  Adj[From].push_back(static_cast<uint32_t>(Edges.size() - 1));
+}
+
+ConflictGraph::ConflictGraph(const Trace &T, const TxnIndex &Index) {
+  assert(Index.TxnOf.size() == T.size() && "index built from another trace");
+  Adj.resize(Index.Txns.size());
+
+  // Frontier state per conflict class.
+  struct VarState {
+    bool HasWrite = false;
+    uint32_t LastWriteTxn = 0;
+    size_t LastWriteOp = 0;
+    // Reads since the last write: (txn, op) pairs; cleared at each write.
+    std::vector<std::pair<uint32_t, size_t>> ReadsSince;
+  };
+  std::map<VarId, VarState> Vars;
+
+  struct LockState {
+    bool HasOp = false;
+    uint32_t LastTxn = 0;
+    size_t LastOp = 0;
+  };
+  std::map<LockId, LockState> Locks;
+
+  struct ThreadState {
+    bool HasOp = false;
+    uint32_t LastTxn = 0;
+    size_t LastOp = 0;
+    // Pending fork edge: the forking op, to be attached to this thread's
+    // first operation.
+    bool Forked = false;
+    uint32_t ForkTxn = 0;
+    size_t ForkOp = 0;
+  };
+  std::map<Tid, ThreadState> Threads;
+
+  for (size_t I = 0; I < T.size(); ++I) {
+    const Event &E = T[I];
+    uint32_t Txn = Index.TxnOf[I];
+    ThreadState &TS = Threads[E.Thread];
+
+    // Thread program order: previous transaction of the same thread.
+    if (TS.HasOp)
+      addEdge(TS.LastTxn, Txn, TS.LastOp, I);
+    else if (TS.Forked)
+      addEdge(TS.ForkTxn, Txn, TS.ForkOp, I); // fork -> first child op
+    TS.HasOp = true;
+    TS.LastTxn = Txn;
+    TS.LastOp = I;
+
+    switch (E.Kind) {
+    case Op::Read: {
+      VarState &VS = Vars[E.var()];
+      if (VS.HasWrite)
+        addEdge(VS.LastWriteTxn, Txn, VS.LastWriteOp, I);
+      VS.ReadsSince.push_back({Txn, I});
+      break;
+    }
+    case Op::Write: {
+      VarState &VS = Vars[E.var()];
+      if (VS.HasWrite)
+        addEdge(VS.LastWriteTxn, Txn, VS.LastWriteOp, I);
+      for (const auto &[RTxn, ROp] : VS.ReadsSince)
+        addEdge(RTxn, Txn, ROp, I);
+      VS.ReadsSince.clear();
+      VS.HasWrite = true;
+      VS.LastWriteTxn = Txn;
+      VS.LastWriteOp = I;
+      break;
+    }
+    case Op::Acquire:
+    case Op::Release: {
+      LockState &LS = Locks[E.lock()];
+      if (LS.HasOp)
+        addEdge(LS.LastTxn, Txn, LS.LastOp, I);
+      LS.HasOp = true;
+      LS.LastTxn = Txn;
+      LS.LastOp = I;
+      break;
+    }
+    case Op::Fork: {
+      ThreadState &Child = Threads[E.child()];
+      Child.Forked = true;
+      Child.ForkTxn = Txn;
+      Child.ForkOp = I;
+      break;
+    }
+    case Op::Join: {
+      // All of the child's operations precede the join; the edge from the
+      // child's last transaction covers them via its program-order chain.
+      ThreadState &Child = Threads[E.child()];
+      if (Child.HasOp)
+        addEdge(Child.LastTxn, Txn, Child.LastOp, I);
+      break;
+    }
+    case Op::Begin:
+    case Op::End:
+      break; // ordered only via thread identity, handled above
+    }
+  }
+}
+
+bool ConflictGraph::topoSort(std::vector<uint32_t> &TopoOut,
+                             std::vector<uint32_t> &CycleOut) const {
+  TopoOut.clear();
+  CycleOut.clear();
+  size_t N = Adj.size();
+
+  // Iterative three-color DFS producing reverse-postorder; on a back edge,
+  // reconstruct the cycle from the DFS stack.
+  enum Color : uint8_t { White, Grey, Black };
+  std::vector<Color> Colors(N, White);
+  std::vector<uint32_t> Order;
+  Order.reserve(N);
+
+  struct Frame {
+    uint32_t Node;
+    size_t NextEdge;
+    uint32_t InEdge; // edge used to enter this node (valid if Depth > 0)
+  };
+  std::vector<Frame> Stack;
+
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (Colors[Root] != White)
+      continue;
+    Stack.push_back({Root, 0, 0});
+    Colors[Root] = Grey;
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.NextEdge < Adj[F.Node].size()) {
+        uint32_t EdgeId = Adj[F.Node][F.NextEdge++];
+        uint32_t Next = Edges[EdgeId].To;
+        if (Colors[Next] == White) {
+          Colors[Next] = Grey;
+          Stack.push_back({Next, 0, EdgeId});
+        } else if (Colors[Next] == Grey) {
+          // Back edge: walk the stack from Next to F.Node, then close.
+          size_t Start = Stack.size();
+          while (Start > 0 && Stack[Start - 1].Node != Next)
+            --Start;
+          assert(Start > 0 && "grey node missing from stack");
+          for (size_t J = Start; J < Stack.size(); ++J)
+            CycleOut.push_back(Stack[J].InEdge);
+          CycleOut.push_back(EdgeId);
+          return false;
+        }
+      } else {
+        Colors[F.Node] = Black;
+        Order.push_back(F.Node);
+        Stack.pop_back();
+      }
+    }
+  }
+  TopoOut.assign(Order.rbegin(), Order.rend());
+  return true;
+}
+
+} // namespace velo

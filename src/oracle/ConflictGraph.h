@@ -1,0 +1,68 @@
+//===- oracle/ConflictGraph.h - Transactional conflict graph ----*- C++ -*-===//
+//
+// Builds the transactional happens-before (conflict) graph of a trace: an
+// edge A -> B whenever some operation of A precedes and directly conflicts
+// with some operation of B. By the classical serializability theorem
+// (Bernstein et al., adopted in Section 3 of the paper), the trace is
+// conflict-serializable iff this graph is acyclic.
+//
+// Construction is near-linear: for each conflict class (a variable, a lock,
+// a thread, a fork/join pair) it adds only the "frontier" edges — last
+// writer / readers-since-last-write for variables, previous lock operation
+// for locks, previous transaction for threads. Every omitted direct-conflict
+// edge is implied by a path of frontier edges, so reachability (and hence
+// cycle existence) is preserved.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_ORACLE_CONFLICTGRAPH_H
+#define VELO_ORACLE_CONFLICTGRAPH_H
+
+#include "oracle/TxnIndex.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace velo {
+
+/// An edge of the transactional conflict graph, with provenance: the trace
+/// indices of the two conflicting operations that induced it.
+struct ConflictEdge {
+  uint32_t From = 0;
+  uint32_t To = 0;
+  size_t FromOp = 0;
+  size_t ToOp = 0;
+};
+
+/// The transactional conflict graph of one trace.
+class ConflictGraph {
+public:
+  /// Build the graph for trace T with transaction index Index (which must
+  /// have been built from the same trace).
+  ConflictGraph(const Trace &T, const TxnIndex &Index);
+
+  size_t numTxns() const { return Adj.size(); }
+  const std::vector<ConflictEdge> &edges() const { return Edges; }
+
+  /// Outgoing edge indices (into edges()) of transaction Id.
+  const std::vector<uint32_t> &successors(uint32_t Id) const {
+    return Adj[Id];
+  }
+
+  /// True if the graph is acyclic; fills TopoOut with a topological order of
+  /// transaction ids when so. When cyclic, fills CycleOut with one cycle
+  /// (edge indices, in order around the cycle).
+  bool topoSort(std::vector<uint32_t> &TopoOut,
+                std::vector<uint32_t> &CycleOut) const;
+
+private:
+  void addEdge(uint32_t From, uint32_t To, size_t FromOp, size_t ToOp);
+
+  std::vector<ConflictEdge> Edges;
+  std::vector<std::vector<uint32_t>> Adj; // txn id -> outgoing edge indices
+};
+
+} // namespace velo
+
+#endif // VELO_ORACLE_CONFLICTGRAPH_H

@@ -1,0 +1,250 @@
+//===- oracle/SerializabilityOracle.cpp - Offline ground truth ------------===//
+
+#include "oracle/SerializabilityOracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace velo {
+
+OracleResult checkSerializable(const Trace &T) {
+  OracleResult Result;
+  TxnIndex Index = buildTxnIndex(T);
+  ConflictGraph Graph(T, Index);
+
+  std::vector<uint32_t> Topo, CycleEdgeIds;
+  if (Graph.topoSort(Topo, CycleEdgeIds)) {
+    Result.Serializable = true;
+    Result.SerialOrder = std::move(Topo);
+    return Result;
+  }
+
+  Result.Serializable = false;
+  for (uint32_t EdgeId : CycleEdgeIds) {
+    const ConflictEdge &E = Graph.edges()[EdgeId];
+    Result.Cycle.push_back(E);
+    Label Root = Index.Txns[E.From].Root;
+    if (Root != NoLabel)
+      Result.CycleLabels.push_back(Root);
+  }
+  return Result;
+}
+
+Trace buildSerialWitness(const Trace &T, const TxnIndex &Index,
+                         const OracleResult &Result) {
+  assert(Result.Serializable && "no serial witness for a cyclic trace");
+  Trace Out;
+  Out.symbols() = T.symbols();
+  for (uint32_t TxnId : Result.SerialOrder)
+    for (size_t OpIdx : Index.Txns[TxnId].Ops)
+      Out.push(T[OpIdx]);
+  assert(Out.size() == T.size() && "witness lost operations");
+  return Out;
+}
+
+bool isSerialTrace(const Trace &T) {
+  TxnIndex Index = buildTxnIndex(T);
+  // Serial iff transaction ids are non-decreasing runs: once we leave a
+  // transaction we never see it again.
+  std::set<uint32_t> Closed;
+  bool HaveCurrent = false;
+  uint32_t Current = 0;
+  for (size_t I = 0; I < T.size(); ++I) {
+    uint32_t Txn = Index.TxnOf[I];
+    if (HaveCurrent && Txn == Current)
+      continue;
+    if (Closed.count(Txn))
+      return false;
+    if (HaveCurrent)
+      Closed.insert(Current);
+    Current = Txn;
+    HaveCurrent = true;
+  }
+  return true;
+}
+
+bool tracesEquivalent(const Trace &A, const Trace &B, std::string *WhyNot) {
+  auto Explain = [&](const std::string &Msg) {
+    if (WhyNot)
+      *WhyNot = Msg;
+    return false;
+  };
+  if (A.size() != B.size())
+    return Explain("traces have different lengths");
+
+  // Per-thread projections must be identical; record, for each event of A,
+  // its (thread, k-th op of thread) identity and its position in B.
+  std::map<Tid, std::vector<size_t>> PositionsInB;
+  for (size_t J = 0; J < B.size(); ++J)
+    PositionsInB[B[J].Thread].push_back(J);
+
+  std::vector<size_t> BPosOfA(A.size());
+  std::map<Tid, size_t> NextPerThread;
+  for (size_t I = 0; I < A.size(); ++I) {
+    const Event &E = A[I];
+    size_t K = NextPerThread[E.Thread]++;
+    auto It = PositionsInB.find(E.Thread);
+    if (It == PositionsInB.end() || K >= It->second.size())
+      return Explain("thread " + std::to_string(E.Thread) +
+                     " has fewer operations in the second trace");
+    size_t J = It->second[K];
+    if (!(B[J] == E))
+      return Explain("per-thread op sequences differ at " + A.describe(I));
+    BPosOfA[I] = J;
+  }
+
+  // The relative order of every conflicting pair must be preserved.
+  for (size_t I = 0; I < A.size(); ++I) {
+    for (size_t J = I + 1; J < A.size(); ++J) {
+      if (A[I].Thread == A[J].Thread)
+        continue; // per-thread order already checked
+      if (!conflicts(A[I], A[J]))
+        continue;
+      if (BPosOfA[I] > BPosOfA[J])
+        return Explain("conflicting pair reordered: " + A.describe(I) +
+                       " vs " + A.describe(J));
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Operation-level direct-conflict frontier edges (reachability-preserving
+/// subset of all direct-conflict pairs, same frontier argument as
+/// ConflictGraph but at operation granularity).
+std::vector<std::vector<uint32_t>> buildOpGraph(const Trace &T) {
+  size_t N = T.size();
+  std::vector<std::vector<uint32_t>> Succ(N);
+  auto AddEdge = [&](size_t From, size_t To) {
+    Succ[From].push_back(static_cast<uint32_t>(To));
+  };
+
+  struct VarState {
+    bool HasWrite = false;
+    size_t LastWrite = 0;
+    std::vector<size_t> ReadsSince;
+  };
+  std::map<VarId, VarState> Vars;
+  struct LockState {
+    bool HasOp = false;
+    size_t LastOp = 0;
+  };
+  std::map<LockId, LockState> Locks;
+  struct ThreadState {
+    bool HasOp = false;
+    size_t LastOp = 0;
+    bool Forked = false;
+    size_t ForkOp = 0;
+  };
+  std::map<Tid, ThreadState> Threads;
+
+  for (size_t I = 0; I < N; ++I) {
+    const Event &E = T[I];
+    ThreadState &TS = Threads[E.Thread];
+    if (TS.HasOp)
+      AddEdge(TS.LastOp, I);
+    else if (TS.Forked)
+      AddEdge(TS.ForkOp, I);
+    TS.HasOp = true;
+    TS.LastOp = I;
+
+    switch (E.Kind) {
+    case Op::Read: {
+      VarState &VS = Vars[E.var()];
+      if (VS.HasWrite)
+        AddEdge(VS.LastWrite, I);
+      VS.ReadsSince.push_back(I);
+      break;
+    }
+    case Op::Write: {
+      VarState &VS = Vars[E.var()];
+      if (VS.HasWrite)
+        AddEdge(VS.LastWrite, I);
+      for (size_t R : VS.ReadsSince)
+        AddEdge(R, I);
+      VS.ReadsSince.clear();
+      VS.HasWrite = true;
+      VS.LastWrite = I;
+      break;
+    }
+    case Op::Acquire:
+    case Op::Release: {
+      LockState &LS = Locks[E.lock()];
+      if (LS.HasOp)
+        AddEdge(LS.LastOp, I);
+      LS.HasOp = true;
+      LS.LastOp = I;
+      break;
+    }
+    case Op::Fork:
+      Threads[E.child()].Forked = true;
+      Threads[E.child()].ForkOp = I;
+      break;
+    case Op::Join: {
+      ThreadState &Child = Threads[E.child()];
+      if (Child.HasOp)
+        AddEdge(Child.LastOp, I);
+      break;
+    }
+    case Op::Begin:
+    case Op::End:
+      break;
+    }
+  }
+  return Succ;
+}
+
+} // namespace
+
+bool isSelfSerializable(const Trace &T, const TxnIndex &Index,
+                        uint32_t TxnId) {
+  assert(TxnId < Index.Txns.size() && "bad transaction id");
+  const TxnSpan &Txn = Index.Txns[TxnId];
+  if (Txn.Ops.size() <= 1)
+    return true; // unary transactions are trivially serializable
+
+  std::vector<std::vector<uint32_t>> Succ = buildOpGraph(T);
+  size_t N = T.size();
+
+  // Predecessor adjacency for the backward sweep.
+  std::vector<std::vector<uint32_t>> Pred(N);
+  for (size_t I = 0; I < N; ++I)
+    for (uint32_t J : Succ[I])
+      Pred[J].push_back(static_cast<uint32_t>(I));
+
+  auto MultiBfs = [&](const std::vector<std::vector<uint32_t>> &Adj,
+                      std::vector<char> &Reached) {
+    std::deque<uint32_t> Queue;
+    for (size_t OpIdx : Txn.Ops) {
+      Reached[OpIdx] = 1;
+      Queue.push_back(static_cast<uint32_t>(OpIdx));
+    }
+    while (!Queue.empty()) {
+      uint32_t Cur = Queue.front();
+      Queue.pop_front();
+      for (uint32_t Next : Adj[Cur]) {
+        if (Reached[Next])
+          continue;
+        Reached[Next] = 1;
+        Queue.push_back(Next);
+      }
+    }
+  };
+
+  std::vector<char> After(N, 0), Before(N, 0);
+  MultiBfs(Succ, After);  // ops happens-after some txn op (or in txn)
+  MultiBfs(Pred, Before); // ops happens-before some txn op (or in txn)
+
+  // Not self-serializable iff some operation outside the transaction is
+  // both after some txn op and before another (d' < e < d).
+  for (size_t I = 0; I < N; ++I)
+    if (After[I] && Before[I] && Index.TxnOf[I] != TxnId)
+      return false;
+  return true;
+}
+
+} // namespace velo

@@ -1,0 +1,69 @@
+//===- oracle/SerializabilityOracle.h - Offline ground truth ----*- C++ -*-===//
+//
+// Offline, whole-trace conflict-serializability checker. This is the ground
+// truth against which the online Velodrome analysis is property-tested: for
+// every trace, Velodrome must report a violation iff the oracle says the
+// trace is not serializable (the paper's soundness + completeness theorem).
+//
+// The oracle also produces constructive evidence either way:
+//   - serializable: an equivalent *serial* trace (the witness), plus a
+//     validator that two traces are equivalent (same events, with the
+//     relative order of every conflicting pair preserved);
+//   - non-serializable: a cycle of transactions.
+//
+// It additionally decides per-transaction self-serializability, used to
+// validate Velodrome's blame assignment (Section 4.3).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_ORACLE_SERIALIZABILITYORACLE_H
+#define VELO_ORACLE_SERIALIZABILITYORACLE_H
+
+#include "oracle/ConflictGraph.h"
+#include "oracle/TxnIndex.h"
+
+#include <string>
+#include <vector>
+
+namespace velo {
+
+/// Result of the offline serializability check.
+struct OracleResult {
+  bool Serializable = true;
+  /// When serializable: transaction ids in a serial order.
+  std::vector<uint32_t> SerialOrder;
+  /// When not: one happens-before cycle, as conflict-graph edges in order.
+  std::vector<ConflictEdge> Cycle;
+  /// Labels (outermost atomic blocks) of the transactions on the cycle,
+  /// NoLabel entries omitted.
+  std::vector<Label> CycleLabels;
+};
+
+/// Run the offline check on a trace.
+OracleResult checkSerializable(const Trace &T);
+
+/// Construct the serial witness trace for a serializable trace: emit the
+/// transactions of T in Result.SerialOrder, each transaction's operations in
+/// their original relative order. Requires Result.Serializable.
+Trace buildSerialWitness(const Trace &T, const TxnIndex &Index,
+                         const OracleResult &Result);
+
+/// Are traces A and B equivalent (same multiset of events per thread, same
+/// per-thread order, and the relative order of every conflicting pair of
+/// operations preserved)? Quadratic; intended for tests.
+bool tracesEquivalent(const Trace &A, const Trace &B, std::string *WhyNot);
+
+/// Is every transaction of the witness serial (contiguous per transaction)?
+bool isSerialTrace(const Trace &T);
+
+/// Is transaction TxnId of T self-serializable, i.e. does T have an
+/// equivalent trace in which that transaction executes contiguously?
+/// Decision procedure: TxnId is NOT self-serializable iff there exist
+/// operations a1, a2 in the transaction and b outside it with
+/// a1 <alpha b <alpha a2 in the operation-level happens-before closure.
+/// Quadratic in trace length; intended for tests.
+bool isSelfSerializable(const Trace &T, const TxnIndex &Index, uint32_t TxnId);
+
+} // namespace velo
+
+#endif // VELO_ORACLE_SERIALIZABILITYORACLE_H

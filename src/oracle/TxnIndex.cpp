@@ -1,0 +1,68 @@
+//===- oracle/TxnIndex.cpp - Transaction extraction -----------------------===//
+
+#include "oracle/TxnIndex.h"
+
+#include <map>
+
+namespace velo {
+
+std::vector<uint32_t> TxnIndex::txnsOfThread(Tid T) const {
+  std::vector<uint32_t> Out;
+  for (uint32_t Id = 0; Id < Txns.size(); ++Id)
+    if (Txns[Id].Thread == T)
+      Out.push_back(Id);
+  return Out;
+}
+
+TxnIndex buildTxnIndex(const Trace &T) {
+  TxnIndex Index;
+  Index.TxnOf.resize(T.size(), 0);
+
+  struct ThreadState {
+    int Depth = 0;        // current atomic-block nesting depth
+    uint32_t OpenTxn = 0; // transaction id while Depth > 0
+  };
+  std::map<Tid, ThreadState> States;
+
+  for (size_t I = 0; I < T.size(); ++I) {
+    const Event &E = T[I];
+    ThreadState &TS = States[E.Thread];
+
+    if (TS.Depth > 0) {
+      // Inside an open transaction: every op (including nested begin/end and
+      // the matching outermost end) belongs to it.
+      Index.Txns[TS.OpenTxn].Ops.push_back(I);
+      Index.TxnOf[I] = TS.OpenTxn;
+      if (E.Kind == Op::Begin)
+        ++TS.Depth;
+      else if (E.Kind == Op::End)
+        --TS.Depth;
+      continue;
+    }
+
+    if (E.Kind == Op::Begin) {
+      // Outermost begin: open a new transaction.
+      TxnSpan Span;
+      Span.Thread = E.Thread;
+      Span.Root = E.label();
+      Span.Ops.push_back(I);
+      TS.OpenTxn = static_cast<uint32_t>(Index.Txns.size());
+      TS.Depth = 1;
+      Index.TxnOf[I] = TS.OpenTxn;
+      Index.Txns.push_back(std::move(Span));
+      continue;
+    }
+
+    // Operation outside any atomic block: its own unary transaction.
+    TxnSpan Span;
+    Span.Thread = E.Thread;
+    Span.Root = NoLabel;
+    Span.Unary = true;
+    Span.Ops.push_back(I);
+    Index.TxnOf[I] = static_cast<uint32_t>(Index.Txns.size());
+    Index.Txns.push_back(std::move(Span));
+  }
+  return Index;
+}
+
+} // namespace velo

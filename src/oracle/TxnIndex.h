@@ -1,0 +1,48 @@
+//===- oracle/TxnIndex.h - Transaction extraction ---------------*- C++ -*-===//
+//
+// Splits a trace into transactions per Section 2 of the paper: a transaction
+// is the dynamic extent of an outermost atomic block (begin..matching end,
+// or to the end of the trace), and every operation outside any atomic block
+// is its own unary transaction. Nested begins/ends stay inside the enclosing
+// transaction.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_ORACLE_TXNINDEX_H
+#define VELO_ORACLE_TXNINDEX_H
+
+#include "events/Trace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace velo {
+
+/// One transaction of a trace.
+struct TxnSpan {
+  Tid Thread = 0;
+  /// Indices (into the trace) of this transaction's operations, in order.
+  std::vector<size_t> Ops;
+  /// Label of the outermost atomic block, or NoLabel if unary.
+  Label Root = NoLabel;
+  /// True for a unary transaction wrapping one non-transactional operation.
+  bool Unary = false;
+};
+
+/// Transactions of a trace plus the op-index -> transaction-id map.
+struct TxnIndex {
+  std::vector<TxnSpan> Txns;
+  /// TxnOf[I] is the transaction id of trace event I.
+  std::vector<uint32_t> TxnOf;
+
+  /// Ids of a thread's transactions in program order.
+  std::vector<uint32_t> txnsOfThread(Tid T) const;
+};
+
+/// Build the transaction index for a trace. The trace must be structurally
+/// well formed (Trace::validate).
+TxnIndex buildTxnIndex(const Trace &T);
+
+} // namespace velo
+
+#endif // VELO_ORACLE_TXNINDEX_H

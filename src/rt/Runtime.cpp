@@ -1,0 +1,378 @@
+//===- rt/Runtime.cpp - Monitored-execution runtime -----------------------===//
+
+#include "rt/Runtime.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace velo {
+
+//===----------------------------------------------------------------------===//
+// MonitoredThread
+//===----------------------------------------------------------------------===//
+
+int &MonitoredThread::heldCount(LockId M) {
+  for (auto &[Id, Count] : HeldCounts)
+    if (Id == M)
+      return Count;
+  HeldCounts.push_back({M, 0});
+  return HeldCounts.back().second;
+}
+
+int64_t MonitoredThread::read(SharedVar &X) {
+  RT.schedPoint(Id);
+  int64_t V = X.Value.load(std::memory_order_seq_cst);
+  RT.emit(Event::read(Id, X.Id));
+  return V;
+}
+
+void MonitoredThread::write(SharedVar &X, int64_t V) {
+  RT.schedPoint(Id);
+  X.Value.store(V, std::memory_order_seq_cst);
+  RT.emit(Event::write(Id, X.Id));
+}
+
+double MonitoredThread::readDouble(SharedVar &X) {
+  int64_t Bits = read(X);
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+void MonitoredThread::writeDouble(SharedVar &X, double V) {
+  int64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  write(X, Bits);
+}
+
+void MonitoredThread::lockAcquire(LockVar &M) {
+  int &Count = heldCount(M.Id);
+  if (Count > 0) {
+    ++Count; // re-entrant: filtered from the event stream
+    return;
+  }
+  RT.schedPoint(Id);
+  if (RT.deterministic()) {
+    std::unique_lock<std::mutex> L(RT.SchedMu);
+    if (M.Held) {
+      Runtime::ThreadRec &Rec = RT.ThreadTable[Id];
+      Rec.State = Runtime::ThreadState::Blocked;
+      Rec.Unblocked = [&M] { return !M.Held; };
+      RT.scheduleNextLocked();
+      RT.waitUntilRunning(L, Id);
+    }
+    assert(!M.Held && "scheduled while lock still held");
+    M.Held = true;
+    M.Holder = Id;
+  } else {
+    M.RealMu.lock();
+    M.Holder = Id;
+  }
+  Count = 1;
+  RT.emit(Event::acquire(Id, M.Id));
+}
+
+void MonitoredThread::lockRelease(LockVar &M) {
+  int &Count = heldCount(M.Id);
+  if (Count <= 0) {
+    std::fprintf(stderr, "velodrome rt: T%u releases un-held lock\n", Id);
+    std::abort();
+  }
+  if (--Count > 0)
+    return; // re-entrant: filtered
+  RT.schedPoint(Id);
+  if (RT.deterministic()) {
+    {
+      std::unique_lock<std::mutex> L(RT.SchedMu);
+      assert(M.Held && M.Holder == Id && "release by non-holder");
+      M.Held = false;
+    }
+    // Emit outside SchedMu: emit() may re-take it for adversarial stalls,
+    // and no other monitored thread can run before we reach our next
+    // scheduling point anyway.
+    RT.emit(Event::release(Id, M.Id));
+    return;
+  }
+  // Emit before the real unlock so the release event precedes the next
+  // holder's acquire event in the linearized stream.
+  RT.emit(Event::release(Id, M.Id));
+  M.RealMu.unlock();
+}
+
+void MonitoredThread::beginAtomic(const std::string &MethodName) {
+  beginAtomic(RT.label(MethodName));
+}
+
+void MonitoredThread::beginAtomic(Label L) {
+  ++BlockDepth;
+  bool Emit = !RT.isExcluded(L);
+  EmitStack.push_back(Emit);
+  if (!Emit)
+    return; // excluded method: contents run non-transactionally
+  RT.schedPoint(Id);
+  RT.emit(Event::begin(Id, L));
+}
+
+void MonitoredThread::endAtomic() {
+  assert(BlockDepth > 0 && "endAtomic without beginAtomic");
+  --BlockDepth;
+  bool Emitted = EmitStack.back();
+  EmitStack.pop_back();
+  if (!Emitted)
+    return;
+  RT.schedPoint(Id);
+  RT.emit(Event::end(Id));
+}
+
+Tid MonitoredThread::fork(std::function<void(MonitoredThread &)> Body) {
+  RT.schedPoint(Id);
+  Tid Child = RT.spawnThread(std::move(Body), Id);
+  return Child;
+}
+
+void MonitoredThread::join(Tid Child) {
+  RT.schedPoint(Id);
+  if (RT.deterministic()) {
+    std::unique_lock<std::mutex> L(RT.SchedMu);
+    Runtime::ThreadRec &ChildRec = RT.ThreadTable[Child];
+    if (ChildRec.State != Runtime::ThreadState::Finished) {
+      Runtime::ThreadRec &Rec = RT.ThreadTable[Id];
+      Rec.State = Runtime::ThreadState::Blocked;
+      Rec.Unblocked = [&ChildRec] {
+        return ChildRec.State == Runtime::ThreadState::Finished;
+      };
+      RT.scheduleNextLocked();
+      RT.waitUntilRunning(L, Id);
+    }
+  } else {
+    std::unique_lock<std::mutex> L(RT.SchedMu);
+    Runtime::ThreadRec &ChildRec = RT.ThreadTable[Child];
+    ChildRec.Cv.wait(L, [&ChildRec] {
+      return ChildRec.State == Runtime::ThreadState::Finished;
+    });
+  }
+  RT.emit(Event::join(Id, Child));
+}
+
+void MonitoredThread::yield() {
+  if (RT.deterministic())
+    RT.schedPoint(Id);
+  else
+    std::this_thread::yield();
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime
+//===----------------------------------------------------------------------===//
+
+Runtime::Runtime(RuntimeOptions Opts, std::vector<Backend *> Backends)
+    : Opts(Opts), Backends(std::move(Backends)),
+      SchedRng(Opts.SchedulerSeed) {}
+
+Runtime::~Runtime() {
+  for (ThreadRec &Rec : ThreadTable)
+    if (Rec.Worker.joinable())
+      Rec.Worker.join();
+}
+
+SharedVar &Runtime::var(const std::string &Name) {
+  std::lock_guard<std::mutex> G(RegistryMu);
+  uint32_t Id;
+  if (Symbols.Vars.lookup(Name, Id))
+    return Vars[Id];
+  Id = Symbols.Vars.intern(Name);
+  Vars.emplace_back(Id);
+  return Vars.back();
+}
+
+LockVar &Runtime::lock(const std::string &Name) {
+  std::lock_guard<std::mutex> G(RegistryMu);
+  uint32_t Id;
+  if (Symbols.Locks.lookup(Name, Id))
+    return Locks[Id];
+  Id = Symbols.Locks.intern(Name);
+  Locks.emplace_back(Id);
+  return Locks.back();
+}
+
+Label Runtime::label(const std::string &MethodName) {
+  std::lock_guard<std::mutex> G(RegistryMu);
+  return Symbols.Labels.intern(MethodName);
+}
+
+void Runtime::emit(const Event &E) {
+  EventsEmitted.fetch_add(1, std::memory_order_relaxed);
+  if (!emitting())
+    return;
+  if (deterministic()) {
+    // Exactly one monitored thread runs at a time: no dispatch lock needed.
+    for (Backend *B : Backends)
+      B->onEvent(E);
+    if (Opts.Adversarial && Guide && Guide->lastEventSuspicious() &&
+        stallPolicyAllows(E)) {
+      std::lock_guard<std::mutex> G(SchedMu);
+      ThreadTable[E.Thread].Stall = Opts.AdversarialStall;
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> G(EmitMu);
+  for (Backend *B : Backends)
+    B->onEvent(E);
+}
+
+bool Runtime::stallPolicyAllows(const Event &E) const {
+  switch (Opts.Policy) {
+  case StallPolicy::AllOps:
+    return true;
+  case StallPolicy::WritesOnly:
+    return E.Kind == Op::Write;
+  case StallPolicy::ReadsOnly:
+    return E.Kind == Op::Read;
+  case StallPolicy::SpareMainOps:
+    return E.Thread != 0;
+  }
+  return true;
+}
+
+void Runtime::waitUntilRunning(std::unique_lock<std::mutex> &L, Tid Self) {
+  ThreadRec &Rec = ThreadTable[Self];
+  Rec.Cv.wait(L, [&Rec] { return Rec.State == ThreadState::Running; });
+}
+
+void Runtime::scheduleNextLocked() {
+  // Candidates: ready threads and blocked threads whose predicate holds.
+  std::vector<ThreadRec *> Runnable, Stalled;
+  for (ThreadRec &Rec : ThreadTable) {
+    bool Can = Rec.State == ThreadState::Ready ||
+               (Rec.State == ThreadState::Blocked && Rec.Unblocked &&
+                Rec.Unblocked());
+    if (!Can)
+      continue;
+    if (Rec.Stall > 0) {
+      --Rec.Stall; // stalls tick down per scheduling decision
+      Stalled.push_back(&Rec);
+    } else {
+      Runnable.push_back(&Rec);
+    }
+  }
+
+  std::vector<ThreadRec *> &Pool = Runnable.empty() ? Stalled : Runnable;
+  if (Pool.empty()) {
+    if (LiveThreads == 0)
+      return; // clean shutdown; run() is waiting on AllDoneCv
+    std::fprintf(stderr,
+                 "velodrome rt: deadlock — %zu live threads, none runnable\n",
+                 LiveThreads);
+    std::abort();
+  }
+  size_t Choice = Picker ? Picker(Pool.size())
+                         : static_cast<size_t>(SchedRng.below(Pool.size()));
+  assert(Choice < Pool.size() && "picker returned an out-of-range index");
+  ThreadRec *Next = Pool[Choice];
+  if (Next->Stall > 0)
+    Next->Stall = 0; // forced to run: stop stalling it
+  Next->State = ThreadState::Running;
+  Next->Unblocked = nullptr;
+  Current = Next->Id;
+  Next->Cv.notify_all();
+}
+
+void Runtime::schedPoint(Tid Self) {
+  if (!deterministic()) {
+    if (Opts.PreemptEveryN > 0) {
+      static thread_local int OpsSinceYield = 0;
+      if (++OpsSinceYield >= Opts.PreemptEveryN) {
+        OpsSinceYield = 0;
+        std::this_thread::yield();
+      }
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> L(SchedMu);
+  ThreadTable[Self].State = ThreadState::Ready;
+  scheduleNextLocked();
+  waitUntilRunning(L, Self);
+}
+
+Tid Runtime::spawnThread(std::function<void(MonitoredThread &)> Body,
+                         Tid Parent) {
+  Tid Child;
+  ThreadRec *Rec;
+  {
+    // The deque never relocates elements, but concurrent push_back and
+    // operator[] still race on its internals in FreeRunning mode — so every
+    // table access goes through a pointer captured under SchedMu.
+    std::lock_guard<std::mutex> G(SchedMu);
+    Child = static_cast<Tid>(ThreadTable.size());
+    ThreadTable.emplace_back();
+    Rec = &ThreadTable.back();
+    Rec->Id = Child;
+    Rec->Body = std::move(Body);
+    Rec->State = ThreadState::Ready;
+    ++LiveThreads;
+  }
+  // Emit the fork before the child can run, so its events follow the fork
+  // in the linearized stream. Thread 0 has no fork event (the "main"
+  // thread pre-exists, as in the paper's semantics).
+  bool IsMain = Child == 0;
+  if (!IsMain)
+    emit(Event::fork(Parent, Child));
+  Rec->Worker = std::thread([this, Rec] { threadMain(Rec); });
+  return Child;
+}
+
+void Runtime::threadMain(ThreadRec *RecPtr) {
+  Tid Self = RecPtr->Id;
+  if (deterministic()) {
+    std::unique_lock<std::mutex> L(SchedMu);
+    waitUntilRunning(L, Self);
+  }
+  {
+    SplitMix64 Mix(Opts.WorkloadSeed ^ (0x9e3779b97f4a7c15ULL * (Self + 1)));
+    MonitoredThread Handle(*this, Self, Mix.next());
+    RecPtr->Body(Handle);
+    if (Handle.BlockDepth != 0) {
+      std::fprintf(stderr, "velodrome rt: T%u exits inside an atomic block\n",
+                   Self);
+      std::abort();
+    }
+  }
+  std::unique_lock<std::mutex> L(SchedMu);
+  ThreadRec &Rec = *RecPtr;
+  Rec.State = ThreadState::Finished;
+  --LiveThreads;
+  Rec.Cv.notify_all(); // free-running joiners wait on the child's Cv
+  if (deterministic())
+    scheduleNextLocked();
+  if (LiveThreads == 0)
+    AllDoneCv.notify_all();
+}
+
+void Runtime::run(std::function<void(MonitoredThread &)> Body) {
+  assert(!RunActive && ThreadTable.empty() &&
+         "Runtime::run is single-use; create a fresh Runtime per execution");
+  RunActive = true;
+
+  if (emitting())
+    for (Backend *B : Backends)
+      B->beginAnalysis(Symbols);
+
+  spawnThread(std::move(Body), 0);
+  {
+    std::unique_lock<std::mutex> L(SchedMu);
+    if (deterministic() && LiveThreads > 0)
+      scheduleNextLocked();
+    AllDoneCv.wait(L, [this] { return LiveThreads == 0; });
+  }
+  for (ThreadRec &Rec : ThreadTable)
+    if (Rec.Worker.joinable())
+      Rec.Worker.join();
+
+  if (emitting())
+    for (Backend *B : Backends)
+      B->endAnalysis();
+}
+
+} // namespace velo

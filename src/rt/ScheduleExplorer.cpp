@@ -1,0 +1,92 @@
+//===- rt/ScheduleExplorer.cpp - Systematic schedule exploration ----------===//
+
+#include "rt/ScheduleExplorer.h"
+
+#include "core/Velodrome.h"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+namespace velo {
+
+namespace {
+
+/// One branch point of the DFS: which candidate was taken, out of how many.
+struct Decision {
+  size_t Chosen;
+  size_t Candidates;
+};
+
+} // namespace
+
+ExplorationResult exploreSchedules(
+    const std::function<void(Runtime &)> &Program,
+    const ExplorationOptions &Opts) {
+  ExplorationResult Result;
+  std::vector<Decision> Prefix; // committed decision path
+
+  for (;;) {
+    if (Result.SchedulesExplored >= Opts.MaxSchedules)
+      return Result; // Exhausted stays false
+
+    // Run one schedule: follow Prefix, then first-candidate beyond it,
+    // recording every multi-candidate branch point.
+    size_t Depth = 0;
+    auto Picker = [&Prefix, &Depth](size_t Candidates) -> size_t {
+      if (Candidates <= 1)
+        return 0; // not a branch point; keep the stack small
+      if (Depth < Prefix.size()) {
+        Decision &D = Prefix[Depth++];
+        assert(D.Candidates == Candidates &&
+               "program is not schedule-deterministic");
+        return D.Chosen;
+      }
+      Prefix.push_back({0, Candidates});
+      ++Depth;
+      return 0;
+    };
+
+    VelodromeOptions VOpts;
+    VOpts.EmitDot = false;
+    Velodrome Checker(VOpts);
+    std::unique_ptr<Backend> Extra;
+    std::vector<Backend *> Backends{&Checker};
+    if (Opts.ExtraBackend) {
+      Extra.reset(Opts.ExtraBackend());
+      if (Extra)
+        Backends.push_back(Extra.get());
+    }
+
+    RuntimeOptions ROpts;
+    ROpts.ExecMode = RuntimeOptions::Mode::Deterministic;
+    ROpts.SchedulerSeed = 1; // unused: the picker decides
+    ROpts.WorkloadSeed = 1;  // identical program randomness every schedule
+    Runtime RT(ROpts, Backends);
+    RT.setSchedulePicker(Picker);
+    Program(RT);
+
+    ++Result.SchedulesExplored;
+    if (Checker.sawViolation()) {
+      ++Result.ViolatingSchedules;
+      for (const AtomicityViolation &V : Checker.violations())
+        if (V.Method != NoLabel)
+          ++Result.MethodCounts[RT.symbols().labelName(V.Method)];
+    }
+    if (Opts.OnSchedule)
+      Opts.OnSchedule(RT, Checker);
+
+    // Backtrack: drop fully-explored suffix decisions, advance the last
+    // open one. Empty stack == whole space covered.
+    while (!Prefix.empty() &&
+           Prefix.back().Chosen + 1 >= Prefix.back().Candidates)
+      Prefix.pop_back();
+    if (Prefix.empty()) {
+      Result.Exhausted = true;
+      return Result;
+    }
+    ++Prefix.back().Chosen;
+  }
+}
+
+} // namespace velo

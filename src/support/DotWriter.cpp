@@ -1,0 +1,54 @@
+//===- support/DotWriter.cpp - Graphviz dot emission ----------------------===//
+
+#include "support/DotWriter.h"
+
+namespace velo {
+
+DotWriter::DotWriter(std::string GraphName) : Name(std::move(GraphName)) {}
+
+std::string DotWriter::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+void DotWriter::addNode(const std::string &Id, const std::string &Label,
+                        const std::string &Extra) {
+  std::string Line = "  \"" + escape(Id) + "\" [shape=box,label=\"" +
+                     escape(Label) + "\"";
+  if (!Extra.empty())
+    Line += "," + Extra;
+  Line += "];";
+  Lines.push_back(std::move(Line));
+}
+
+void DotWriter::addEdge(const std::string &From, const std::string &To,
+                        const std::string &Label, bool Dashed) {
+  std::string Line = "  \"" + escape(From) + "\" -> \"" + escape(To) +
+                     "\" [label=\"" + escape(Label) + "\"";
+  if (Dashed)
+    Line += ",style=dashed";
+  Line += "];";
+  Lines.push_back(std::move(Line));
+}
+
+std::string DotWriter::str() const {
+  std::string Out = "digraph \"" + escape(Name) + "\" {\n";
+  for (const std::string &Line : Lines) {
+    Out += Line;
+    Out += '\n';
+  }
+  Out += "}\n";
+  return Out;
+}
+
+} // namespace velo

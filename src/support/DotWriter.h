@@ -1,0 +1,45 @@
+//===- support/DotWriter.h - Graphviz dot emission --------------*- C++ -*-===//
+//
+// Velodrome renders each atomicity violation as a dot graph: one box per
+// transaction on the happens-before cycle, edges labeled with the inducing
+// operation, the cycle-closing edge dashed, and the blamed transaction
+// outlined (Section 5 of the paper). This is the small emitter behind that.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_SUPPORT_DOTWRITER_H
+#define VELO_SUPPORT_DOTWRITER_H
+
+#include <string>
+#include <vector>
+
+namespace velo {
+
+/// Incremental builder for a directed graph in Graphviz dot syntax.
+class DotWriter {
+public:
+  explicit DotWriter(std::string GraphName = "G");
+
+  /// Add a node. Extra holds raw dot attributes, e.g. "peripheries=2".
+  void addNode(const std::string &Id, const std::string &Label,
+               const std::string &Extra = "");
+
+  /// Add an edge with a label; Dashed renders style=dashed (used for the
+  /// cycle-closing edge in error graphs).
+  void addEdge(const std::string &From, const std::string &To,
+               const std::string &Label, bool Dashed = false);
+
+  /// Render the accumulated graph as dot text.
+  std::string str() const;
+
+  /// Escape a string for use inside a double-quoted dot attribute.
+  static std::string escape(const std::string &S);
+
+private:
+  std::string Name;
+  std::vector<std::string> Lines;
+};
+
+} // namespace velo
+
+#endif // VELO_SUPPORT_DOTWRITER_H

@@ -1,0 +1,74 @@
+//===- support/FlatSet.h - Sorted-vector set --------------------*- C++ -*-===//
+//
+// A tiny sorted-vector set used for Velodrome's per-node ancestor sets.
+// The paper observes that garbage collection keeps at most a few dozen
+// transaction nodes alive at any time, so ancestor sets are small and a
+// contiguous sorted vector beats a hash table on every axis that matters
+// here: lookup, iteration, and memory locality during the cascading updates
+// performed at edge insertion and node collection.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_SUPPORT_FLATSET_H
+#define VELO_SUPPORT_FLATSET_H
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace velo {
+
+/// Sorted-vector set of trivially copyable keys.
+template <typename T> class FlatSet {
+public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  /// Insert Key. Returns true if the key was newly inserted.
+  bool insert(T Key) {
+    auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
+    if (It != Keys.end() && *It == Key)
+      return false;
+    Keys.insert(It, Key);
+    return true;
+  }
+
+  /// Remove Key. Returns true if the key was present.
+  bool erase(T Key) {
+    auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
+    if (It == Keys.end() || *It != Key)
+      return false;
+    Keys.erase(It);
+    return true;
+  }
+
+  bool contains(T Key) const {
+    return std::binary_search(Keys.begin(), Keys.end(), Key);
+  }
+
+  /// Set-union with another FlatSet. Returns true if this set grew.
+  bool unionWith(const FlatSet &Other) {
+    if (Other.empty())
+      return false;
+    std::vector<T> Merged;
+    Merged.reserve(Keys.size() + Other.Keys.size());
+    std::set_union(Keys.begin(), Keys.end(), Other.Keys.begin(),
+                   Other.Keys.end(), std::back_inserter(Merged));
+    bool Grew = Merged.size() != Keys.size();
+    Keys = std::move(Merged);
+    return Grew;
+  }
+
+  void clear() { Keys.clear(); }
+  bool empty() const { return Keys.empty(); }
+  size_t size() const { return Keys.size(); }
+
+  const_iterator begin() const { return Keys.begin(); }
+  const_iterator end() const { return Keys.end(); }
+
+private:
+  std::vector<T> Keys;
+};
+
+} // namespace velo
+
+#endif // VELO_SUPPORT_FLATSET_H

@@ -1,0 +1,114 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the Velodrome reproduction. Deterministic, seedable PRNGs used by
+// the cooperative scheduler, workload drivers, and property-test generators.
+// Determinism matters: every experiment in EXPERIMENTS.md is keyed by a seed,
+// and a trace must be exactly reproducible from (workload, size, seed).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_SUPPORT_RNG_H
+#define VELO_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace velo {
+
+/// SplitMix64: used to expand a user seed into stream state. Passes BigCrush;
+/// a single multiply/xor pipeline, so it is also fast enough to use directly.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256** by Blackman & Vigna. The workhorse generator for schedulers
+/// and workloads. Not cryptographic; deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x5eedULL) { reseed(Seed); }
+
+  /// Re-initialize the stream from a 64-bit seed.
+  void reseed(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &Word : S)
+      Word = SM.next();
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). Bound must be positive. Uses rejection
+  /// sampling to avoid modulo bias (bias would make seeds non-portable
+  /// between argument orders in tests).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli trial with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den > 0 && Num <= Den && "probability out of range");
+    return below(Den) < Num;
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename ContainerT> void shuffle(ContainerT &C) {
+    for (size_t I = C.size(); I > 1; --I) {
+      size_t J = static_cast<size_t>(below(I));
+      using std::swap;
+      swap(C[I - 1], C[J]);
+    }
+  }
+
+  /// Pick a uniformly random element (container must be non-empty).
+  template <typename ContainerT> auto &pick(ContainerT &C) {
+    assert(!C.empty() && "pick from empty container");
+    return C[static_cast<size_t>(below(C.size()))];
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t S[4];
+};
+
+} // namespace velo
+
+#endif // VELO_SUPPORT_RNG_H

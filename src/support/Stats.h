@@ -1,0 +1,63 @@
+//===- support/Stats.h - Streaming summary statistics -----------*- C++ -*-===//
+//
+// Streaming min/max/mean accumulator and a high-water-mark counter. The
+// latter backs the "Max. Alive" node statistics of Table 1.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_SUPPORT_STATS_H
+#define VELO_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace velo {
+
+/// Streaming min / max / mean over doubles.
+class Summary {
+public:
+  void add(double X) {
+    ++N;
+    Sum += X;
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+
+  uint64_t count() const { return N; }
+  double mean() const { return N ? Sum / static_cast<double>(N) : 0.0; }
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+
+private:
+  uint64_t N = 0;
+  double Sum = 0.0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+};
+
+/// A counter that remembers its high-water mark.
+class HighWater {
+public:
+  void inc(uint64_t Delta = 1) {
+    Current += Delta;
+    Peak = std::max(Peak, Current);
+  }
+
+  void dec(uint64_t Delta = 1) {
+    assert(Current >= Delta && "counter underflow");
+    Current -= Delta;
+  }
+
+  uint64_t current() const { return Current; }
+  uint64_t peak() const { return Peak; }
+
+private:
+  uint64_t Current = 0;
+  uint64_t Peak = 0;
+};
+
+} // namespace velo
+
+#endif // VELO_SUPPORT_STATS_H

@@ -1,0 +1,37 @@
+//===- support/Stopwatch.h - Wall-clock timing ------------------*- C++ -*-===//
+//
+// Minimal monotonic stopwatch used by the Table 1 slowdown harness.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_SUPPORT_STOPWATCH_H
+#define VELO_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace velo {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace velo
+
+#endif // VELO_SUPPORT_STOPWATCH_H

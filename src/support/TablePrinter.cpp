@@ -1,0 +1,110 @@
+//===- support/TablePrinter.cpp - Aligned text tables ---------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace velo {
+
+TablePrinter::TablePrinter(std::vector<std::string> Header)
+    : Columns(std::move(Header)) {}
+
+void TablePrinter::startRow() { Rows.emplace_back(); }
+
+void TablePrinter::cell(std::string Value) {
+  assert(!Rows.empty() && "cell() before startRow()");
+  assert(Rows.back().size() < Columns.size() && "row has too many cells");
+  Rows.back().push_back(std::move(Value));
+}
+
+void TablePrinter::cell(int64_t Value) { cell(std::to_string(Value)); }
+
+void TablePrinter::cell(uint64_t Value) { cell(std::to_string(Value)); }
+
+void TablePrinter::cell(double Value, int Digits) {
+  cell(fixed(Value, Digits));
+}
+
+std::string TablePrinter::fixed(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string TablePrinter::withCommas(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Out;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count && Count % 3 == 0)
+      Out.push_back(',');
+    Out.push_back(*It);
+    ++Count;
+  }
+  return std::string(Out.rbegin(), Out.rend());
+}
+
+std::string TablePrinter::str() const {
+  std::vector<size_t> Widths;
+  Widths.reserve(Columns.size());
+  for (const std::string &Col : Columns)
+    Widths.push_back(Col.size());
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto AppendRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Columns.size(); ++I) {
+      const std::string &Cell = I < Row.size() ? Row[I] : std::string();
+      Out += Cell;
+      if (I + 1 < Columns.size())
+        Out.append(Widths[I] - Cell.size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  AppendRow(Out, Columns);
+  size_t RuleWidth = 0;
+  for (size_t I = 0; I < Widths.size(); ++I)
+    RuleWidth += Widths[I] + (I + 1 < Widths.size() ? 2 : 0);
+  Out.append(RuleWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    AppendRow(Out, Row);
+  return Out;
+}
+
+std::string TablePrinter::csv() const {
+  auto Quote = [](const std::string &Cell) {
+    bool Needs = Cell.find_first_of(",\"\n") != std::string::npos;
+    if (!Needs)
+      return Cell;
+    std::string Out = "\"";
+    for (char C : Cell) {
+      if (C == '"')
+        Out += '"';
+      Out += C;
+    }
+    Out += '"';
+    return Out;
+  };
+
+  std::string Out;
+  auto AppendRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += Quote(Row[I]);
+    }
+    Out += '\n';
+  };
+  AppendRow(Columns);
+  for (const auto &Row : Rows)
+    AppendRow(Row);
+  return Out;
+}
+
+} // namespace velo

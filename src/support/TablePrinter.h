@@ -1,0 +1,53 @@
+//===- support/TablePrinter.h - Aligned text tables -------------*- C++ -*-===//
+//
+// The benchmark harnesses print results in the same row/column layout as the
+// paper's Table 1 and Table 2. This helper right-pads columns, supports
+// numeric formatting ("71.7", ">1,000,000"), and can also dump CSV for
+// post-processing.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_SUPPORT_TABLEPRINTER_H
+#define VELO_SUPPORT_TABLEPRINTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace velo {
+
+/// Accumulates rows of string cells and renders an aligned text table.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  void startRow();
+
+  /// Append one cell to the current row.
+  void cell(std::string Value);
+  void cell(int64_t Value);
+  void cell(uint64_t Value);
+  /// Fixed-point with Digits decimals, e.g. cell(71.66, 1) -> "71.7".
+  void cell(double Value, int Digits);
+
+  /// Render with padded, space-separated columns (two-space gutter).
+  std::string str() const;
+
+  /// Render as CSV (no quoting beyond doubling embedded quotes).
+  std::string csv() const;
+
+  /// Thousands-separated integer, e.g. 1234567 -> "1,234,567".
+  static std::string withCommas(uint64_t Value);
+
+  /// Fixed-point double formatting helper.
+  static std::string fixed(double Value, int Digits);
+
+private:
+  std::vector<std::string> Columns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace velo
+
+#endif // VELO_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,81 @@
+//===- svd/Strict2PL.cpp - Strict two-phase-locking checker ---------------===//
+
+#include "svd/Strict2PL.h"
+
+namespace velo {
+
+void Strict2PL::beginAnalysis(const SymbolTable &Syms) {
+  Backend::beginAnalysis(Syms);
+  Engine.clear();
+  Threads.clear();
+  Flagged.clear();
+}
+
+void Strict2PL::violate(ThreadState &TS, const Event &E, const char *Why) {
+  if (TS.ViolatedThisTxn)
+    return;
+  TS.ViolatedThisTxn = true;
+  if (!Flagged.insert(TS.Outer).second)
+    return;
+  Warning W;
+  W.Analysis = "strict2pl";
+  W.Category = "atomicity";
+  W.Method = TS.Outer;
+  W.Message =
+      "strict-2PL violation in " +
+      (Symbols ? Symbols->labelName(TS.Outer) : std::to_string(TS.Outer)) +
+      ": " + Why + " (T" + std::to_string(E.Thread) + ")";
+  report(std::move(W));
+}
+
+void Strict2PL::onEvent(const Event &E) {
+  countEvent();
+  ThreadState &TS = Threads[E.Thread];
+  switch (E.Kind) {
+  case Op::Begin:
+    if (TS.Depth++ == 0) {
+      TS.Shrinking = false;
+      TS.Outer = E.label();
+      TS.ViolatedThisTxn = false;
+    }
+    return;
+  case Op::End:
+    if (TS.Depth > 0)
+      --TS.Depth;
+    return;
+  case Op::Acquire:
+    Engine.onAcquire(E.Thread, E.lock());
+    ++TS.LocksHeld;
+    if (TS.Depth > 0 && TS.Shrinking)
+      violate(TS, E, "lock acquired after the shrinking phase began");
+    return;
+  case Op::Release:
+    Engine.onRelease(E.Thread, E.lock());
+    if (TS.LocksHeld > 0)
+      --TS.LocksHeld;
+    if (TS.Depth > 0)
+      TS.Shrinking = true;
+    return;
+  case Op::Read:
+  case Op::Write: {
+    bool Uncovered =
+        Engine.accessIsUnprotected(E.Thread, E.var(), E.Kind == Op::Write);
+    if (TS.Depth == 0)
+      return;
+    if (!Engine.isSharedVar(E.var()))
+      return; // thread-local data is outside 2PL's scope
+    if (TS.LocksHeld == 0 && Uncovered)
+      violate(TS, E, "shared access with no lock held");
+    else if (Uncovered)
+      violate(TS, E, "shared access not covered by a consistent lockset");
+    else if (TS.Shrinking)
+      violate(TS, E, "shared access after the shrinking phase began");
+    return;
+  }
+  case Op::Fork:
+  case Op::Join:
+    return; // not modeled, as in the lockset baselines
+  }
+}
+
+} // namespace velo

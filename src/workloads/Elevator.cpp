@@ -1,0 +1,276 @@
+//===- workloads/Elevator.cpp - Discrete elevator simulator ---------------===//
+//
+// Analogue of the `elevator` benchmark (von Praun & Gross): a discrete-event
+// simulation with one person-generator thread and several lift threads that
+// share per-floor call flags and a global control board.
+//
+// Synchronization structure mirrors the original: the control board is
+// guarded by Controls.mu, per-lift state (position, load) is private to its
+// lift thread, and the lifts publish a display value the generator polls.
+//
+//   non-atomic (ground truth):
+//     Controls.claimUp /   check a call in one critical section, claim it in
+//     Controls.claimDown   a second one (check-then-act, up and down boards)
+//     Lift.board           waiting count read and decrement in separate
+//                          critical sections (lost update)
+//     Controls.addCall     call flag guarded, waiting counter RMW unguarded
+//     Lift.recordStats     global delivered-counter RMW, no lock
+//     Elevator.snapshot    unguarded multi-variable scan of lift displays
+//
+//   atomic: Controls.quiesce, Controls.peekCalls, Controls.peekDown,
+//           Controls.rebalance, Lift.move, Lift.doorCycle, Lift.unload
+//           (per-lift state is thread-private; each publishes at most one
+//           display write per transaction)
+//
+//   injection sites: controls.peek, controls.rebalance (removing either
+//   guard makes the corresponding multi-access method non-atomic under
+//   contention — the Section 6 defect-injection study).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+namespace {
+
+class ElevatorWorkload : public Workload {
+public:
+  const char *name() const override { return "elevator"; }
+  const char *description() const override {
+    return "discrete-event elevator simulator (von Praun & Gross suite)";
+  }
+  const char *sourceFile() const override { return __FILE__; }
+
+  std::vector<std::string> nonAtomicMethods() const override {
+    return {"Controls.claimUp",  "Lift.board",       "Controls.addCall",
+            "Lift.recordStats",  "Elevator.snapshot", "Controls.claimDown"};
+  }
+
+  std::vector<std::string> guardSites() const override {
+    return {"controls.peek", "controls.rebalance"};
+  }
+
+  void run(Runtime &RT) const override {
+    const int NumFloors = 8;
+    const int NumLifts = 3;
+    const int NumCalls = 24 * Scale;
+
+    LockVar &ControlsMu = RT.lock("Controls.mu");
+    std::vector<SharedVar *> UpCall, DownCall, Waiting;
+    for (int F = 0; F < NumFloors; ++F) {
+      UpCall.push_back(&RT.var("Controls.upCall[" + std::to_string(F) + "]"));
+      DownCall.push_back(
+          &RT.var("Controls.downCall[" + std::to_string(F) + "]"));
+      Waiting.push_back(&RT.var("Floor.waiting[" + std::to_string(F) + "]"));
+    }
+    std::vector<SharedVar *> Display, LiftPos, LiftLoad;
+    for (int L = 0; L < NumLifts; ++L) {
+      Display.push_back(&RT.var("Lift.display[" + std::to_string(L) + "]"));
+      LiftPos.push_back(&RT.var("Lift.pos[" + std::to_string(L) + "]"));
+      LiftLoad.push_back(&RT.var("Lift.load[" + std::to_string(L) + "]"));
+    }
+    SharedVar &Delivered = RT.var("Stats.delivered");
+    SharedVar &CallsLeft = RT.var("Controls.callsLeft");
+
+    RT.run([&, NumFloors, NumLifts, NumCalls](MonitoredThread &Main) {
+      Main.write(CallsLeft, NumCalls);
+
+      std::vector<Tid> Lifts;
+      for (int L = 0; L < NumLifts; ++L) {
+        Lifts.push_back(Main.fork([&, L](MonitoredThread &T) {
+          liftThread(T, L, NumFloors, NumLifts, ControlsMu, UpCall, DownCall,
+                     Waiting, Display, *LiftPos[L], *LiftLoad[L], Delivered,
+                     CallsLeft, /*MaxIters=*/NumCalls * 3);
+        }));
+      }
+
+      // Person generator: post calls on random floors; poll the display.
+      for (int C = 0; C < NumCalls; ++C) {
+        int F = static_cast<int>(Main.rng().below(NumFloors));
+        // Controls.addCall: the call flag is guarded, but the waiting
+        // counter read-modify-write happens outside the lock.
+        {
+          AtomicRegion A(Main, "Controls.addCall");
+          Main.lockAcquire(ControlsMu);
+          if (C % 2 == 0)
+            Main.write(*UpCall[F], 1);
+          else
+            Main.write(*DownCall[F], 1);
+          Main.lockRelease(ControlsMu);
+          Main.write(*Waiting[F], Main.read(*Waiting[F]) + 1);
+        }
+        if (C % 3 == 0) {
+          // Elevator.snapshot: unguarded scan of every lift's display —
+          // a torn read of the fleet state.
+          AtomicRegion A(Main, "Elevator.snapshot");
+          int64_t Sum = 0;
+          for (int L = 0; L < NumLifts; ++L)
+            Sum += Main.read(*Display[L]);
+          (void)Sum;
+        }
+      }
+      for (Tid L : Lifts)
+        Main.join(L);
+    });
+  }
+
+private:
+  void liftThread(MonitoredThread &T, int L, int NumFloors, int NumLifts,
+                  LockVar &ControlsMu, std::vector<SharedVar *> &UpCall,
+                  std::vector<SharedVar *> &DownCall,
+                  std::vector<SharedVar *> &Waiting,
+                  std::vector<SharedVar *> &Display, SharedVar &Pos,
+                  SharedVar &Load, SharedVar &Delivered,
+                  SharedVar &CallsLeft, int MaxIters) const {
+    int64_t DoorState = 0; // private: 0 closed, 1 open
+    // Bounded service loop: rebalancing and re-posted calls can merge two
+    // pending calls into one, so CallsLeft alone cannot drive termination.
+    for (int Iter = 0; Iter < MaxIters; ++Iter) {
+      // Controls.quiesce: are we done early? (atomic: one critical section)
+      int64_t Left;
+      {
+        AtomicRegion A(T, "Controls.quiesce");
+        T.lockAcquire(ControlsMu);
+        Left = T.read(CallsLeft);
+        T.lockRelease(ControlsMu);
+      }
+      if (Left <= 0)
+        return;
+
+      // Controls.peekCalls: scan for a pending call. Atomic while guarded;
+      // the injection study removes this guard.
+      int Found = -1;
+      {
+        AtomicRegion A(T, "Controls.peekCalls");
+        if (guardEnabled("controls.peek"))
+          T.lockAcquire(ControlsMu);
+        for (int F = 0; F < NumFloors; ++F) {
+          if (T.read(*UpCall[F]) != 0) {
+            Found = F;
+            break;
+          }
+        }
+        if (guardEnabled("controls.peek"))
+          T.lockRelease(ControlsMu);
+      }
+      bool GoingDown = false;
+      if (Found < 0) {
+        // Controls.peekDown: scan the down board (atomic: one section).
+        AtomicRegion A(T, "Controls.peekDown");
+        T.lockAcquire(ControlsMu);
+        for (int F = NumFloors - 1; F >= 0; --F) {
+          if (T.read(*DownCall[F]) != 0) {
+            Found = F;
+            GoingDown = true;
+            break;
+          }
+        }
+        T.lockRelease(ControlsMu);
+      }
+      if (Found < 0) {
+        // Controls.rebalance: occasionally shift a call between floors to
+        // model directional rebalancing (guarded multi-write; second
+        // injection site).
+        if (T.rng().chance(2, 3)) {
+          // Scan the board for any pending call and shift it one floor up
+          // (directional rebalancing): a multi-read-multi-write section.
+          AtomicRegion A(T, "Controls.rebalance");
+          if (guardEnabled("controls.rebalance"))
+            T.lockAcquire(ControlsMu);
+          for (int F = 0; F < NumFloors; ++F) {
+            if (T.read(*UpCall[F]) != 0) {
+              T.write(*UpCall[F], 0);
+              T.write(*UpCall[(F + 1) % NumFloors], 1);
+              break;
+            }
+          }
+          if (guardEnabled("controls.rebalance"))
+            T.lockRelease(ControlsMu);
+        }
+        T.yield();
+        continue;
+      }
+
+      // Controls.claimUp / claimDown: re-check and claim in a *second*
+      // critical section — the classic check-then-act atomicity bug:
+      // another lift can claim the same call between the peek and the
+      // claim.
+      bool Claimed = false;
+      {
+        std::vector<SharedVar *> &Board = GoingDown ? DownCall : UpCall;
+        AtomicRegion A(T, GoingDown ? "Controls.claimDown"
+                                    : "Controls.claimUp");
+        T.lockAcquire(ControlsMu);
+        Claimed = T.read(*Board[Found]) != 0;
+        T.lockRelease(ControlsMu);
+        if (Claimed) {
+          T.lockAcquire(ControlsMu);
+          T.write(*Board[Found], 0);
+          T.write(CallsLeft, T.read(CallsLeft) - 1);
+          T.lockRelease(ControlsMu);
+        }
+      }
+      if (!Claimed)
+        continue;
+
+      // Lift.move: travel to the floor. Pos is private to this lift
+      // thread; the single Display write publishes the new position, so
+      // the method stays self-serializable.
+      {
+        AtomicRegion A(T, "Lift.move");
+        int64_t At = T.read(Pos);
+        int Steps = static_cast<int>(At > Found ? At - Found : Found - At);
+        for (int S = 0; S < Steps; ++S)
+          T.write(Pos, T.read(Pos) + (At > Found ? -1 : 1));
+        T.write(*Display[L], Found);
+      }
+
+      // Lift.doorCycle: open the doors on arrival (private door state plus
+      // one published display write — self-serializable, like Lift.move).
+      {
+        AtomicRegion A(T, "Lift.doorCycle");
+        DoorState = 1;
+        T.write(*Display[L], Found * 10 + DoorState); // "doors open" indicator
+      }
+
+      // Lift.board: waiting count read in one critical section and
+      // decremented in another — lost-update bug under contention.
+      {
+        AtomicRegion A(T, "Lift.board");
+        T.lockAcquire(ControlsMu);
+        int64_t W = T.read(*Waiting[Found]);
+        T.lockRelease(ControlsMu);
+        if (W > 0) {
+          T.lockAcquire(ControlsMu);
+          T.write(*Waiting[Found], T.read(*Waiting[Found]) - 1);
+          T.lockRelease(ControlsMu);
+          T.write(Load, T.read(Load) + 1); // private to this lift
+        }
+      }
+
+      // Lift.unload: close doors, drop passengers (private state plus one
+      // published display write; trivially atomic).
+      {
+        AtomicRegion A(T, "Lift.unload");
+        DoorState = 0;
+        T.write(Load, 0);
+        T.write(*Display[L], Found * 10 + DoorState); // "doors closed" indicator
+      }
+
+      // Lift.recordStats: unguarded global counter RMW.
+      {
+        AtomicRegion A(T, "Lift.recordStats");
+        T.write(Delivered, T.read(Delivered) + 1);
+      }
+      (void)NumLifts;
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeElevator() {
+  return std::make_unique<ElevatorWorkload>();
+}
+
+} // namespace velo

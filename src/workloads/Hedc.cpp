@@ -1,0 +1,229 @@
+//===- workloads/Hedc.cpp - Astrophysics meta-crawler ----------------------===//
+//
+// Analogue of the `hedc` benchmark (von Praun & Gross): a meta-search tool
+// that fans worker threads out over astrophysics archives, merges results
+// into a shared table, and supports cancellation — the original hedc is the
+// source of a well-known lost-cancellation defect, reproduced here.
+//
+//   non-atomic (ground truth):
+//     Worker.processTask    checks the cancelled flag in one critical
+//                           section, publishes its result in another
+//                           (the lost-cancellation bug)
+//     MetaSearch.cancel     guarded flag write, unguarded cancel-count RMW
+//     TaskPool.getTask      size check and pop in two critical sections
+//     ResultTable.merge     entry count and payload guarded by *different*
+//                           locks, updated in sequence
+//     Stats.bump            completed-task counter RMW, no lock
+//     MetaSearch.pollStatus torn unguarded scan of table size and stats
+//
+//   atomic: TaskPool.put, ResultTable.lookup, Worker.fetch (private work)
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+namespace {
+
+class HedcWorkload : public Workload {
+public:
+  const char *name() const override { return "hedc"; }
+  const char *description() const override {
+    return "meta-crawler over astrophysics archives with cancellation";
+  }
+  const char *sourceFile() const override { return __FILE__; }
+
+  std::vector<std::string> nonAtomicMethods() const override {
+    return {"Worker.processTask", "MetaSearch.cancel",   "TaskPool.getTask",
+            "ResultTable.merge",  "Stats.bump",          "MetaSearch.pollStatus"};
+  }
+
+  std::vector<std::string> guardSites() const override {
+    return {"pool.mu", "table.mu"};
+  }
+
+  void run(Runtime &RT) const override {
+    const int NumWorkers = 4;
+    const int NumTasks = 12 * Scale;
+    const int TableCap = 16;
+
+    LockVar &PoolMu = RT.lock("TaskPool.mu");
+    LockVar &TableMu = RT.lock("ResultTable.mu");
+    LockVar &CountMu = RT.lock("ResultTable.countMu");
+    LockVar &CancelMu = RT.lock("MetaSearch.cancelMu");
+    SharedVar &PoolSize = RT.var("TaskPool.size");
+    SharedVar &Cancelled = RT.var("MetaSearch.cancelled");
+    SharedVar &CancelCount = RT.var("MetaSearch.cancelCount");
+    SharedVar &TableCount = RT.var("ResultTable.count");
+    SharedVar &Completed = RT.var("Stats.completed");
+    // Query plan: written by the front end before the workers fork.
+    SharedVar &PlanSources = RT.var("Planner.sources");
+    SharedVar &PlanDepth = RT.var("Planner.depth");
+    std::vector<SharedVar *> Pool, Table;
+    for (int I = 0; I < TableCap; ++I) {
+      Pool.push_back(&RT.var("TaskPool.tasks[" + std::to_string(I) + "]"));
+      Table.push_back(&RT.var("ResultTable.rows[" + std::to_string(I) + "]"));
+    }
+
+    bool GuardPool = guardEnabled("pool.mu");
+    bool GuardTable = guardEnabled("table.mu");
+
+    RT.run([&, NumWorkers, NumTasks, TableCap](MonitoredThread &Main) {
+      // Publish the query plan before any worker exists.
+      Main.write(PlanSources, 0b1011);
+      Main.write(PlanDepth, 2);
+
+      // TaskPool.put: seed the pool before forking (single sections).
+      for (int I = 0; I < NumTasks && I < TableCap; ++I) {
+        AtomicRegion A(Main, "TaskPool.put");
+        if (GuardPool)
+          Main.lockAcquire(PoolMu);
+        int64_t N = Main.read(PoolSize);
+        if (N < TableCap) {
+          Main.write(*Pool[N], 100 + I);
+          Main.write(PoolSize, N + 1);
+        }
+        if (GuardPool)
+          Main.lockRelease(PoolMu);
+      }
+
+      std::vector<Tid> Workers;
+      for (int W = 0; W < NumWorkers; ++W) {
+        Workers.push_back(Main.fork([&, TableCap](MonitoredThread &T) {
+          for (;;) {
+            // TaskPool.getTask: size probe and pop in separate sections.
+            int64_t Task = -1;
+            {
+              AtomicRegion A(T, "TaskPool.getTask");
+              if (GuardPool)
+                T.lockAcquire(PoolMu);
+              int64_t N = T.read(PoolSize);
+              if (GuardPool)
+                T.lockRelease(PoolMu);
+              if (N > 0) {
+                if (GuardPool)
+                  T.lockAcquire(PoolMu);
+                int64_t Now = T.read(PoolSize);
+                if (Now > 0) {
+                  Task = T.read(*Pool[Now - 1]);
+                  T.write(PoolSize, Now - 1);
+                }
+                if (GuardPool)
+                  T.lockRelease(PoolMu);
+              }
+            }
+            if (Task < 0)
+              return; // pool drained
+
+            // Planner.chooseArchives: pick which archives to query from
+            // the fork-published plan (atomic; lockset-racy reads, so an
+            // Atomizer false alarm like the paper's library reads).
+            int64_t ArchiveMask;
+            {
+              AtomicRegion A(T, "Planner.chooseArchives");
+              ArchiveMask = T.read(PlanSources) & (Task % 7 + 1);
+              ArchiveMask += T.read(PlanDepth);
+            }
+
+            // Worker.fetch: simulate archive I/O on private state.
+            int64_t Payload = 0;
+            {
+              AtomicRegion A(T, "Worker.fetch");
+              for (int K = 0; K < 4; ++K) {
+                Payload += Task * 7 + ArchiveMask % 3 +
+                           static_cast<int64_t>(T.rng().below(9));
+                T.yield(); // archive latency
+              }
+            }
+
+            // Worker.processTask: the lost-cancellation bug — cancelled is
+            // checked in one critical section, the result published in
+            // another, so a cancel can land in between.
+            {
+              AtomicRegion A(T, "Worker.processTask");
+              T.lockAcquire(CancelMu);
+              bool IsCancelled = T.read(Cancelled) != 0;
+              T.lockRelease(CancelMu);
+              if (IsCancelled) {
+                // Observed-cancellation counter: unguarded RMW shared with
+                // MetaSearch.cancel's own unguarded bump.
+                T.write(CancelCount, T.read(CancelCount) + 1);
+              }
+              if (!IsCancelled) {
+                if (GuardTable)
+                  T.lockAcquire(TableMu);
+                int64_t Row = Task % TableCap;
+                T.write(*Table[Row], Payload);
+                if (GuardTable)
+                  T.lockRelease(TableMu);
+              }
+            }
+
+            // ResultTable.merge: payload rows and the count are guarded by
+            // different locks, updated one after the other.
+            {
+              AtomicRegion A(T, "ResultTable.merge");
+              if (GuardTable)
+                T.lockAcquire(TableMu);
+              int64_t Row = (Task + 1) % TableCap;
+              T.write(*Table[Row], T.read(*Table[Row]) + Payload % 13);
+              if (GuardTable)
+                T.lockRelease(TableMu);
+              T.lockAcquire(CountMu);
+              T.write(TableCount, T.read(TableCount) + 1);
+              T.lockRelease(CountMu);
+            }
+
+            // Stats.bump: unguarded completed-task counter.
+            {
+              AtomicRegion A(T, "Stats.bump");
+              T.write(Completed, T.read(Completed) + 1);
+            }
+
+            // ResultTable.lookup: single critical section (atomic).
+            {
+              AtomicRegion A(T, "ResultTable.lookup");
+              if (GuardTable)
+                T.lockAcquire(TableMu);
+              int64_t V = T.read(*Table[Task % TableCap]);
+              (void)V;
+              if (GuardTable)
+                T.lockRelease(TableMu);
+            }
+          }
+        }));
+      }
+
+      // The front-end thread polls status and eventually cancels.
+      for (int R = 0; R < NumTasks; ++R) {
+        { // MetaSearch.pollStatus: unguarded torn scan.
+          AtomicRegion A(Main, "MetaSearch.pollStatus");
+          int64_t Rows = Main.read(TableCount);
+          int64_t Done = Main.read(Completed);
+          (void)Rows;
+          (void)Done;
+        }
+        if (R == NumTasks / 2) {
+          // MetaSearch.cancel: flag guarded, cancel counter not.
+          AtomicRegion A(Main, "MetaSearch.cancel");
+          Main.lockAcquire(CancelMu);
+          Main.write(Cancelled, 1);
+          Main.lockRelease(CancelMu);
+          Main.write(CancelCount, Main.read(CancelCount) + 1);
+        }
+        Main.yield();
+      }
+
+      for (Tid W : Workers)
+        Main.join(W);
+    });
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeHedc() {
+  return std::make_unique<HedcWorkload>();
+}
+
+} // namespace velo

@@ -1,0 +1,403 @@
+//===- workloads/Jigsaw.cpp - Jigsaw web server -----------------------------===//
+//
+// Analogue of `jigsaw`, W3C's Java web server, configured (as in the paper)
+// to serve a fixed number of pages to a crawler. The largest benchmark and
+// the largest warning count in Table 2 (55 methods flagged by the Atomizer,
+// 44 confirmed by Velodrome): a server is a pile of small shared services —
+// connection pool, resource cache, session table, logger, statistics,
+// configuration — each with its own small atomicity bugs.
+//
+//   non-atomic (ground truth):
+//     ConnPool.acquire        free-list probe and claim in two sections
+//     ConnPool.release        free count RMW split from slot write
+//     ResourceCache.lookupOrLoad   check-then-load
+//     ResourceCache.revalidate     staleness probe unguarded, refresh guarded
+//     SessionTable.createIfAbsent  check-then-create
+//     SessionTable.touch      last-used stamp RMW, no lock
+//     SessionTable.expireScan unguarded scan with guarded eviction
+//     Logger.append           cursor bump and slot write in two sections
+//     Logger.rotateCheck      size probe unguarded, reset guarded
+//     Stats.hit               hit counter RMW, no lock
+//     Stats.bytes             byte counter RMW, no lock
+//     Config.reload           multi-field write, second field unguarded
+//     Server.healthCheck      torn unguarded scan across services
+//     Auth.cacheToken         token check and install in two sections
+//     Mime.lookupOrInfer      unguarded check-then-init of the MIME cache
+//
+//   atomic: SessionTable.lookup, Config.readLimit, Auth.checkCredentials,
+//           Handler.serve (single sections / private work);
+//   atomic but Atomizer-flagged: VirtualHost.route (fork-published reads)
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+namespace {
+
+class JigsawWorkload : public Workload {
+public:
+  const char *name() const override { return "jigsaw"; }
+  const char *description() const override {
+    return "W3C Jigsaw-style web server serving a fixed crawl";
+  }
+  const char *sourceFile() const override { return __FILE__; }
+
+  std::vector<std::string> nonAtomicMethods() const override {
+    return {"ConnPool.acquire",         "ConnPool.release",
+            "ResourceCache.lookupOrLoad", "ResourceCache.revalidate",
+            "SessionTable.createIfAbsent", "SessionTable.touch",
+            "SessionTable.expireScan",  "Logger.append",
+            "Logger.rotateCheck",       "Stats.hit",
+            "Stats.bytes",              "Config.reload",
+            "Server.healthCheck",       "Auth.cacheToken",
+            "Mime.lookupOrInfer"};
+  }
+
+  std::vector<std::string> guardSites() const override {
+    return {"cache.mu", "session.mu", "logger.mu"};
+  }
+
+  void run(Runtime &RT) const override {
+    const int NumHandlers = 4;
+    const int Requests = 10 * Scale;
+    const int PoolSlots = 4;
+    const int CacheSlots = 6;
+    const int Sessions = 6;
+    const int LogCap = 32;
+
+    LockVar &PoolMu = RT.lock("ConnPool.mu");
+    LockVar &CacheMu = RT.lock("ResourceCache.mu");
+    LockVar &SessionMu = RT.lock("SessionTable.mu");
+    LockVar &LoggerMu = RT.lock("Logger.mu");
+    LockVar &ConfigMu = RT.lock("Config.mu");
+
+    SharedVar &PoolFree = RT.var("ConnPool.free");
+    SharedVar &LogCursor = RT.var("Logger.cursor");
+    SharedVar &HitCount = RT.var("Stats.hits");
+    SharedVar &ByteCount = RT.var("Stats.bytes");
+    SharedVar &CfgLimit = RT.var("Config.limit");
+    SharedVar &CfgTimeout = RT.var("Config.timeout");
+    // Virtual-host table: written once before the handlers fork.
+    SharedVar &VHostCount = RT.var("VirtualHost.count");
+    SharedVar &VHostDefault = RT.var("VirtualHost.default");
+    LockVar &AuthMu = RT.lock("Auth.mu");
+    std::vector<SharedVar *> AuthToken, AuthUser, MimeKey, MimeType;
+    const int AuthSlots = 4, MimeSlots = 4;
+    for (int I = 0; I < AuthSlots; ++I) {
+      AuthToken.push_back(&RT.var("Auth.token[" + std::to_string(I) + "]"));
+      AuthUser.push_back(&RT.var("Auth.user[" + std::to_string(I) + "]"));
+    }
+    for (int I = 0; I < MimeSlots; ++I) {
+      MimeKey.push_back(&RT.var("Mime.key[" + std::to_string(I) + "]"));
+      MimeType.push_back(&RT.var("Mime.type[" + std::to_string(I) + "]"));
+    }
+
+    std::vector<SharedVar *> PoolBusy, CacheKey, CacheBody, CacheStale,
+        SessionId, SessionUsed, LogSlot;
+    for (int I = 0; I < PoolSlots; ++I)
+      PoolBusy.push_back(&RT.var("ConnPool.busy[" + std::to_string(I) + "]"));
+    for (int I = 0; I < CacheSlots; ++I) {
+      CacheKey.push_back(
+          &RT.var("ResourceCache.key[" + std::to_string(I) + "]"));
+      CacheBody.push_back(
+          &RT.var("ResourceCache.body[" + std::to_string(I) + "]"));
+      CacheStale.push_back(
+          &RT.var("ResourceCache.stale[" + std::to_string(I) + "]"));
+    }
+    for (int I = 0; I < Sessions; ++I) {
+      SessionId.push_back(
+          &RT.var("SessionTable.id[" + std::to_string(I) + "]"));
+      SessionUsed.push_back(
+          &RT.var("SessionTable.used[" + std::to_string(I) + "]"));
+    }
+    for (int I = 0; I < LogCap; ++I)
+      LogSlot.push_back(&RT.var("Logger.slot[" + std::to_string(I) + "]"));
+
+    bool GCache = guardEnabled("cache.mu");
+    bool GSession = guardEnabled("session.mu");
+    bool GLogger = guardEnabled("logger.mu");
+
+    RT.run([&, NumHandlers, Requests, PoolSlots, CacheSlots, Sessions,
+            LogCap](MonitoredThread &Main) {
+      Main.write(PoolFree, PoolSlots);
+      Main.write(CfgLimit, 100);
+      Main.write(CfgTimeout, 30);
+      Main.write(VHostCount, 3); // fork-published, immutable afterwards
+      Main.write(VHostDefault, 1);
+
+      std::vector<Tid> Handlers;
+      for (int H = 0; H < NumHandlers; ++H) {
+        Handlers.push_back(Main.fork([&, Requests, PoolSlots, CacheSlots,
+                                      Sessions, LogCap](MonitoredThread &T) {
+          for (int Req = 0; Req < Requests; ++Req) {
+            int64_t Url = 2000 + static_cast<int64_t>(T.rng().below(24));
+            int Slot = static_cast<int>(Url % CacheSlots);
+            int Sess = static_cast<int>(Url % Sessions);
+
+            // ConnPool.acquire: probe the free count in one section, claim
+            // a slot in another.
+            int Conn = -1;
+            {
+              AtomicRegion A(T, "ConnPool.acquire");
+              T.lockAcquire(PoolMu);
+              int64_t Free = T.read(PoolFree);
+              T.lockRelease(PoolMu);
+              if (Free > 0) {
+                T.lockAcquire(PoolMu);
+                for (int I = 0; I < PoolSlots; ++I) {
+                  if (T.read(*PoolBusy[I]) == 0) {
+                    T.write(*PoolBusy[I], 1);
+                    T.write(PoolFree, T.read(PoolFree) - 1);
+                    Conn = I;
+                    break;
+                  }
+                }
+                T.lockRelease(PoolMu);
+              }
+            }
+            if (Conn < 0) {
+              T.yield();
+              continue;
+            }
+
+            // Config.readLimit: single critical section (atomic).
+            int64_t Limit;
+            {
+              AtomicRegion A(T, "Config.readLimit");
+              T.lockAcquire(ConfigMu);
+              Limit = T.read(CfgLimit);
+              T.lockRelease(ConfigMu);
+            }
+
+            // VirtualHost.route: fork-published host-table reads — atomic
+            // (immutable data) but lockset-racy, so an Atomizer false
+            // alarm, like jbb's config readers.
+            int VHost;
+            {
+              AtomicRegion A(T, "VirtualHost.route");
+              int64_t Hosts = T.read(VHostCount);
+              int64_t Fallback = T.read(VHostDefault);
+              VHost = static_cast<int>(Hosts > 0 ? Url % Hosts : Fallback);
+              (void)VHost;
+            }
+
+            // Auth.checkCredentials: guarded single section (atomic).
+            int ASlot = static_cast<int>(Url % AuthSlots);
+            bool Authed;
+            {
+              AtomicRegion A(T, "Auth.checkCredentials");
+              T.lockAcquire(AuthMu);
+              Authed = T.read(*AuthToken[ASlot]) == Url;
+              T.lockRelease(AuthMu);
+            }
+
+            // Auth.cacheToken: the token check and the token+user install
+            // are separate critical sections — a second session can
+            // install between them (check-then-act).
+            if (!Authed) {
+              AtomicRegion A(T, "Auth.cacheToken");
+              T.lockAcquire(AuthMu);
+              bool Empty = T.read(*AuthToken[ASlot]) == 0;
+              T.lockRelease(AuthMu);
+              if (Empty || T.rng().chance(1, 4)) {
+                T.lockAcquire(AuthMu);
+                T.write(*AuthToken[ASlot], Url);
+                T.write(*AuthUser[ASlot], Url % 97);
+                T.lockRelease(AuthMu);
+              }
+            }
+
+            // Mime.lookupOrInfer: unguarded check-then-init of the MIME
+            // cache (small, hot, and wrong — a classic).
+            {
+              AtomicRegion A(T, "Mime.lookupOrInfer");
+              int MSlot = static_cast<int>(Url % MimeSlots);
+              if (T.read(*MimeKey[MSlot]) != Url) {
+                T.write(*MimeKey[MSlot], Url);
+                T.write(*MimeType[MSlot], Url % 7);
+              }
+            }
+
+            // ResourceCache.lookupOrLoad: check-then-load.
+            int64_t Body;
+            {
+              AtomicRegion A(T, "ResourceCache.lookupOrLoad");
+              if (GCache)
+                T.lockAcquire(CacheMu);
+              bool Hit = T.read(*CacheKey[Slot]) == Url;
+              Body = Hit ? T.read(*CacheBody[Slot]) : -1;
+              if (GCache)
+                T.lockRelease(CacheMu);
+              if (!Hit) {
+                int64_t Loaded = Url * 13 % 509; // disk read (private)
+                if (GCache)
+                  T.lockAcquire(CacheMu);
+                T.write(*CacheKey[Slot], Url);
+                T.write(*CacheBody[Slot], Loaded);
+                T.write(*CacheStale[Slot], 0);
+                if (GCache)
+                  T.lockRelease(CacheMu);
+                Body = Loaded;
+              }
+            }
+
+            // ResourceCache.revalidate: unguarded staleness probe.
+            {
+              AtomicRegion A(T, "ResourceCache.revalidate");
+              if (T.read(*CacheStale[Slot]) != 0) {
+                if (GCache)
+                  T.lockAcquire(CacheMu);
+                T.write(*CacheStale[Slot], 0);
+                T.write(*CacheBody[Slot], Body + 1);
+                if (GCache)
+                  T.lockRelease(CacheMu);
+              }
+            }
+
+            // SessionTable.createIfAbsent + lookup + touch.
+            {
+              AtomicRegion A(T, "SessionTable.createIfAbsent");
+              if (GSession)
+                T.lockAcquire(SessionMu);
+              bool Absent = T.read(*SessionId[Sess]) != Url;
+              if (GSession)
+                T.lockRelease(SessionMu);
+              if (Absent) {
+                if (GSession)
+                  T.lockAcquire(SessionMu);
+                T.write(*SessionId[Sess], Url);
+                if (GSession)
+                  T.lockRelease(SessionMu);
+              }
+            }
+            {
+              AtomicRegion A(T, "SessionTable.lookup");
+              if (GSession)
+                T.lockAcquire(SessionMu);
+              T.read(*SessionId[Sess]);
+              if (GSession)
+                T.lockRelease(SessionMu);
+            }
+            {
+              // SessionTable.touch: unguarded last-used stamp RMW.
+              AtomicRegion A(T, "SessionTable.touch");
+              T.write(*SessionUsed[Sess], T.read(*SessionUsed[Sess]) + 1);
+            }
+
+            // Handler.serve: private work shaping the response, plus one
+            // unguarded timeout read (a single access cannot be pinned,
+            // but it gives Config.reload's unguarded timeout write a
+            // conflicting partner).
+            int64_t Bytes;
+            {
+              AtomicRegion A(T, "Handler.serve");
+              int64_t Timeout = T.read(CfgTimeout);
+              Bytes = (Body % Limit) + 64 + Timeout % 8;
+              for (int K = 0; K < 2; ++K)
+                Bytes += (Bytes * 7) % 31;
+            }
+
+            // Logger.append: cursor bump and slot write in two sections.
+            {
+              AtomicRegion A(T, "Logger.append");
+              if (GLogger)
+                T.lockAcquire(LoggerMu);
+              int64_t Cur = T.read(LogCursor);
+              T.write(LogCursor, (Cur + 1) % LogCap);
+              if (GLogger)
+                T.lockRelease(LoggerMu);
+              if (GLogger)
+                T.lockAcquire(LoggerMu);
+              T.write(*LogSlot[Cur % LogCap], Url);
+              if (GLogger)
+                T.lockRelease(LoggerMu);
+            }
+
+            // Logger.rotateCheck: unguarded cursor probe, guarded reset.
+            {
+              AtomicRegion A(T, "Logger.rotateCheck");
+              if (T.read(LogCursor) >= LogCap - 2) {
+                if (GLogger)
+                  T.lockAcquire(LoggerMu);
+                T.write(LogCursor, 0);
+                if (GLogger)
+                  T.lockRelease(LoggerMu);
+              }
+            }
+
+            // Stats.hit / Stats.bytes: unguarded counters.
+            {
+              AtomicRegion A(T, "Stats.hit");
+              T.write(HitCount, T.read(HitCount) + 1);
+            }
+            {
+              AtomicRegion A(T, "Stats.bytes");
+              T.write(ByteCount, T.read(ByteCount) + Bytes);
+            }
+
+            // ConnPool.release: slot write and free-count bump in two
+            // critical sections.
+            {
+              AtomicRegion A(T, "ConnPool.release");
+              T.lockAcquire(PoolMu);
+              T.write(*PoolBusy[Conn], 0);
+              T.lockRelease(PoolMu);
+              T.lockAcquire(PoolMu);
+              T.write(PoolFree, T.read(PoolFree) + 1);
+              T.lockRelease(PoolMu);
+            }
+          }
+        }));
+      }
+
+      // The admin thread reloads config, scans sessions, health-checks.
+      for (int R = 0; R < Requests; ++R) {
+        switch (R % 3) {
+        case 0: { // Config.reload: second field written unguarded.
+          AtomicRegion A(Main, "Config.reload");
+          Main.lockAcquire(ConfigMu);
+          Main.write(CfgLimit, 100 + R);
+          Main.lockRelease(ConfigMu);
+          Main.write(CfgTimeout, 30 + R % 5);
+          break;
+        }
+        case 1: { // SessionTable.expireScan: unguarded scan + eviction.
+          AtomicRegion A(Main, "SessionTable.expireScan");
+          for (int S = 0; S < Sessions; ++S) {
+            if (Main.read(*SessionUsed[S]) > 8) {
+              if (GSession)
+                Main.lockAcquire(SessionMu);
+              Main.write(*SessionId[S], 0);
+              if (GSession)
+                Main.lockRelease(SessionMu);
+              Main.write(*SessionUsed[S], 0);
+            }
+          }
+          break;
+        }
+        default: { // Server.healthCheck: torn scan across services.
+          AtomicRegion A(Main, "Server.healthCheck");
+          int64_t Hits = Main.read(HitCount);
+          int64_t Free = Main.read(PoolFree);
+          int64_t Cur = Main.read(LogCursor);
+          (void)(Hits + Free + Cur);
+          break;
+        }
+        }
+        Main.yield();
+      }
+
+      for (Tid H : Handlers)
+        Main.join(H);
+    });
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeJigsaw() {
+  return std::make_unique<JigsawWorkload>();
+}
+
+} // namespace velo

@@ -1,0 +1,157 @@
+//===- workloads/Moldyn.cpp - Molecular dynamics (Java Grande) -------------===//
+//
+// Analogue of `moldyn` from the Java Grande suite: N-body molecular
+// dynamics. Each thread owns a partition of particles; force contributions
+// onto *other* threads' particles are accumulated into shared force slots,
+// the per-step energy is reduced globally, and steps are separated by the
+// same spin barrier idiom as sor.
+//
+//   non-atomic (ground truth):
+//     Moldyn.accumForces   cross-partition force slot += with no lock
+//     Moldyn.reduceEnergy  global energy RMW, no lock
+//     Moldyn.barrier       spin barrier (requires interleaving)
+//     Moldyn.updateStats   interaction-counter RMW, no lock
+//
+//   atomic: Moldyn.moveParticles (own partition only), Moldyn.init
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+namespace {
+
+class MoldynWorkload : public Workload {
+public:
+  const char *name() const override { return "moldyn"; }
+  const char *description() const override {
+    return "Java Grande molecular dynamics with shared force accumulation";
+  }
+  const char *sourceFile() const override { return __FILE__; }
+
+  std::vector<std::string> nonAtomicMethods() const override {
+    return {"Moldyn.accumForces", "Moldyn.reduceEnergy", "Moldyn.barrier",
+            "Moldyn.updateStats"};
+  }
+
+  std::vector<std::string> guardSites() const override {
+    return {"force.mu"};
+  }
+
+  void run(Runtime &RT) const override {
+    const int NumThreads = 3;
+    const int Particles = 9; // 3 per thread
+    const int Steps = 3 * Scale;
+
+    std::vector<SharedVar *> PosX, Force;
+    for (int P = 0; P < Particles; ++P) {
+      PosX.push_back(&RT.var("Particle.x[" + std::to_string(P) + "]"));
+      Force.push_back(&RT.var("Particle.force[" + std::to_string(P) + "]"));
+    }
+    SharedVar &Energy = RT.var("Moldyn.energy");
+    SharedVar &Interactions = RT.var("Moldyn.interactions");
+    LockVar &BarrierMu = RT.lock("Barrier.mu");
+    SharedVar &BarrierCount = RT.var("Barrier.count");
+    SharedVar &BarrierGen = RT.var("Barrier.generation");
+    LockVar &ForceMu = RT.lock("Force.mu");
+
+    bool GuardForce = guardEnabled("force.mu");
+    (void)GuardForce; // the base program ships *without* the force lock —
+                      // that is the accumForces bug; the injection study
+                      // instead removes guards from correct workloads.
+
+    RT.run([&, NumThreads, Particles, Steps](MonitoredThread &Main) {
+      { // Moldyn.init (pre-fork).
+        AtomicRegion A(Main, "Moldyn.init");
+        for (int P = 0; P < Particles; ++P) {
+          Main.write(*PosX[P], P * 13 % 50);
+          Main.write(*Force[P], 0);
+        }
+        Main.write(BarrierCount, 0);
+        Main.write(BarrierGen, 0);
+      }
+
+      auto Barrier = [&, NumThreads](MonitoredThread &T) {
+        AtomicRegion A(T, "Moldyn.barrier");
+        T.lockAcquire(BarrierMu);
+        int64_t Gen = T.read(BarrierGen);
+        int64_t Arrived = T.read(BarrierCount) + 1;
+        T.write(BarrierCount, Arrived);
+        bool Last = Arrived == NumThreads;
+        if (Last) {
+          T.write(BarrierCount, 0);
+          T.write(BarrierGen, Gen + 1);
+        }
+        T.lockRelease(BarrierMu);
+        if (!Last)
+          while (T.read(BarrierGen) == Gen)
+            T.yield();
+      };
+
+      std::vector<Tid> Threads;
+      int PerThread = Particles / NumThreads;
+      for (int W = 0; W < NumThreads; ++W) {
+        int First = W * PerThread, Last = (W + 1) * PerThread;
+        Threads.push_back(Main.fork([&, First, Last, Particles,
+                                     Steps](MonitoredThread &T) {
+          for (int Step = 0; Step < Steps; ++Step) {
+            // Force phase: each thread computes pair interactions for its
+            // particles and accumulates into *both* particles' slots.
+            for (int I = First; I < Last; ++I) {
+              int64_t Xi = T.read(*PosX[I]);
+              for (int J = 0; J < Particles; ++J) {
+                if (J == I)
+                  continue;
+                // Moldyn.accumForces: the cross-partition += is unguarded
+                // (ForceMu exists in the code base but is not used on this
+                // path — the original benchmark's defect).
+                AtomicRegion A(T, "Moldyn.accumForces");
+                int64_t Xj = T.read(*PosX[J]);
+                int64_t F = (Xi - Xj) % 7;
+                T.write(*Force[I], T.read(*Force[I]) + F);
+                T.write(*Force[J], T.read(*Force[J]) - F);
+              }
+            }
+
+            { // Moldyn.updateStats: unguarded interaction counter.
+              AtomicRegion A(T, "Moldyn.updateStats");
+              T.write(Interactions,
+                      T.read(Interactions) + (Last - First) * Particles);
+            }
+
+            Barrier(T);
+
+            // Move phase: strictly own partition (atomic).
+            int64_t LocalEnergy = 0;
+            for (int I = First; I < Last; ++I) {
+              AtomicRegion A(T, "Moldyn.moveParticles");
+              int64_t F = T.read(*Force[I]);
+              int64_t X = T.read(*PosX[I]);
+              T.write(*PosX[I], X + F % 5);
+              T.write(*Force[I], 0);
+              LocalEnergy += F * F;
+            }
+
+            { // Moldyn.reduceEnergy: unguarded global reduction.
+              AtomicRegion A(T, "Moldyn.reduceEnergy");
+              T.write(Energy, T.read(Energy) + LocalEnergy);
+            }
+
+            Barrier(T);
+          }
+        }));
+      }
+      for (Tid W : Threads)
+        Main.join(W);
+    });
+    (void)ForceMu;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeMoldyn() {
+  return std::make_unique<MoldynWorkload>();
+}
+
+} // namespace velo

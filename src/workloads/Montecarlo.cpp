@@ -1,0 +1,176 @@
+//===- workloads/Montecarlo.cpp - Monte Carlo pricing (Java Grande) --------===//
+//
+// Analogue of `montecarlo` from the Java Grande suite: worker threads run
+// independent price-path simulations and publish results into a shared
+// results vector with global running statistics.
+//
+//   non-atomic (ground truth):
+//     Results.add             size check and append in separate sections
+//     MonteCarlo.aggregate    reads the results vector size in one section,
+//                             sums entries in another
+//     Stats.sumPrice          running sum RMW, no lock
+//     Stats.sumSquares        running sum-of-squares RMW, no lock
+//     Seeds.next              global seed cursor RMW, no lock
+//     MonteCarlo.progress     torn unguarded scan (count vs sum)
+//
+//   atomic: MonteCarlo.simulate (private path generation),
+//           Results.count (single section)
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+namespace {
+
+class MontecarloWorkload : public Workload {
+public:
+  const char *name() const override { return "montecarlo"; }
+  const char *description() const override {
+    return "Java Grande Monte Carlo option pricing with shared statistics";
+  }
+  const char *sourceFile() const override { return __FILE__; }
+
+  std::vector<std::string> nonAtomicMethods() const override {
+    return {"Results.add",      "MonteCarlo.aggregate", "Stats.sumPrice",
+            "Stats.sumSquares", "Seeds.next",           "MonteCarlo.progress",
+            "Stats.variance"};
+  }
+
+  std::vector<std::string> guardSites() const override {
+    return {"results.mu"};
+  }
+
+  void run(Runtime &RT) const override {
+    const int NumWorkers = 4;
+    const int Runs = 8 * Scale;
+    const int Cap = 32;
+
+    LockVar &ResultsMu = RT.lock("Results.mu");
+    SharedVar &ResultsCount = RT.var("Results.count");
+    SharedVar &SumPrice = RT.var("Stats.sumPrice");
+    SharedVar &SumSquares = RT.var("Stats.sumSquares");
+    SharedVar &SeedCursor = RT.var("Seeds.cursor");
+    std::vector<SharedVar *> Results;
+    for (int I = 0; I < Cap; ++I)
+      Results.push_back(&RT.var("Results.data[" + std::to_string(I) + "]"));
+
+    bool Guard = guardEnabled("results.mu");
+
+    RT.run([&, NumWorkers, Runs, Cap](MonitoredThread &Main) {
+      std::vector<Tid> Workers;
+      for (int W = 0; W < NumWorkers; ++W) {
+        Workers.push_back(Main.fork([&, Runs, Cap](MonitoredThread &T) {
+          for (int R = 0; R < Runs; ++R) {
+            // Seeds.next: global seed cursor bumped with no lock.
+            int64_t Seed;
+            {
+              AtomicRegion A(T, "Seeds.next");
+              Seed = T.read(SeedCursor);
+              T.write(SeedCursor, Seed + 1);
+            }
+
+            // MonteCarlo.simulate: private path generation (atomic).
+            int64_t Price = 0;
+            {
+              AtomicRegion A(T, "MonteCarlo.simulate");
+              int64_t S = Seed * 2654435761u % 1000 + 1;
+              for (int Step = 0; Step < 6; ++Step) {
+                S = (S * 1103515245 + 12345) % 100000;
+                Price += S % 200 - 100;
+              }
+              if (Price < 0)
+                Price = -Price;
+            }
+
+            // Results.add: capacity check and append in two sections.
+            {
+              AtomicRegion A(T, "Results.add");
+              if (Guard)
+                T.lockAcquire(ResultsMu);
+              int64_t N = T.read(ResultsCount);
+              if (Guard)
+                T.lockRelease(ResultsMu);
+              if (N < Cap) {
+                if (Guard)
+                  T.lockAcquire(ResultsMu);
+                int64_t Now = T.read(ResultsCount);
+                if (Now < Cap) {
+                  T.write(*Results[Now], Price);
+                  T.write(ResultsCount, Now + 1);
+                }
+                if (Guard)
+                  T.lockRelease(ResultsMu);
+              }
+            }
+
+            // Stats.sumPrice / Stats.sumSquares: unguarded running sums.
+            {
+              AtomicRegion A(T, "Stats.sumPrice");
+              T.write(SumPrice, T.read(SumPrice) + Price);
+            }
+            {
+              AtomicRegion A(T, "Stats.sumSquares");
+              T.write(SumSquares, T.read(SumSquares) + Price * Price);
+            }
+
+            // Stats.variance: reads both running sums with no lock — a
+            // torn pair (E[X^2] from one instant, E[X] from another).
+            if (R % 3 == 0) {
+              AtomicRegion A(T, "Stats.variance");
+              int64_t Sq = T.read(SumSquares);
+              int64_t Mean = T.read(SumPrice);
+              (void)(Sq - Mean * Mean);
+            }
+          }
+        }));
+      }
+
+      // The coordinator polls progress and aggregates concurrently.
+      for (int R = 0; R < Runs; ++R) {
+        { // MonteCarlo.progress: torn unguarded scan.
+          AtomicRegion A(Main, "MonteCarlo.progress");
+          int64_t Done = Main.read(ResultsCount);
+          int64_t Sum = Main.read(SumPrice);
+          (void)(Done + Sum);
+        }
+        { // MonteCarlo.aggregate: size in one section, sum in another.
+          AtomicRegion A(Main, "MonteCarlo.aggregate");
+          if (Guard)
+            Main.lockAcquire(ResultsMu);
+          int64_t N = Main.read(ResultsCount);
+          if (Guard)
+            Main.lockRelease(ResultsMu);
+          int64_t Sum = 0;
+          if (Guard)
+            Main.lockAcquire(ResultsMu);
+          for (int64_t I = 0; I < N && I < Cap; ++I)
+            Sum += Main.read(*Results[I]);
+          if (Guard)
+            Main.lockRelease(ResultsMu);
+          (void)Sum;
+        }
+        { // Results.count: single critical section (atomic).
+          AtomicRegion A(Main, "Results.count");
+          if (Guard)
+            Main.lockAcquire(ResultsMu);
+          Main.read(ResultsCount);
+          if (Guard)
+            Main.lockRelease(ResultsMu);
+        }
+        Main.yield();
+      }
+
+      for (Tid W : Workers)
+        Main.join(W);
+    });
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeMontecarlo() {
+  return std::make_unique<MontecarloWorkload>();
+}
+
+} // namespace velo

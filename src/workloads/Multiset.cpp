@@ -1,0 +1,198 @@
+//===- workloads/Multiset.cpp - The Set/Vector example ---------------------===//
+//
+// Analogue of the `multiset` benchmark and the paper's introductory Set
+// example: a Set built on a synchronized Vector. Every Vector method takes
+// the vector's own lock, so the program is race-free — yet Set methods that
+// make *two* Vector calls are not atomic, exactly the class of bug the
+// introduction motivates.
+//
+//   non-atomic (ground truth):
+//     Set.add          if (!contains(x)) add(x)       (check-then-act)
+//     Set.remove       if (contains(x)) removeElem(x) (check-then-act)
+//     Set.addAll       loop of adds, each its own critical section
+//     Set.containsAll  loop of contains calls
+//     Set.checkRep     reads the size twice and compares (torn read)
+//
+//   atomic: Set.contains, Set.size, Set.clear (single Vector call each)
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+namespace {
+
+class MultisetWorkload : public Workload {
+public:
+  const char *name() const override { return "multiset"; }
+  const char *description() const override {
+    return "Set built on a synchronized Vector (intro's Set.add example)";
+  }
+  const char *sourceFile() const override { return __FILE__; }
+
+  std::vector<std::string> nonAtomicMethods() const override {
+    return {"Set.add", "Set.remove", "Set.addAll", "Set.containsAll",
+            "Set.checkRep"};
+  }
+
+  std::vector<std::string> guardSites() const override {
+    return {"vector.mu"};
+  }
+
+  void run(Runtime &RT) const override {
+    const int NumWorkers = 4;
+    const int OpsPerWorker = 20 * Scale;
+    const int Slots = 8;
+
+    LockVar &VecMu = RT.lock("Vector.mu");
+    SharedVar &Count = RT.var("Vector.count");
+    std::vector<SharedVar *> Data;
+    for (int I = 0; I < Slots; ++I)
+      Data.push_back(&RT.var("Vector.data[" + std::to_string(I) + "]"));
+    std::vector<SharedVar *> HashOf;
+    for (int W = 0; W < NumWorkers + 1; ++W)
+      HashOf.push_back(&RT.var("Set.hashScratch[" + std::to_string(W) + "]"));
+
+    bool Guard = guardEnabled("vector.mu");
+
+    // --- The synchronized Vector (each method one critical section) ---
+    auto VecContains = [&, Guard](MonitoredThread &T, int64_t X) {
+      if (Guard)
+        T.lockAcquire(VecMu);
+      bool Found = false;
+      int64_t N = T.read(Count);
+      for (int64_t I = 0; I < N && I < Slots; ++I)
+        if (T.read(*Data[I]) == X) {
+          Found = true;
+          break;
+        }
+      if (Guard)
+        T.lockRelease(VecMu);
+      return Found;
+    };
+    auto VecAdd = [&, Guard](MonitoredThread &T, int64_t X) {
+      if (Guard)
+        T.lockAcquire(VecMu);
+      int64_t N = T.read(Count);
+      if (N < Slots) {
+        T.write(*Data[N], X);
+        T.write(Count, N + 1);
+      }
+      if (Guard)
+        T.lockRelease(VecMu);
+    };
+    auto VecRemove = [&, Guard](MonitoredThread &T, int64_t X) {
+      if (Guard)
+        T.lockAcquire(VecMu);
+      int64_t N = T.read(Count);
+      for (int64_t I = 0; I < N && I < Slots; ++I) {
+        if (T.read(*Data[I]) == X) {
+          // Shift-down removal, as Vector does.
+          for (int64_t J = I; J + 1 < N && J + 1 < Slots; ++J)
+            T.write(*Data[J], T.read(*Data[J + 1]));
+          T.write(Count, N - 1);
+          break;
+        }
+      }
+      if (Guard)
+        T.lockRelease(VecMu);
+    };
+    auto VecSize = [&, Guard](MonitoredThread &T) {
+      if (Guard)
+        T.lockAcquire(VecMu);
+      int64_t N = T.read(Count);
+      if (Guard)
+        T.lockRelease(VecMu);
+      return N;
+    };
+    auto VecClear = [&, Guard](MonitoredThread &T) {
+      if (Guard)
+        T.lockAcquire(VecMu);
+      T.write(Count, 0);
+      if (Guard)
+        T.lockRelease(VecMu);
+    };
+
+    RT.run([&, NumWorkers, OpsPerWorker](MonitoredThread &Main) {
+      std::vector<Tid> Workers;
+      for (int W = 0; W < NumWorkers; ++W) {
+        Workers.push_back(Main.fork([&, OpsPerWorker](MonitoredThread &T) {
+          for (int OpIdx = 0; OpIdx < OpsPerWorker; ++OpIdx) {
+            int64_t X = static_cast<int64_t>(T.rng().below(6));
+            // Hash mixing between Set calls: unannotated, per-thread work
+            // (unary transactions; merged away by Figure 4, one node per
+            // access under the naive rule — multiset's 218,000 vs 8
+            // allocations in Table 1).
+            {
+              SharedVar &H = *HashOf[T.id() % HashOf.size()];
+              for (int K = 0; K < 12; ++K)
+                T.write(H, (T.read(H) * 31 + X + K) % 997);
+            }
+            switch (T.rng().below(8)) {
+            case 0:
+            case 1:
+            case 2: { // Set.add: the motivating bug
+              AtomicRegion A(T, "Set.add");
+              if (!VecContains(T, X))
+                VecAdd(T, X);
+              break;
+            }
+            case 3: { // Set.remove
+              AtomicRegion A(T, "Set.remove");
+              if (VecContains(T, X))
+                VecRemove(T, X);
+              break;
+            }
+            case 4: { // Set.addAll
+              AtomicRegion A(T, "Set.addAll");
+              for (int64_t V = X; V < X + 2; ++V)
+                if (!VecContains(T, V))
+                  VecAdd(T, V);
+              break;
+            }
+            case 5: { // Set.containsAll
+              AtomicRegion A(T, "Set.containsAll");
+              bool All = true;
+              for (int64_t V = X; V < X + 2; ++V)
+                All = All && VecContains(T, V);
+              (void)All;
+              break;
+            }
+            case 6: { // Set.contains / Set.size: atomic single calls
+              {
+                AtomicRegion A(T, "Set.contains");
+                VecContains(T, X);
+              }
+              {
+                AtomicRegion A(T, "Set.size");
+                VecSize(T);
+              }
+              break;
+            }
+            case 7: { // Set.checkRep: reads size twice without the lock
+              AtomicRegion A(T, "Set.checkRep");
+              int64_t N1 = T.read(Count);
+              int64_t N2 = T.read(Count);
+              if (N1 != N2 && T.rng().chance(1, 2)) {
+                AtomicRegion B(T, "Set.clear");
+                VecClear(T);
+              }
+              break;
+            }
+            }
+          }
+        }));
+      }
+      for (Tid W : Workers)
+        Main.join(W);
+    });
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeMultiset() {
+  return std::make_unique<MultisetWorkload>();
+}
+
+} // namespace velo

@@ -1,0 +1,126 @@
+//===- workloads/Philo.cpp - Dining philosophers ---------------------------===//
+//
+// Analogue of the `philo` benchmark: N dining philosophers with one fork
+// lock between each pair, ordered acquisition to avoid deadlock, a shared
+// servings pot, and a progress monitor.
+//
+//   non-atomic (ground truth):
+//     Philosopher.eat       servings pot RMW under the philosopher's two
+//                           fork locks — philosophers across the table hold
+//                           disjoint fork pairs, so pot updates interleave
+//     Table.reportProgress  unguarded scan of every philosopher's meal
+//                           counter (torn read across writers)
+//
+//   atomic: Philosopher.think (private state), Philosopher.updateStats
+//           (stats lock), Table.setUp (runs before the forks start)
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+namespace {
+
+class PhiloWorkload : public Workload {
+public:
+  const char *name() const override { return "philo"; }
+  const char *description() const override {
+    return "dining philosophers with ordered fork acquisition";
+  }
+  const char *sourceFile() const override { return __FILE__; }
+
+  std::vector<std::string> nonAtomicMethods() const override {
+    return {"Philosopher.eat", "Table.reportProgress"};
+  }
+
+  std::vector<std::string> guardSites() const override {
+    return {"stats.mu"};
+  }
+
+  void run(Runtime &RT) const override {
+    const int NumPhilos = 5;
+    const int Meals = 6 * Scale;
+
+    std::vector<LockVar *> Forks;
+    std::vector<SharedVar *> MealCount;
+    for (int P = 0; P < NumPhilos; ++P) {
+      Forks.push_back(&RT.lock("Fork[" + std::to_string(P) + "]"));
+      MealCount.push_back(&RT.var("Philosopher.meals[" + std::to_string(P) +
+                                  "]"));
+    }
+    SharedVar &Servings = RT.var("Table.servings");
+    SharedVar &TotalMeals = RT.var("Stats.totalMeals");
+    LockVar &StatsMu = RT.lock("Stats.mu");
+
+    RT.run([&, NumPhilos, Meals](MonitoredThread &Main) {
+      {
+        // Table.setUp runs before any philosopher exists: trivially serial.
+        AtomicRegion A(Main, "Table.setUp");
+        Main.write(Servings, NumPhilos * Meals);
+        for (int P = 0; P < NumPhilos; ++P)
+          Main.write(*MealCount[P], 0);
+      }
+
+      std::vector<Tid> Philos;
+      for (int P = 0; P < NumPhilos; ++P) {
+        Philos.push_back(Main.fork([&, P, NumPhilos, Meals](
+                                       MonitoredThread &T) {
+          int Left = P, Right = (P + 1) % NumPhilos;
+          // Ordered acquisition prevents deadlock.
+          LockVar &First = *Forks[Left < Right ? Left : Right];
+          LockVar &Second = *Forks[Left < Right ? Right : Left];
+          int64_t Thoughts = 0;
+          for (int M = 0; M < Meals; ++M) {
+            { // Philosopher.think: private state only.
+              AtomicRegion A(T, "Philosopher.think");
+              Thoughts += static_cast<int64_t>(T.rng().below(10));
+              T.yield();
+            }
+            { // Philosopher.eat: pot RMW under this pair of forks only.
+              AtomicRegion A(T, "Philosopher.eat");
+              T.lockAcquire(First);
+              T.lockAcquire(Second);
+              int64_t Pot = T.read(Servings);
+              if (Pot > 0)
+                T.write(Servings, Pot - 1);
+              T.write(*MealCount[P], T.read(*MealCount[P]) + 1);
+              T.lockRelease(Second);
+              T.lockRelease(First);
+            }
+            { // Philosopher.updateStats: global counter under its own lock.
+              AtomicRegion A(T, "Philosopher.updateStats");
+              if (guardEnabled("stats.mu"))
+                T.lockAcquire(StatsMu);
+              T.write(TotalMeals, T.read(TotalMeals) + 1);
+              if (guardEnabled("stats.mu"))
+                T.lockRelease(StatsMu);
+            }
+          }
+          (void)Thoughts;
+        }));
+      }
+
+      // Table.reportProgress: the monitor scans every meal counter with no
+      // locks while philosophers are still eating.
+      for (int Round = 0; Round < Meals; ++Round) {
+        AtomicRegion A(Main, "Table.reportProgress");
+        int64_t Sum = 0;
+        for (int P = 0; P < NumPhilos; ++P)
+          Sum += Main.read(*MealCount[P]);
+        (void)Sum;
+        Main.yield();
+      }
+
+      for (Tid P : Philos)
+        Main.join(P);
+    });
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makePhilo() {
+  return std::make_unique<PhiloWorkload>();
+}
+
+} // namespace velo

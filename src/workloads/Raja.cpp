@@ -1,0 +1,93 @@
+//===- workloads/Raja.cpp - Raja ray tracer (clean) ------------------------===//
+//
+// Analogue of the `raja` ray tracer: the one benchmark on which *both*
+// tools report nothing (Table 2: 0 warnings, 0 false alarms). Raja's
+// concurrency is disciplined: static row partitioning (no shared cursor),
+// per-method single critical sections over one lock, and otherwise
+// thread-local state — so every atomic method is reducible (no Atomizer
+// warning) and every trace is serializable (no Velodrome warning).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+namespace {
+
+class RajaWorkload : public Workload {
+public:
+  const char *name() const override { return "raja"; }
+  const char *description() const override {
+    return "cleanly synchronized ray tracer (no warnings expected)";
+  }
+  const char *sourceFile() const override { return __FILE__; }
+
+  std::vector<std::string> nonAtomicMethods() const override { return {}; }
+
+  std::vector<std::string> guardSites() const override {
+    return {"image.mu"};
+  }
+
+  void run(Runtime &RT) const override {
+    const int NumThreads = 3;
+    const int RowsPerThread = 6 * Scale;
+
+    LockVar &ImageMu = RT.lock("Image.mu");
+    SharedVar &ImageSum = RT.var("Image.sum");
+    SharedVar &RowsDone = RT.var("Image.rowsDone");
+    bool Guard = guardEnabled("image.mu");
+
+    RT.run([&, NumThreads, RowsPerThread](MonitoredThread &Main) {
+      std::vector<Tid> Workers;
+      for (int W = 0; W < NumThreads; ++W) {
+        Workers.push_back(Main.fork([&, W, RowsPerThread](
+                                        MonitoredThread &T) {
+          // Static partition: rows [W*RowsPerThread, (W+1)*RowsPerThread).
+          for (int R = 0; R < RowsPerThread; ++R) {
+            // Raja.traceRow: entirely thread-local ray computation.
+            int64_t RowSum = 0;
+            {
+              AtomicRegion A(T, "Raja.traceRow");
+              int Row = W * RowsPerThread + R;
+              for (int Px = 0; Px < 5; ++Px) {
+                int64_t Hit = (Row * 37 + Px * 11) % 23;
+                RowSum += Hit * Hit % 101;
+              }
+            }
+            // Raja.commitRow: one critical section, both shared updates
+            // inside it.
+            {
+              AtomicRegion A(T, "Raja.commitRow");
+              if (Guard)
+                T.lockAcquire(ImageMu);
+              T.write(ImageSum, T.read(ImageSum) + RowSum);
+              T.write(RowsDone, T.read(RowsDone) + 1);
+              if (Guard)
+                T.lockRelease(ImageMu);
+            }
+          }
+        }));
+      }
+      for (Tid W : Workers)
+        Main.join(W);
+
+      // Raja.finish: post-join read-out (ordered by join edges).
+      AtomicRegion A(Main, "Raja.finish");
+      if (Guard)
+        Main.lockAcquire(ImageMu);
+      int64_t Sum = Main.read(ImageSum);
+      int64_t Done = Main.read(RowsDone);
+      (void)(Sum + Done);
+      if (Guard)
+        Main.lockRelease(ImageMu);
+    });
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeRaja() {
+  return std::make_unique<RajaWorkload>();
+}
+
+} // namespace velo

@@ -1,0 +1,132 @@
+//===- workloads/Raytracer.cpp - Java Grande ray tracer --------------------===//
+//
+// Analogue of `raytracer` from the Java Grande suite, carrying its famous
+// defect: the render checksum is accumulated with no synchronization. A
+// second, much narrower defect (a one-shot check-then-act on a shared
+// scratch buffer) fires only under tight interleavings — the paper reports
+// Velodrome initially detected 1 of raytracer's 2 non-atomic methods and
+// found the second only with Atomizer-guided adversarial scheduling.
+//
+//   non-atomic (ground truth):
+//     RayTracer.addChecksum  unguarded checksum += (the JGF bug)
+//     Scene.reuseBuffer      one-shot buffer-claim check-then-act with a
+//                            single-operation window (rarely interleaved)
+//
+//   atomic: RayTracer.renderRow (row locks), Scene.build (pre-fork),
+//           RayTracer.nextRow (single critical section)
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+namespace {
+
+class RaytracerWorkload : public Workload {
+public:
+  const char *name() const override { return "raytracer"; }
+  const char *description() const override {
+    return "Java Grande ray tracer with the unguarded checksum defect";
+  }
+  const char *sourceFile() const override { return __FILE__; }
+
+  std::vector<std::string> nonAtomicMethods() const override {
+    return {"RayTracer.addChecksum", "Scene.reuseBuffer"};
+  }
+
+  std::vector<std::string> guardSites() const override {
+    return {"row.mu"};
+  }
+
+  void run(Runtime &RT) const override {
+    const int NumThreads = 3;
+    const int Rows = 9 * Scale;
+
+    SharedVar &Checksum = RT.var("RayTracer.checksum");
+    SharedVar &RowCursor = RT.var("RayTracer.rowCursor");
+    SharedVar &BufferOwner = RT.var("Scene.bufferOwner");
+    LockVar &CursorMu = RT.lock("RayTracer.cursorMu");
+    std::vector<SharedVar *> Pixels;
+    std::vector<LockVar *> RowMu;
+    const int PixelRows = 4;
+    for (int R = 0; R < PixelRows; ++R) {
+      Pixels.push_back(&RT.var("Image.row[" + std::to_string(R) + "]"));
+      RowMu.push_back(&RT.lock("Image.rowMu[" + std::to_string(R) + "]"));
+    }
+    SharedVar &SceneSize = RT.var("Scene.size");
+
+    bool GuardRow = guardEnabled("row.mu");
+
+    RT.run([&, NumThreads, Rows, PixelRows](MonitoredThread &Main) {
+      { // Scene.build: pre-fork (atomic).
+        AtomicRegion A(Main, "Scene.build");
+        Main.write(SceneSize, 64);
+        Main.write(BufferOwner, -1);
+      }
+
+      std::vector<Tid> Renderers;
+      for (int W = 0; W < NumThreads; ++W) {
+        Renderers.push_back(Main.fork([&, W, Rows, PixelRows](
+                                          MonitoredThread &T) {
+          bool TriedBuffer = false;
+          for (;;) {
+            // RayTracer.nextRow: single critical section (atomic).
+            int64_t Row;
+            {
+              AtomicRegion A(T, "RayTracer.nextRow");
+              T.lockAcquire(CursorMu);
+              Row = T.read(RowCursor);
+              if (Row < Rows)
+                T.write(RowCursor, Row + 1);
+              T.lockRelease(CursorMu);
+            }
+            if (Row >= Rows)
+              return;
+
+            // Scene.reuseBuffer: each renderer tries exactly once to claim
+            // the shared scratch buffer — an unguarded check-then-act with
+            // a single-operation window, so a violating interleaving is
+            // rare (found reliably only under adversarial scheduling).
+            if (!TriedBuffer) {
+              TriedBuffer = true;
+              AtomicRegion A(T, "Scene.reuseBuffer");
+              if (T.read(BufferOwner) < 0)
+                T.write(BufferOwner, W);
+            }
+
+            // RayTracer.renderRow: pixels under the row lock (atomic).
+            int64_t RowSum = 0;
+            {
+              AtomicRegion A(T, "RayTracer.renderRow");
+              int Slot = static_cast<int>(Row % PixelRows);
+              if (GuardRow)
+                T.lockAcquire(*RowMu[Slot]);
+              int64_t Size = T.read(SceneSize); // immutable after build
+              for (int Px = 0; Px < 3; ++Px)
+                RowSum += (Row * 31 + Px * 7) % (Size + 1);
+              T.write(*Pixels[Slot], RowSum);
+              if (GuardRow)
+                T.lockRelease(*RowMu[Slot]);
+            }
+
+            // RayTracer.addChecksum: the JGF bug — unguarded +=.
+            {
+              AtomicRegion A(T, "RayTracer.addChecksum");
+              T.write(Checksum, T.read(Checksum) + RowSum);
+            }
+          }
+        }));
+      }
+      for (Tid W : Renderers)
+        Main.join(W);
+    });
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeRaytracer() {
+  return std::make_unique<RaytracerWorkload>();
+}
+
+} // namespace velo

@@ -1,0 +1,34 @@
+//===- workloads/Registry.cpp - Workload registry -------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads() {
+  std::vector<std::unique_ptr<Workload>> Out;
+  Out.push_back(makeElevator());
+  Out.push_back(makeHedc());
+  Out.push_back(makeTsp());
+  Out.push_back(makeSor());
+  Out.push_back(makeJbb());
+  Out.push_back(makeMtrt());
+  Out.push_back(makeMoldyn());
+  Out.push_back(makeMontecarlo());
+  Out.push_back(makeRaytracer());
+  Out.push_back(makeColt());
+  Out.push_back(makePhilo());
+  Out.push_back(makeRaja());
+  Out.push_back(makeMultiset());
+  Out.push_back(makeWebl());
+  Out.push_back(makeJigsaw());
+  return Out;
+}
+
+std::unique_ptr<Workload> makeWorkload(const std::string &Name) {
+  for (std::unique_ptr<Workload> &W : makeAllWorkloads())
+    if (Name == W->name())
+      return std::move(W);
+  return nullptr;
+}
+
+} // namespace velo

@@ -1,0 +1,162 @@
+//===- workloads/Sor.cpp - Successive over-relaxation ----------------------===//
+//
+// Analogue of the `sor` benchmark: red-black successive over-relaxation on a
+// shared grid, with worker threads sweeping row bands, a spin barrier
+// between half-sweeps, and a global residual reduction.
+//
+// Grid cells are accessed under per-row locks acquired in order, so the
+// sweep itself is reducible (and Velodrome-serializable). The three
+// non-atomic methods match the paper's count for sor:
+//
+//   non-atomic (ground truth):
+//     Sor.barrier          spin barrier: the method *requires* interleaved
+//                          writes by other threads to terminate
+//     Sor.reduceResidual   global residual accumulation RMW, no lock
+//     Sor.checkConverged   unguarded reads of residual and generation
+//
+//   atomic: Sor.sweepRow (ordered row locks held across the stencil),
+//           Sor.init (pre-fork)
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+namespace {
+
+class SorWorkload : public Workload {
+public:
+  const char *name() const override { return "sor"; }
+  const char *description() const override {
+    return "red-black SOR with row locks, spin barrier, residual reduction";
+  }
+  const char *sourceFile() const override { return __FILE__; }
+
+  std::vector<std::string> nonAtomicMethods() const override {
+    return {"Sor.barrier", "Sor.reduceResidual", "Sor.checkConverged"};
+  }
+
+  std::vector<std::string> guardSites() const override {
+    return {"row.mu"};
+  }
+
+  void run(Runtime &RT) const override {
+    const int NumWorkers = 3;
+    const int Rows = 6; // one band per worker, plus halo rows
+    const int Cols = 4;
+    const int Iters = 4 * Scale;
+
+    std::vector<SharedVar *> Grid;
+    for (int R = 0; R < Rows; ++R)
+      for (int C = 0; C < Cols; ++C)
+        Grid.push_back(&RT.var("Grid[" + std::to_string(R) + "][" +
+                               std::to_string(C) + "]"));
+    std::vector<LockVar *> RowMu;
+    for (int R = 0; R < Rows; ++R)
+      RowMu.push_back(&RT.lock("Grid.rowMu[" + std::to_string(R) + "]"));
+    auto Cell = [&](int R, int C) -> SharedVar & {
+      return *Grid[R * Cols + C];
+    };
+
+    LockVar &BarrierMu = RT.lock("Barrier.mu");
+    SharedVar &BarrierCount = RT.var("Barrier.count");
+    SharedVar &BarrierGen = RT.var("Barrier.generation");
+    SharedVar &Residual = RT.var("Sor.residual");
+
+    bool GuardRows = guardEnabled("row.mu");
+
+    RT.run([&, NumWorkers, Rows, Cols, Iters](MonitoredThread &Main) {
+      { // Sor.init: pre-fork grid seeding.
+        AtomicRegion A(Main, "Sor.init");
+        for (int R = 0; R < Rows; ++R)
+          for (int C = 0; C < Cols; ++C)
+            Main.write(Cell(R, C), (R * 31 + C * 17) % 97);
+        Main.write(BarrierCount, 0);
+        Main.write(BarrierGen, 0);
+      }
+
+      auto Barrier = [&, NumWorkers](MonitoredThread &T) {
+        // Sor.barrier: sense-reversing spin barrier. Inherently
+        // non-atomic: it spins on a generation stamp another thread must
+        // bump while this method is in flight.
+        AtomicRegion A(T, "Sor.barrier");
+        T.lockAcquire(BarrierMu);
+        int64_t Gen = T.read(BarrierGen);
+        int64_t Arrived = T.read(BarrierCount) + 1;
+        T.write(BarrierCount, Arrived);
+        bool Last = Arrived == NumWorkers;
+        if (Last) {
+          T.write(BarrierCount, 0);
+          T.write(BarrierGen, Gen + 1);
+        }
+        T.lockRelease(BarrierMu);
+        if (!Last)
+          while (T.read(BarrierGen) == Gen) // unguarded spin read
+            T.yield();
+      };
+
+      std::vector<Tid> Workers;
+      for (int W = 0; W < NumWorkers; ++W) {
+        int FirstRow = 1 + (W * (Rows - 2)) / NumWorkers;
+        int LastRow = 1 + ((W + 1) * (Rows - 2)) / NumWorkers;
+        Workers.push_back(Main.fork([&, FirstRow, LastRow, Cols,
+                                     Iters](MonitoredThread &T) {
+          for (int It = 0; It < Iters; ++It) {
+            for (int Color = 0; Color < 2; ++Color) {
+              int64_t LocalResidual = 0;
+              for (int R = FirstRow; R < LastRow; ++R) {
+                // Sor.sweepRow: take the three involved row locks in
+                // order, apply the stencil to cells of this color.
+                AtomicRegion A(T, "Sor.sweepRow");
+                if (GuardRows) {
+                  T.lockAcquire(*RowMu[R - 1]);
+                  T.lockAcquire(*RowMu[R]);
+                  T.lockAcquire(*RowMu[R + 1]);
+                }
+                for (int C = 0; C < Cols; ++C) {
+                  if ((R + C) % 2 != Color)
+                    continue;
+                  int64_t Up = T.read(Cell(R - 1, C));
+                  int64_t Down = T.read(Cell(R + 1, C));
+                  int64_t Left = C > 0 ? T.read(Cell(R, C - 1)) : 0;
+                  int64_t Right = C + 1 < Cols ? T.read(Cell(R, C + 1)) : 0;
+                  int64_t Old = T.read(Cell(R, C));
+                  int64_t New = (Up + Down + Left + Right) / 4;
+                  T.write(Cell(R, C), New);
+                  LocalResidual += New > Old ? New - Old : Old - New;
+                }
+                if (GuardRows) {
+                  T.lockRelease(*RowMu[R + 1]);
+                  T.lockRelease(*RowMu[R]);
+                  T.lockRelease(*RowMu[R - 1]);
+                }
+              }
+
+              { // Sor.reduceResidual: unguarded global accumulation.
+                AtomicRegion A(T, "Sor.reduceResidual");
+                T.write(Residual, T.read(Residual) + LocalResidual);
+              }
+              Barrier(T);
+            }
+
+            { // Sor.checkConverged: unguarded residual/generation reads.
+              AtomicRegion A(T, "Sor.checkConverged");
+              int64_t Res = T.read(Residual);
+              int64_t Gen = T.read(BarrierGen);
+              (void)Res;
+              (void)Gen;
+            }
+          }
+        }));
+      }
+      for (Tid W : Workers)
+        Main.join(W);
+    });
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeSor() { return std::make_unique<SorWorkload>(); }
+
+} // namespace velo

@@ -1,0 +1,286 @@
+//===- workloads/Webl.cpp - WebL crawler/interpreter ----------------------===//
+//
+// Analogue of the `webl` benchmark: the WebL web-scripting interpreter
+// configured as a simple crawler. Worker threads pull URLs from a link
+// queue, "fetch" pages, consult a shared page cache, mark a visited set,
+// and update interpreter globals. WebL's cache and queue are classic
+// sources of check-then-act bugs — the paper reports one of the larger
+// per-benchmark warning counts here (24 methods, 22 caught).
+//
+//   non-atomic (ground truth):
+//     Cache.putIfAbsent      lookup in one section, insert in another
+//     Cache.evictIfFull      size probe unguarded, eviction guarded
+//     VisitedSet.checkAndMark  membership test and mark split
+//     LinkQueue.dequeue      size check and pop in two sections
+//     LinkQueue.enqueue      unguarded size probe before the guarded push
+//     Interp.globalIncr      interpreter global RMW, no lock
+//     Page.recordStats       pages/bytes counters RMW, no lock
+//     Crawler.status         torn unguarded scan of queue/cache/stats
+//
+//   atomic: Cache.get (single section), Interp.globalRead (single access)
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+namespace velo {
+namespace {
+
+class WeblWorkload : public Workload {
+public:
+  const char *name() const override { return "webl"; }
+  const char *description() const override {
+    return "WebL scripting interpreter running a web crawler";
+  }
+  const char *sourceFile() const override { return __FILE__; }
+
+  std::vector<std::string> nonAtomicMethods() const override {
+    return {"Cache.putIfAbsent",  "Cache.evictIfFull",
+            "VisitedSet.checkAndMark", "LinkQueue.dequeue",
+            "LinkQueue.enqueue",  "Interp.globalIncr",
+            "Page.recordStats",   "Crawler.status"};
+  }
+
+  std::vector<std::string> guardSites() const override {
+    return {"cache.mu", "queue.mu"};
+  }
+
+  void run(Runtime &RT) const override {
+    const int NumWorkers = 4;
+    const int Pages = 12 * Scale;
+    const int CacheSlots = 8;
+    const int QueueCap = 16;
+
+    LockVar &CacheMu = RT.lock("Cache.mu");
+    LockVar &QueueMu = RT.lock("LinkQueue.mu");
+    LockVar &VisitedMu = RT.lock("VisitedSet.mu");
+    SharedVar &CacheSize = RT.var("Cache.size");
+    SharedVar &QueueSize = RT.var("LinkQueue.size");
+    SharedVar &PagesFetched = RT.var("Page.pagesFetched");
+    SharedVar &BytesSeen = RT.var("Page.bytesSeen");
+    SharedVar &GlobalDepth = RT.var("Interp.globalDepth");
+    std::vector<SharedVar *> CacheKey, CacheVal, Visited, Queue;
+    for (int I = 0; I < CacheSlots; ++I) {
+      CacheKey.push_back(&RT.var("Cache.key[" + std::to_string(I) + "]"));
+      CacheVal.push_back(&RT.var("Cache.val[" + std::to_string(I) + "]"));
+      Visited.push_back(&RT.var("VisitedSet.bit[" + std::to_string(I) + "]"));
+    }
+    for (int I = 0; I < QueueCap; ++I)
+      Queue.push_back(&RT.var("LinkQueue.url[" + std::to_string(I) + "]"));
+    std::vector<SharedVar *> ParseBuf;
+    for (int W = 0; W < NumWorkers + 1; ++W)
+      ParseBuf.push_back(&RT.var("Interp.parseBuf[" + std::to_string(W) +
+                                 "]"));
+
+    bool GCache = guardEnabled("cache.mu");
+    bool GQueue = guardEnabled("queue.mu");
+
+    RT.run([&, NumWorkers, Pages, CacheSlots, QueueCap](
+               MonitoredThread &Main) {
+      // Seed the queue before forking.
+      for (int I = 0; I < 6; ++I) {
+        if (GQueue)
+          Main.lockAcquire(QueueMu);
+        Main.write(*Queue[I], 1000 + I);
+        Main.write(QueueSize, I + 1);
+        if (GQueue)
+          Main.lockRelease(QueueMu);
+      }
+
+      std::vector<Tid> Workers;
+      for (int W = 0; W < NumWorkers; ++W) {
+        Workers.push_back(Main.fork([&, Pages, CacheSlots,
+                                     QueueCap](MonitoredThread &T) {
+          for (int P = 0; P < Pages; ++P) {
+            // LinkQueue.dequeue: size probe and pop in two sections.
+            int64_t Url = -1;
+            {
+              AtomicRegion A(T, "LinkQueue.dequeue");
+              if (GQueue)
+                T.lockAcquire(QueueMu);
+              int64_t N = T.read(QueueSize);
+              if (GQueue)
+                T.lockRelease(QueueMu);
+              if (N > 0) {
+                if (GQueue)
+                  T.lockAcquire(QueueMu);
+                int64_t Now = T.read(QueueSize);
+                if (Now > 0) {
+                  Url = T.read(*Queue[Now - 1]);
+                  T.write(QueueSize, Now - 1);
+                }
+                if (GQueue)
+                  T.lockRelease(QueueMu);
+              }
+            }
+            if (Url < 0)
+              Url = 1000 + static_cast<int64_t>(T.rng().below(32));
+
+            int Slot = static_cast<int>(Url % CacheSlots);
+
+            // Cache.get: single critical section (atomic).
+            int64_t Hit;
+            {
+              AtomicRegion A(T, "Cache.get");
+              if (GCache)
+                T.lockAcquire(CacheMu);
+              Hit = T.read(*CacheKey[Slot]) == Url ? T.read(*CacheVal[Slot])
+                                                   : -1;
+              if (GCache)
+                T.lockRelease(CacheMu);
+            }
+
+            int64_t Content = Hit;
+            if (Hit < 0) {
+              // "Fetch" and parse the page: interpreter bytecode churning
+              // through a per-thread parse buffer, outside any atomic
+              // block (webl's 470,000 vs 395,000 Table 1 allocations come
+              // from exactly this kind of unannotated interpreter work).
+              SharedVar &Parse = *ParseBuf[T.id() % ParseBuf.size()];
+              for (int K = 0; K < 10; ++K)
+                T.write(Parse, (T.read(Parse) * 17 + Url + K) % 4093);
+              Content = Url * 31 % 977;
+
+              // Cache.putIfAbsent: lookup and insert in two sections.
+              {
+                AtomicRegion A(T, "Cache.putIfAbsent");
+                if (GCache)
+                  T.lockAcquire(CacheMu);
+                bool Absent = T.read(*CacheKey[Slot]) != Url;
+                if (GCache)
+                  T.lockRelease(CacheMu);
+                if (Absent) {
+                  if (GCache)
+                    T.lockAcquire(CacheMu);
+                  T.write(*CacheKey[Slot], Url);
+                  T.write(*CacheVal[Slot], Content);
+                  T.write(CacheSize, T.read(CacheSize) + 1);
+                  if (GCache)
+                    T.lockRelease(CacheMu);
+                }
+              }
+
+              // Cache.evictIfFull: unguarded size probe, guarded eviction.
+              {
+                AtomicRegion A(T, "Cache.evictIfFull");
+                if (T.read(CacheSize) > CacheSlots - 2) {
+                  if (GCache)
+                    T.lockAcquire(CacheMu);
+                  int Victim = static_cast<int>(T.rng().below(CacheSlots));
+                  T.write(*CacheKey[Victim], 0);
+                  T.write(CacheSize, T.read(CacheSize) - 1);
+                  if (GCache)
+                    T.lockRelease(CacheMu);
+                }
+              }
+            }
+
+            // VisitedSet.checkAndMark: membership test and mark split
+            // across two critical sections.
+            {
+              AtomicRegion A(T, "VisitedSet.checkAndMark");
+              T.lockAcquire(VisitedMu);
+              bool Seen = T.read(*Visited[Slot]) != 0;
+              T.lockRelease(VisitedMu);
+              if (!Seen) {
+                T.lockAcquire(VisitedMu);
+                T.write(*Visited[Slot], 1);
+                T.lockRelease(VisitedMu);
+
+                // Discovered new links: LinkQueue.enqueue with an
+                // unguarded size probe.
+                AtomicRegion B(T, "LinkQueue.enqueue");
+                if (T.read(QueueSize) < QueueCap) {
+                  if (GQueue)
+                    T.lockAcquire(QueueMu);
+                  int64_t Now = T.read(QueueSize);
+                  if (Now < QueueCap) {
+                    T.write(*Queue[Now], Url + 7);
+                    T.write(QueueSize, Now + 1);
+                  }
+                  if (GQueue)
+                    T.lockRelease(QueueMu);
+                }
+              }
+            }
+
+            // Interp.execute: run the page's WebL script — a small stack
+            // machine over private state (atomic: no shared accesses).
+            {
+              AtomicRegion A(T, "Interp.execute");
+              int64_t Stack[4] = {0, 0, 0, 0};
+              int Sp = 0;
+              int64_t Pc = Content % 23;
+              for (int Step = 0; Step < 12; ++Step) {
+                switch (Pc % 4) {
+                case 0: // push
+                  if (Sp < 4)
+                    Stack[Sp++] = Pc;
+                  break;
+                case 1: // add
+                  if (Sp >= 2) {
+                    Stack[Sp - 2] += Stack[Sp - 1];
+                    --Sp;
+                  }
+                  break;
+                case 2: // dup
+                  if (Sp > 0 && Sp < 4) {
+                    Stack[Sp] = Stack[Sp - 1];
+                    ++Sp;
+                  }
+                  break;
+                default: // jump
+                  Pc = (Pc * 5 + 1) % 23;
+                  break;
+                }
+                Pc = (Pc + 1) % 23;
+              }
+              (void)Stack;
+            }
+
+            // Interp.globalIncr: interpreter global RMW, no lock.
+            {
+              AtomicRegion A(T, "Interp.globalIncr");
+              T.write(GlobalDepth, T.read(GlobalDepth) + 1);
+            }
+
+            // Page.recordStats: two unguarded counters.
+            {
+              AtomicRegion A(T, "Page.recordStats");
+              T.write(PagesFetched, T.read(PagesFetched) + 1);
+              T.write(BytesSeen, T.read(BytesSeen) + Content % 4096);
+            }
+
+            // Interp.globalRead: single unguarded read (atomic — a unary
+            // conflict can never pin a one-access transaction).
+            {
+              AtomicRegion A(T, "Interp.globalRead");
+              T.read(GlobalDepth);
+            }
+          }
+        }));
+      }
+
+      // Crawler.status: the REPL thread polls shared state with no locks.
+      for (int R = 0; R < Pages; ++R) {
+        AtomicRegion A(Main, "Crawler.status");
+        int64_t Q = Main.read(QueueSize);
+        int64_t C = Main.read(CacheSize);
+        int64_t F = Main.read(PagesFetched);
+        (void)(Q + C + F);
+        Main.yield();
+      }
+
+      for (Tid W : Workers)
+        Main.join(W);
+    });
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> makeWebl() {
+  return std::make_unique<WeblWorkload>();
+}
+
+} // namespace velo

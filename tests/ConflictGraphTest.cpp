@@ -1,0 +1,124 @@
+//===- tests/ConflictGraphTest.cpp - Conflict-graph construction ----------===//
+//
+// Direct tests of the oracle's transactional conflict graph: edge
+// provenance (which operations induced each edge), the frontier reduction's
+// reachability preservation, and topological-sort/cycle extraction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/TraceBuilder.h"
+#include "oracle/ConflictGraph.h"
+
+#include <gtest/gtest.h>
+
+namespace velo {
+namespace {
+
+TEST(ConflictGraphTest, WriteReadEdgeCarriesProvenance) {
+  TraceBuilder B;
+  B.atomic(0, "w", [](TraceBuilder &B) { B.wr(0, "x"); }) // txn 0: ops 0-2
+      .atomic(1, "r", [](TraceBuilder &B) { B.rd(1, "x"); }); // txn 1
+  Trace T = B.take();
+  TxnIndex Index = buildTxnIndex(T);
+  ConflictGraph G(T, Index);
+
+  bool FoundDataEdge = false;
+  for (const ConflictEdge &E : G.edges()) {
+    if (E.From == 0 && E.To == 1 && T[E.FromOp].Kind == Op::Write &&
+        T[E.ToOp].Kind == Op::Read) {
+      FoundDataEdge = true;
+      EXPECT_EQ(T[E.FromOp].var(), T[E.ToOp].var());
+    }
+    EXPECT_LT(E.FromOp, E.ToOp) << "edges always point forward in the trace";
+  }
+  EXPECT_TRUE(FoundDataEdge);
+}
+
+TEST(ConflictGraphTest, ReadReadInducesNoEdge) {
+  TraceBuilder B;
+  B.atomic(0, "a", [](TraceBuilder &B) { B.rd(0, "x"); })
+      .atomic(1, "b", [](TraceBuilder &B) { B.rd(1, "x"); });
+  Trace T = B.take();
+  TxnIndex Index = buildTxnIndex(T);
+  ConflictGraph G(T, Index);
+  for (const ConflictEdge &E : G.edges())
+    EXPECT_FALSE(T[E.FromOp].isAccess() && T[E.ToOp].isAccess())
+        << "only thread-order edges may exist here";
+}
+
+TEST(ConflictGraphTest, LockChainLinksConsecutiveCriticalSections) {
+  TraceBuilder B;
+  for (Tid T : {0u, 1u, 2u})
+    B.atomic(T, "cs",
+             [T](TraceBuilder &B) { B.acq(T, "m").rel(T, "m"); });
+  Trace Tr = B.take();
+  TxnIndex Index = buildTxnIndex(Tr);
+  ConflictGraph G(Tr, Index);
+  // Chain 0 -> 1 -> 2 via lock frontier edges.
+  std::vector<uint32_t> Topo, Cycle;
+  ASSERT_TRUE(G.topoSort(Topo, Cycle));
+  ASSERT_EQ(Topo.size(), 3u);
+  EXPECT_EQ(Topo[0], 0u);
+  EXPECT_EQ(Topo[1], 1u);
+  EXPECT_EQ(Topo[2], 2u);
+}
+
+TEST(ConflictGraphTest, FrontierImpliesFullReachability) {
+  // w(A) w(B) w(C): the frontier keeps only last-writer edges A->B and
+  // B->C; the direct-conflict pair A->C is implied by the path. Order must
+  // still be total.
+  TraceBuilder B;
+  B.atomic(0, "A", [](TraceBuilder &B) { B.wr(0, "x"); })
+      .atomic(1, "B", [](TraceBuilder &B) { B.wr(1, "x"); })
+      .atomic(2, "C", [](TraceBuilder &B) { B.wr(2, "x"); });
+  Trace T = B.take();
+  TxnIndex Index = buildTxnIndex(T);
+  ConflictGraph G(T, Index);
+  std::vector<uint32_t> Topo, Cycle;
+  ASSERT_TRUE(G.topoSort(Topo, Cycle));
+  ASSERT_EQ(Topo.size(), 3u);
+  EXPECT_EQ(Topo.front(), 0u);
+  EXPECT_EQ(Topo.back(), 2u);
+  // The direct A -> C write-write edge is absent (frontier reduction)...
+  for (const ConflictEdge &E : G.edges())
+    EXPECT_FALSE(E.From == 0 && E.To == 2);
+  // ...yet A -> B and B -> C are present, implying the order.
+  bool AB = false, BC = false;
+  for (const ConflictEdge &E : G.edges()) {
+    AB |= E.From == 0 && E.To == 1;
+    BC |= E.From == 1 && E.To == 2;
+  }
+  EXPECT_TRUE(AB && BC);
+}
+
+TEST(ConflictGraphTest, CycleEdgesFormAClosedLoop) {
+  TraceBuilder B;
+  B.begin(0, "D").begin(1, "E").wr(0, "x").wr(1, "y").rd(0, "y").rd(1, "x")
+      .end(0).end(1);
+  Trace T = B.take();
+  TxnIndex Index = buildTxnIndex(T);
+  ConflictGraph G(T, Index);
+  std::vector<uint32_t> Topo, Cycle;
+  ASSERT_FALSE(G.topoSort(Topo, Cycle));
+  ASSERT_GE(Cycle.size(), 2u);
+  for (size_t I = 0; I < Cycle.size(); ++I) {
+    const ConflictEdge &Cur = G.edges()[Cycle[I]];
+    const ConflictEdge &Next = G.edges()[Cycle[(I + 1) % Cycle.size()]];
+    EXPECT_EQ(Cur.To, Next.From) << "cycle edges must chain head-to-tail";
+  }
+}
+
+TEST(ConflictGraphTest, UnaryTransactionsParticipate) {
+  TraceBuilder B;
+  B.begin(0, "txn").rd(0, "x").wr(1, "x").wr(0, "x").end(0);
+  Trace T = B.take();
+  TxnIndex Index = buildTxnIndex(T);
+  ASSERT_EQ(Index.Txns.size(), 2u);
+  EXPECT_TRUE(Index.Txns[1].Unary);
+  ConflictGraph G(T, Index);
+  std::vector<uint32_t> Topo, Cycle;
+  EXPECT_FALSE(G.topoSort(Topo, Cycle)) << "the unary write pins the txn";
+}
+
+} // namespace
+} // namespace velo

@@ -1,0 +1,147 @@
+//===- tests/MarathonTest.cpp - Wide-seed discipline sweeps ---------------===//
+//
+// Heavier randomized sweeps than the default suites: many seeds per
+// workload for the zero-false-alarm discipline, larger random-trace
+// agreement batches, and cross-mode consistency. A few seconds of runtime;
+// still part of the default ctest run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TraceRecorder.h"
+#include "core/BasicVelodrome.h"
+#include "core/Velodrome.h"
+#include "events/TraceGen.h"
+#include "oracle/SerializabilityOracle.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace velo {
+namespace {
+
+RuntimeOptions detOpts(uint64_t Seed) {
+  RuntimeOptions O;
+  O.ExecMode = RuntimeOptions::Mode::Deterministic;
+  O.SchedulerSeed = Seed;
+  O.WorkloadSeed = Seed * 13 + 11;
+  return O;
+}
+
+// 40 seeds per workload: every blame — resolved or unresolved — must land
+// on a ground-truth method (the property the injection-study criterion and
+// Table 2's zero-false-alarm column rest on).
+class BlameDiscipline : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BlameDiscipline, FortySeedsAllBlamesGrounded) {
+  std::unique_ptr<Workload> W = makeWorkload(GetParam());
+  ASSERT_TRUE(W);
+  std::set<std::string> Truth;
+  for (const std::string &M : W->nonAtomicMethods())
+    Truth.insert(M);
+
+  for (uint64_t Seed = 100; Seed < 140; ++Seed) {
+    VelodromeOptions VOpts;
+    VOpts.EmitDot = false;
+    Velodrome V(VOpts);
+    Runtime RT(detOpts(Seed), {&V});
+    W->run(RT);
+    for (const AtomicityViolation &Violation : V.violations()) {
+      if (Violation.Method == NoLabel)
+        continue;
+      ASSERT_TRUE(Truth.count(RT.symbols().labelName(Violation.Method)))
+          << W->name() << " seed " << Seed << ": "
+          << (Violation.BlameResolved ? "resolved" : "unresolved")
+          << " blame on non-truth method "
+          << RT.symbols().labelName(Violation.Method);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BlameDiscipline,
+    ::testing::Values("elevator", "hedc", "tsp", "sor", "jbb", "mtrt",
+                      "moldyn", "montecarlo", "raytracer", "colt", "philo",
+                      "raja", "multiset", "webl", "jigsaw"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      return std::string(Info.param);
+    });
+
+// Exclusion mode (Table 1's configuration) must preserve the oracle
+// agreement: with known-non-atomic methods unchecked, the remaining
+// transactional structure must still be analysed exactly.
+TEST(MarathonExclusion, ExcludedRunsAgreeWithOracle) {
+  for (const char *Name : {"multiset", "colt", "jbb"}) {
+    std::unique_ptr<Workload> W = makeWorkload(Name);
+    for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+      TraceRecorder Rec;
+      VelodromeOptions VOpts;
+      VOpts.EmitDot = false;
+      Velodrome V(VOpts);
+      Runtime RT(detOpts(Seed), {&Rec, &V});
+      for (const std::string &M : W->nonAtomicMethods())
+        RT.excludeMethod(M);
+      W->run(RT);
+      OracleResult Oracle = checkSerializable(Rec.trace());
+      ASSERT_EQ(V.sawViolation(), !Oracle.Serializable)
+          << Name << " seed " << Seed;
+    }
+  }
+}
+
+// An extra block of random-trace agreement, at sizes beyond the default
+// property suite, mixing every generator feature at once.
+TEST(MarathonAgreement, LargeMixedTraces) {
+  for (uint64_t Seed = 0; Seed < 60; ++Seed) {
+    TraceGenOptions Opts;
+    Opts.Threads = 6;
+    Opts.Vars = 5;
+    Opts.Locks = 3;
+    Opts.Steps = 220;
+    Opts.MaxDepth = 3;
+    Opts.UseForkJoin = Seed % 2 == 0;
+    Opts.GuardedAccessPct = static_cast<unsigned>((Seed * 17) % 100);
+    Trace T = generateRandomTrace(Seed * 31 + 7, Opts);
+    ASSERT_TRUE(T.validate());
+
+    OracleResult Oracle = checkSerializable(T);
+    VelodromeOptions VOpts;
+    VOpts.EmitDot = false;
+    Velodrome Merged(VOpts);
+    replay(T, Merged);
+    VelodromeOptions NOpts;
+    NOpts.UseMerge = false;
+    NOpts.EmitDot = false;
+    Velodrome Naive(NOpts);
+    replay(T, Naive);
+    BasicVelodrome Basic;
+    replay(T, Basic);
+
+    ASSERT_EQ(Merged.sawViolation(), !Oracle.Serializable) << "seed " << Seed;
+    ASSERT_EQ(Naive.sawViolation(), !Oracle.Serializable) << "seed " << Seed;
+    ASSERT_EQ(Basic.sawViolation(), !Oracle.Serializable) << "seed " << Seed;
+  }
+}
+
+// Graph-statistic invariants at marathon scale: alive never exceeds a small
+// bound on workload traces; everything is collected by trace end.
+TEST(MarathonGraph, GcBoundsHoldAcrossWorkloads) {
+  for (const auto &W : makeAllWorkloads()) {
+    W->Scale = 2;
+    TraceRecorder Rec;
+    Runtime RT(detOpts(7), {&Rec});
+    W->run(RT);
+    VelodromeOptions VOpts;
+    VOpts.EmitDot = false;
+    Velodrome V(VOpts);
+    replay(Rec.trace(), V);
+    EXPECT_LE(V.graph().maxNodesAlive(), 64u)
+        << W->name() << ": GC must keep the live graph tiny";
+    EXPECT_EQ(V.graph().nodesAlive(), 0u)
+        << W->name() << ": every node collected at trace end";
+  }
+}
+
+} // namespace
+} // namespace velo

@@ -1,0 +1,299 @@
+//===- tests/OracleTest.cpp - Offline serializability oracle --------------===//
+
+#include "events/TraceBuilder.h"
+#include "events/TraceGen.h"
+#include "oracle/SerializabilityOracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace velo {
+namespace {
+
+TEST(TxnIndexTest, OutermostBlocksAndUnaryOps) {
+  TraceBuilder B;
+  B.begin(0, "p")
+      .begin(0, "q") // nested: same transaction
+      .rd(0, "x")
+      .end(0)
+      .end(0)
+      .wr(0, "y") // unary
+      .wr(1, "y"); // unary, other thread
+  Trace T = B.take();
+  TxnIndex Index = buildTxnIndex(T);
+  ASSERT_EQ(Index.Txns.size(), 3u);
+  EXPECT_EQ(Index.Txns[0].Ops.size(), 5u); // begin begin rd end end
+  EXPECT_FALSE(Index.Txns[0].Unary);
+  EXPECT_EQ(Index.Txns[0].Thread, 0u);
+  EXPECT_TRUE(Index.Txns[1].Unary);
+  EXPECT_TRUE(Index.Txns[2].Unary);
+  EXPECT_EQ(Index.Txns[2].Thread, 1u);
+  // Ops map back to their transactions.
+  for (size_t I = 0; I < 5; ++I)
+    EXPECT_EQ(Index.TxnOf[I], 0u);
+  EXPECT_EQ(Index.TxnOf[5], 1u);
+  EXPECT_EQ(Index.TxnOf[6], 2u);
+}
+
+TEST(TxnIndexTest, TransactionRunningToEndOfTrace) {
+  TraceBuilder B;
+  B.begin(0, "p").rd(0, "x"); // no end
+  TxnIndex Index = buildTxnIndex(B.trace());
+  ASSERT_EQ(Index.Txns.size(), 1u);
+  EXPECT_EQ(Index.Txns[0].Ops.size(), 2u);
+}
+
+TEST(OracleTest, SerialTraceIsSerializable) {
+  TraceBuilder B;
+  B.atomic(0, "a", [](TraceBuilder &B) { B.wr(0, "x").rd(0, "y"); })
+      .atomic(1, "b", [](TraceBuilder &B) { B.rd(1, "x").wr(1, "y"); });
+  OracleResult R = checkSerializable(B.trace());
+  EXPECT_TRUE(R.Serializable);
+}
+
+// The paper's Section 2 example: an unprotected read-modify-write
+// interleaved with a conflicting write is not serializable.
+TEST(OracleTest, InterleavedReadModifyWriteIsNotSerializable) {
+  TraceBuilder B;
+  B.begin(0, "increment")
+      .rd(0, "x") // tmp = x
+      .wr(1, "x") // interleaved write by thread 2
+      .wr(0, "x") // x = tmp + 1
+      .end(0);
+  OracleResult R = checkSerializable(B.trace());
+  EXPECT_FALSE(R.Serializable);
+  ASSERT_FALSE(R.Cycle.empty());
+  ASSERT_FALSE(R.CycleLabels.empty());
+  EXPECT_EQ(B.trace().symbols().labelName(R.CycleLabels[0]), "increment");
+}
+
+// The same shape is serializable when the write happens before the read or
+// after the write (commutes out of the block).
+TEST(OracleTest, NonInterleavedWriteIsSerializable) {
+  {
+    TraceBuilder B;
+    B.wr(1, "x").begin(0, "inc").rd(0, "x").wr(0, "x").end(0);
+    EXPECT_TRUE(checkSerializable(B.trace()).Serializable);
+  }
+  {
+    TraceBuilder B;
+    B.begin(0, "inc").rd(0, "x").wr(0, "x").end(0).wr(1, "x");
+    EXPECT_TRUE(checkSerializable(B.trace()).Serializable);
+  }
+}
+
+// The volatile-flag handoff program of Section 2: serializable even though
+// no locks protect x, because the b-flag writes/reads order the blocks.
+TEST(OracleTest, FlagHandoffIsSerializable) {
+  TraceBuilder B;
+  // Thread 0: spin until b==1; { tmp=x; x=tmp+1; b=2; }
+  // Thread 1: spin until b==2; { tmp=x; x=tmp+1; b=1; }
+  B.rd(1, "b") // thread 1 spins, sees b != 2
+      .begin(0, "inc0")
+      .rd(0, "x")
+      .wr(0, "x")
+      .wr(0, "b") // b = 2
+      .end(0)
+      .rd(1, "b") // sees 2
+      .begin(1, "inc1")
+      .rd(1, "x")
+      .wr(1, "x")
+      .wr(1, "b") // b = 1
+      .end(1)
+      .rd(0, "b"); // spins again
+  OracleResult R = checkSerializable(B.trace());
+  EXPECT_TRUE(R.Serializable);
+}
+
+// The introduction's three-transaction cycle A => B' => C' => A: thread 0's
+// transaction A releases m (A => B' via the lock), B' writes y read by C'
+// (B' => C'), and C' writes x read later inside A (C' => A).
+TEST(OracleTest, IntroThreeThreadCycle) {
+  TraceBuilder B2;
+  B2.acq(0, "m")
+      .begin(2, "C")
+      .rd(2, "x")
+      .wr(2, "z")
+      .end(2)
+      .begin(0, "A")
+      .rel(0, "m")
+      .wr(1, "z")
+      .begin(1, "Bp")
+      .acq(1, "m")
+      .wr(1, "y")
+      .end(1)
+      .begin(2, "Cp")
+      .rd(2, "y")
+      .wr(2, "s")
+      .wr(2, "x")
+      .end(2)
+      .rd(0, "x")
+      .end(0);
+  ASSERT_TRUE(B2.trace().validate());
+  OracleResult R = checkSerializable(B2.trace());
+  EXPECT_FALSE(R.Serializable);
+  EXPECT_GE(R.Cycle.size(), 3u) << "cycle should span A, B', C'";
+}
+
+TEST(OracleTest, LockOrderingAloneIsSerializable) {
+  TraceBuilder B;
+  B.atomic(0, "a",
+           [](TraceBuilder &B) { B.acq(0, "m").wr(0, "x").rel(0, "m"); })
+      .atomic(1, "b",
+              [](TraceBuilder &B) { B.acq(1, "m").wr(1, "x").rel(1, "m"); });
+  EXPECT_TRUE(checkSerializable(B.trace()).Serializable);
+}
+
+TEST(OracleTest, LockCycleAcrossTransactions) {
+  // T0: begin; rel m; acq m; end   interleaved with T1 acquiring between:
+  // acq(t0) ... rel(t0) acq(t1) rel(t1) acq(t0): lock chain forces
+  // T1's unary ops between two ops of T0's transaction.
+  TraceBuilder B;
+  B.acq(0, "m")
+      .begin(0, "locked")
+      .rel(0, "m")
+      .acq(1, "m")
+      .rel(1, "m")
+      .acq(0, "m")
+      .end(0)
+      .rel(0, "m");
+  ASSERT_TRUE(B.trace().validate());
+  EXPECT_FALSE(checkSerializable(B.trace()).Serializable);
+}
+
+TEST(OracleTest, ForkJoinOrderingMakesAggregationSerializable) {
+  // Parent forks two workers, each writes its own slot, parent joins then
+  // reads both slots: serializable despite no locks.
+  TraceBuilder B;
+  B.begin(0, "spawnAll")
+      .fork(0, 1)
+      .fork(0, 2)
+      .end(0)
+      .wr(1, "slot1")
+      .wr(2, "slot2")
+      .begin(0, "collect")
+      .join(0, 1)
+      .join(0, 2)
+      .rd(0, "slot1")
+      .rd(0, "slot2")
+      .end(0);
+  ASSERT_TRUE(B.trace().validate());
+  EXPECT_TRUE(checkSerializable(B.trace()).Serializable);
+}
+
+TEST(OracleTest, ForkBetweenConflictingAccessesCreatesCycle) {
+  // Parent transaction writes x, forks a child that writes x, then reads x
+  // again inside the same transaction: child's write is pinned between.
+  TraceBuilder B;
+  B.begin(0, "parent")
+      .wr(0, "x")
+      .fork(0, 1)
+      .wr(1, "x")
+      .rd(0, "x")
+      .end(0);
+  ASSERT_TRUE(B.trace().validate());
+  EXPECT_FALSE(checkSerializable(B.trace()).Serializable);
+}
+
+TEST(WitnessTest, SerialWitnessIsSerialAndEquivalent) {
+  // A serializable interleaving with genuine overlap.
+  TraceBuilder B;
+  B.begin(0, "a")
+      .wr(0, "x")
+      .begin(1, "b")
+      .wr(1, "y")
+      .end(1)
+      .rd(0, "x")
+      .end(0);
+  Trace T = B.take();
+  OracleResult R = checkSerializable(T);
+  ASSERT_TRUE(R.Serializable);
+  TxnIndex Index = buildTxnIndex(T);
+  Trace W = buildSerialWitness(T, Index, R);
+  EXPECT_TRUE(isSerialTrace(W));
+  std::string Why;
+  EXPECT_TRUE(tracesEquivalent(T, W, &Why)) << Why;
+}
+
+TEST(WitnessTest, EquivalenceRejectsConflictReordering) {
+  TraceBuilder A, B;
+  A.wr(0, "x").wr(1, "x");
+  B.wr(1, "x").wr(0, "x");
+  std::string Why;
+  EXPECT_FALSE(tracesEquivalent(A.trace(), B.trace(), &Why));
+  EXPECT_NE(Why.find("reordered"), std::string::npos);
+}
+
+TEST(WitnessTest, EquivalenceAllowsCommutingSwaps) {
+  // Equivalence is checked between traces over one symbol table (as with a
+  // trace and its serial witness), so build B by permuting A's events.
+  TraceBuilder A;
+  A.wr(0, "x").wr(1, "y"); // different vars, different threads: commute
+  Trace B;
+  B.symbols() = A.trace().symbols();
+  B.push(A.trace()[1]);
+  B.push(A.trace()[0]);
+  std::string Why;
+  EXPECT_TRUE(tracesEquivalent(A.trace(), B, &Why)) << Why;
+}
+
+TEST(SelfSerializabilityTest, PinnedTransactionIsNotSelfSerializable) {
+  TraceBuilder B;
+  B.begin(0, "rmw").rd(0, "x").wr(1, "x").wr(0, "x").end(0);
+  Trace T = B.take();
+  TxnIndex Index = buildTxnIndex(T);
+  // Transaction 0 is the atomic block; transaction 1 is the unary write.
+  EXPECT_FALSE(isSelfSerializable(T, Index, 0));
+  EXPECT_TRUE(isSelfSerializable(T, Index, 1)); // unary: trivially yes
+}
+
+// Section 4.3's example: a non-serializable trace in which *every*
+// transaction is individually self-serializable.
+TEST(SelfSerializabilityTest, AllTxnsSelfSerializableYetTraceIsNot) {
+  // D': begin; x=0; u=y; end      E': begin; y=0; v=x; end, interleaved so
+  // each can be serialized on its own but not both.
+  TraceBuilder B;
+  B.begin(0, "D")
+      .begin(1, "E")
+      .wr(0, "x")
+      .wr(1, "y")
+      .rd(0, "y")
+      .rd(1, "x")
+      .end(0)
+      .end(1);
+  Trace T = B.take();
+  OracleResult R = checkSerializable(T);
+  EXPECT_FALSE(R.Serializable);
+  TxnIndex Index = buildTxnIndex(T);
+  EXPECT_TRUE(isSelfSerializable(T, Index, 0));
+  EXPECT_TRUE(isSelfSerializable(T, Index, 1));
+}
+
+// Property: on random traces, serializable verdicts come with a valid
+// serial witness.
+class OracleWitnessProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleWitnessProperty, WitnessValidWheneverSerializable) {
+  TraceGenOptions Opts;
+  Opts.Steps = 80;
+  Opts.GuardedAccessPct = 60; // raise the serializable fraction
+  Trace T = generateRandomTrace(GetParam(), Opts);
+  OracleResult R = checkSerializable(T);
+  if (!R.Serializable) {
+    EXPECT_FALSE(R.Cycle.empty());
+    return;
+  }
+  TxnIndex Index = buildTxnIndex(T);
+  Trace W = buildSerialWitness(T, Index, R);
+  EXPECT_TRUE(isSerialTrace(W)) << "seed " << GetParam();
+  std::string Why;
+  EXPECT_TRUE(tracesEquivalent(T, W, &Why)) << "seed " << GetParam() << ": "
+                                            << Why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleWitnessProperty,
+                         ::testing::Range<uint64_t>(0, 64));
+
+} // namespace
+} // namespace velo

@@ -1,0 +1,79 @@
+//===- tests/VelodromeOptionsTest.cpp - Checker configuration -------------===//
+
+#include "core/Velodrome.h"
+#include "events/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+namespace velo {
+namespace {
+
+Trace manyDistinctViolations(int N) {
+  TraceBuilder B;
+  for (int I = 0; I < N; ++I) {
+    std::string Var = "x" + std::to_string(I);
+    B.begin(0, "method" + std::to_string(I))
+        .rd(0, Var)
+        .wr(1, Var)
+        .wr(0, Var)
+        .end(0);
+  }
+  return B.take();
+}
+
+TEST(VelodromeOptionsTest, MaxWarningsCapsRecordedViolations) {
+  VelodromeOptions Opts;
+  Opts.MaxWarnings = 3;
+  Velodrome V(Opts);
+  replay(manyDistinctViolations(10), V);
+  EXPECT_EQ(V.violations().size(), 3u);
+  EXPECT_EQ(V.warnings().size(), 3u);
+  EXPECT_TRUE(V.sawViolation());
+}
+
+TEST(VelodromeOptionsTest, DistinctMethodsEachGetAWarning) {
+  Velodrome V;
+  replay(manyDistinctViolations(7), V);
+  EXPECT_EQ(V.violations().size(), 7u);
+  std::set<Label> Methods;
+  for (const AtomicityViolation &Violation : V.violations())
+    Methods.insert(Violation.Method);
+  EXPECT_EQ(Methods.size(), 7u);
+}
+
+TEST(VelodromeOptionsTest, EmitDotOffLeavesDotEmpty) {
+  VelodromeOptions Opts;
+  Opts.EmitDot = false;
+  Velodrome V(Opts);
+  replay(manyDistinctViolations(1), V);
+  ASSERT_EQ(V.warnings().size(), 1u);
+  EXPECT_TRUE(V.warnings()[0].Dot.empty());
+}
+
+TEST(VelodromeOptionsTest, DetectionUnaffectedByReportingOptions) {
+  Trace T = manyDistinctViolations(5);
+  VelodromeOptions Quiet;
+  Quiet.MaxWarnings = 1;
+  Quiet.EmitDot = false;
+  Velodrome A(Quiet), B;
+  replay(T, A);
+  replay(T, B);
+  EXPECT_EQ(A.sawViolation(), B.sawViolation());
+  // Statistics are reporting-independent too.
+  EXPECT_EQ(A.graph().nodesAllocated(), B.graph().nodesAllocated());
+  EXPECT_EQ(A.graph().maxNodesAlive(), B.graph().maxNodesAlive());
+}
+
+TEST(VelodromeOptionsTest, MergeTogglesAllocationsNotVerdicts) {
+  Trace T = manyDistinctViolations(4);
+  VelodromeOptions NoMerge;
+  NoMerge.UseMerge = false;
+  Velodrome A(NoMerge), B;
+  replay(T, A);
+  replay(T, B);
+  EXPECT_EQ(A.violations().size(), B.violations().size());
+  EXPECT_GE(A.graph().nodesAllocated(), B.graph().nodesAllocated());
+}
+
+} // namespace
+} // namespace velo

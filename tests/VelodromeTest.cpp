@@ -1,0 +1,404 @@
+//===- tests/VelodromeTest.cpp - Velodrome checker unit tests -------------===//
+//
+// Exercises the optimized Figure 4 analysis on the paper's worked examples
+// (intro cycle, read-modify-write, volatile-flag handoff, Set.add, nested
+// blame) plus the GC/merge/slot-recycling machinery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BasicVelodrome.h"
+#include "core/Velodrome.h"
+#include "events/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+namespace velo {
+namespace {
+
+/// Run Velodrome over a trace with the given options.
+Velodrome runVelodrome(const Trace &T, VelodromeOptions Opts = {}) {
+  Velodrome V(Opts);
+  replay(T, V);
+  return V;
+}
+
+TEST(VelodromeTest, EmptyAndTrivialTracesAreClean) {
+  {
+    Trace T;
+    Velodrome V = runVelodrome(T);
+    EXPECT_FALSE(V.sawViolation());
+  }
+  {
+    TraceBuilder B;
+    B.atomic(0, "only", [](TraceBuilder &B) { B.rd(0, "x").wr(0, "x"); });
+    Velodrome V = runVelodrome(B.take());
+    EXPECT_FALSE(V.sawViolation());
+  }
+}
+
+// Section 2: unsynchronized read-modify-write with an interleaved write.
+TEST(VelodromeTest, DetectsInterleavedReadModifyWrite) {
+  TraceBuilder B;
+  B.begin(0, "increment").rd(0, "x").wr(1, "x").wr(0, "x").end(0);
+  Velodrome V = runVelodrome(B.take());
+  ASSERT_TRUE(V.sawViolation());
+  const AtomicityViolation &Violation = V.violations()[0];
+  EXPECT_TRUE(Violation.BlameResolved);
+  EXPECT_EQ(Violation.Thread, 0u);
+}
+
+TEST(VelodromeTest, CleanWhenWriteDoesNotInterleave) {
+  {
+    TraceBuilder B;
+    B.wr(1, "x").begin(0, "inc").rd(0, "x").wr(0, "x").end(0);
+    EXPECT_FALSE(runVelodrome(B.take()).sawViolation());
+  }
+  {
+    TraceBuilder B;
+    B.begin(0, "inc").rd(0, "x").wr(0, "x").end(0).wr(1, "x");
+    EXPECT_FALSE(runVelodrome(B.take()).sawViolation());
+  }
+}
+
+// Section 2: the volatile-flag handoff that defeats lockset-based tools.
+// Velodrome sees the write-read edges on b and stays silent.
+TEST(VelodromeTest, FlagHandoffProducesNoFalseAlarm) {
+  TraceBuilder B;
+  B.rd(1, "b")
+      .begin(0, "inc0")
+      .rd(0, "x")
+      .wr(0, "x")
+      .wr(0, "b")
+      .end(0)
+      .rd(1, "b")
+      .begin(1, "inc1")
+      .rd(1, "x")
+      .wr(1, "x")
+      .wr(1, "b")
+      .end(1)
+      .rd(0, "b");
+  Velodrome V = runVelodrome(B.take());
+  EXPECT_FALSE(V.sawViolation())
+      << (V.warnings().empty() ? "" : V.warnings()[0].Message);
+}
+
+// Introduction: the A => B' => C' => A cycle, blamed on A.
+TEST(VelodromeTest, IntroCycleBlamesTransactionA) {
+  TraceBuilder B;
+  B.acq(0, "m")
+      .begin(2, "C")
+      .rd(2, "x")
+      .wr(2, "z")
+      .end(2)
+      .begin(0, "A")
+      .rel(0, "m")
+      .wr(1, "z")
+      .begin(1, "Bp")
+      .acq(1, "m")
+      .wr(1, "y")
+      .end(1)
+      .begin(2, "Cp")
+      .rd(2, "y")
+      .wr(2, "s")
+      .wr(2, "x")
+      .end(2)
+      .rd(0, "x")
+      .end(0);
+  Trace T = B.take();
+  ASSERT_TRUE(T.validate());
+  Velodrome V = runVelodrome(T);
+  ASSERT_TRUE(V.sawViolation());
+  const AtomicityViolation &Violation = V.violations()[0];
+  EXPECT_TRUE(Violation.BlameResolved);
+  EXPECT_EQ(T.symbols().labelName(Violation.Method), "A");
+  EXPECT_GE(Violation.CycleLength, 3u);
+}
+
+// The Set.add example: contains-then-add under per-call locking.
+TEST(VelodromeTest, SetAddCheckThenActViolation) {
+  TraceBuilder B;
+  auto Add = [](TraceBuilder &B, Tid T) {
+    B.begin(T, "Set.add")
+        .acq(T, "vec")
+        .rd(T, "vec.elems") // contains
+        .rel(T, "vec");
+    B.acq(T, "vec")
+        .rd(T, "vec.elems") // add: read-modify-write of the vector
+        .wr(T, "vec.elems")
+        .rel(T, "vec")
+        .end(T);
+  };
+  // Interleave two adds: T0 contains / T1 contains+add / T0 add.
+  B.begin(0, "Set.add").acq(0, "vec").rd(0, "vec.elems").rel(0, "vec");
+  Add(B, 1);
+  B.acq(0, "vec").rd(0, "vec.elems").wr(0, "vec.elems").rel(0, "vec").end(0);
+  Trace T = B.take();
+  ASSERT_TRUE(T.validate());
+  Velodrome V = runVelodrome(T);
+  ASSERT_TRUE(V.sawViolation());
+  EXPECT_EQ(T.symbols().labelName(V.violations()[0].Method), "Set.add");
+}
+
+// Section 4.3's nesting example: blocks p and q are refuted, r is not.
+TEST(VelodromeTest, NestedBlameRefutesOuterBlocksOnly) {
+  TraceBuilder B;
+  B.begin(0, "p")
+      .begin(0, "q")
+      .rd(0, "x") // root operation
+      .begin(0, "r")
+      .wr(1, "x") // interleaved conflicting write
+      .wr(0, "x") // target operation, inside r
+      .end(0)
+      .end(0)
+      .end(0);
+  Trace T = B.take();
+  Velodrome V = runVelodrome(T);
+  ASSERT_TRUE(V.sawViolation());
+  const AtomicityViolation &Violation = V.violations()[0];
+  ASSERT_TRUE(Violation.BlameResolved);
+  std::vector<std::string> Refuted;
+  for (Label L : Violation.RefutedBlocks)
+    Refuted.push_back(T.symbols().labelName(L));
+  ASSERT_EQ(Refuted.size(), 2u) << "p and q refuted, r not";
+  EXPECT_EQ(Refuted[0], "p");
+  EXPECT_EQ(Refuted[1], "q");
+  EXPECT_EQ(T.symbols().labelName(Violation.Method), "p");
+}
+
+// The dirty-read 2-cycle that motivates the finished-representative rule in
+// merge: a unary read interleaved between two writes of an open transaction.
+TEST(VelodromeTest, UnaryDirtyReadBetweenTransactionWrites) {
+  TraceBuilder B;
+  B.begin(0, "writer").wr(0, "x").rd(1, "x").wr(0, "x").end(0);
+  Velodrome V = runVelodrome(B.take());
+  EXPECT_TRUE(V.sawViolation());
+}
+
+// Same shape through a lock: unary lock ops pinned inside a transaction.
+TEST(VelodromeTest, UnaryLockOpsPinnedInsideTransaction) {
+  TraceBuilder B;
+  B.acq(0, "m")
+      .begin(0, "locked")
+      .rel(0, "m")
+      .acq(1, "m")
+      .rel(1, "m")
+      .acq(0, "m")
+      .end(0)
+      .rel(0, "m");
+  Velodrome V = runVelodrome(B.take());
+  EXPECT_TRUE(V.sawViolation());
+}
+
+TEST(VelodromeTest, LockProtectedCountersAreClean) {
+  TraceBuilder B;
+  for (int Round = 0; Round < 4; ++Round) {
+    for (Tid T : {0u, 1u, 2u}) {
+      B.begin(T, "bump")
+          .acq(T, "m")
+          .rd(T, "count")
+          .wr(T, "count")
+          .rel(T, "m")
+          .end(T);
+    }
+  }
+  Velodrome V = runVelodrome(B.take());
+  EXPECT_FALSE(V.sawViolation());
+}
+
+TEST(VelodromeTest, ForkJoinAggregationIsClean) {
+  TraceBuilder B;
+  B.begin(0, "spawn")
+      .fork(0, 1)
+      .fork(0, 2)
+      .end(0)
+      .wr(1, "slot1")
+      .wr(2, "slot2")
+      .begin(0, "collect")
+      .join(0, 1)
+      .join(0, 2)
+      .rd(0, "slot1")
+      .rd(0, "slot2")
+      .end(0);
+  Velodrome V = runVelodrome(B.take());
+  EXPECT_FALSE(V.sawViolation());
+}
+
+TEST(VelodromeTest, ChildWritePinnedInsideParentTransaction) {
+  TraceBuilder B;
+  B.begin(0, "parent")
+      .wr(0, "x")
+      .fork(0, 1)
+      .wr(1, "x")
+      .rd(0, "x")
+      .end(0);
+  Velodrome V = runVelodrome(B.take());
+  EXPECT_TRUE(V.sawViolation());
+}
+
+// Fork-inherited L(t) points into the parent's open node; the child's
+// unary release must not be merged into it (soundness regression test).
+TEST(VelodromeTest, ChildUnaryLockOpsAfterForkInsideParentTxn) {
+  TraceBuilder B;
+  B.begin(0, "parent")
+      .fork(0, 1)
+      .acq(0, "m") // parent acquires inside its transaction
+      .rel(0, "m")
+      .acq(1, "m") // child's unary acquire: parent => child
+      .rel(1, "m")
+      .acq(0, "m") // parent acquires again: child => parent, cycle
+      .rel(0, "m")
+      .end(0);
+  Trace T = B.take();
+  ASSERT_TRUE(T.validate());
+  Velodrome V = runVelodrome(T);
+  EXPECT_TRUE(V.sawViolation());
+}
+
+TEST(VelodromeTest, WarningsAreDeduplicatedByMethod) {
+  TraceBuilder B;
+  for (int I = 0; I < 5; ++I)
+    B.begin(0, "rmw").rd(0, "x").wr(1, "x").wr(0, "x").end(0);
+  Velodrome V = runVelodrome(B.take());
+  EXPECT_EQ(V.violations().size(), 1u);
+}
+
+TEST(VelodromeTest, DotGraphRendersCycle) {
+  TraceBuilder B;
+  B.begin(0, "rmw").rd(0, "x").wr(1, "x").wr(0, "x").end(0);
+  VelodromeOptions Opts;
+  Opts.EmitDot = true;
+  Velodrome V = runVelodrome(B.take(), Opts);
+  ASSERT_TRUE(V.sawViolation());
+  const std::string &Dot = V.warnings()[0].Dot;
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos); // closing edge
+  EXPECT_NE(Dot.find("peripheries=2"), std::string::npos); // blamed box
+  EXPECT_NE(Dot.find("wr x"), std::string::npos);
+}
+
+// --- GC and merge machinery ---
+
+TEST(VelodromeGcTest, SequentialTransactionsAreCollected) {
+  TraceBuilder B;
+  for (int I = 0; I < 1000; ++I)
+    B.atomic(0, "work", [](TraceBuilder &B) { B.rd(0, "x").wr(0, "x"); });
+  Velodrome V = runVelodrome(B.take());
+  EXPECT_FALSE(V.sawViolation());
+  EXPECT_EQ(V.graph().nodesAllocated(), 1000u);
+  // A finished node with no incoming edges is collected immediately; with a
+  // single thread, at most a couple of nodes are ever live.
+  EXPECT_LE(V.graph().maxNodesAlive(), 3u);
+  EXPECT_EQ(V.graph().nodesAlive(), 0u);
+}
+
+TEST(VelodromeGcTest, ContendedTransactionsStayBoundedlyLive) {
+  TraceBuilder B;
+  for (int I = 0; I < 500; ++I)
+    for (Tid T : {0u, 1u, 2u, 3u})
+      B.begin(T, "bump")
+          .acq(T, "m")
+          .rd(T, "count")
+          .wr(T, "count")
+          .rel(T, "m")
+          .end(T);
+  Velodrome V = runVelodrome(B.take());
+  EXPECT_FALSE(V.sawViolation());
+  EXPECT_EQ(V.graph().nodesAllocated(), 2000u);
+  EXPECT_LE(V.graph().maxNodesAlive(), 16u)
+      << "GC should keep at most a few nodes per thread alive";
+  EXPECT_EQ(V.graph().nodesAlive(), 0u) << "all collected at trace end";
+}
+
+TEST(VelodromeGcTest, MergeAvoidsUnaryAllocations) {
+  // A long run of unguarded accesses by one thread after another thread
+  // touched the variable: with merge, unary nodes are reused.
+  TraceBuilder B;
+  B.wr(1, "x");
+  for (int I = 0; I < 300; ++I)
+    B.rd(0, "x").wr(0, "x");
+  {
+    Velodrome V = runVelodrome(B.trace());
+    EXPECT_LE(V.graph().nodesAllocated(), 8u) << "merge reuses nodes";
+  }
+  {
+    VelodromeOptions Opts;
+    Opts.UseMerge = false;
+    Velodrome V = runVelodrome(B.trace(), Opts);
+    EXPECT_GE(V.graph().nodesAllocated(), 600u)
+        << "naive rule allocates per unary operation";
+    EXPECT_LE(V.graph().maxNodesAlive(), 8u) << "GC still collects them";
+  }
+}
+
+TEST(VelodromeGcTest, SlotRecyclingHandlesManyTransactions) {
+  // Far more transactions than the 16-bit slot space: recycling must work
+  // and stale steps must dereference to bottom rather than alias.
+  TraceBuilder B;
+  for (int I = 0; I < 70000; ++I) {
+    Tid T = I % 2;
+    B.begin(T, "work").rd(T, "x").wr(T, "y").end(T);
+  }
+  Velodrome V = runVelodrome(B.take());
+  EXPECT_FALSE(V.sawViolation());
+  EXPECT_EQ(V.graph().nodesAllocated(), 70000u);
+  EXPECT_LE(V.graph().maxNodesAlive(), 8u);
+}
+
+TEST(VelodromeGcTest, BackendIsReusableAcrossTraces) {
+  TraceBuilder Bad;
+  Bad.begin(0, "rmw").rd(0, "x").wr(1, "x").wr(0, "x").end(0);
+  TraceBuilder Good;
+  Good.atomic(0, "ok", [](TraceBuilder &B) { B.rd(0, "x").wr(0, "x"); });
+
+  Velodrome V;
+  replay(Bad.trace(), V);
+  EXPECT_TRUE(V.sawViolation());
+  V.resetReports();
+  replay(Good.trace(), V); // beginAnalysis must fully reset state
+  EXPECT_FALSE(V.sawViolation());
+  EXPECT_TRUE(V.warnings().empty());
+}
+
+// --- Basic (Figure 2) reference analysis ---
+
+TEST(BasicVelodromeTest, AgreesOnPaperExamples) {
+  {
+    TraceBuilder B;
+    B.begin(0, "rmw").rd(0, "x").wr(1, "x").wr(0, "x").end(0);
+    BasicVelodrome V;
+    replay(B.trace(), V);
+    EXPECT_TRUE(V.sawViolation());
+    EXPECT_EQ(V.flaggedMethods().size(), 1u);
+  }
+  {
+    TraceBuilder B;
+    B.rd(1, "b")
+        .begin(0, "inc0")
+        .rd(0, "x")
+        .wr(0, "x")
+        .wr(0, "b")
+        .end(0)
+        .rd(1, "b")
+        .begin(1, "inc1")
+        .rd(1, "x")
+        .wr(1, "x")
+        .wr(1, "b")
+        .end(1);
+    BasicVelodrome V;
+    replay(B.trace(), V);
+    EXPECT_FALSE(V.sawViolation());
+  }
+}
+
+TEST(BasicVelodromeTest, AllocatesOneNodePerTransaction) {
+  TraceBuilder B;
+  B.atomic(0, "a", [](TraceBuilder &B) { B.rd(0, "x").wr(0, "x"); })
+      .wr(0, "y")  // unary
+      .rd(1, "y"); // unary
+  BasicVelodrome V;
+  replay(B.trace(), V);
+  EXPECT_EQ(V.nodesAllocated(), 3u);
+}
+
+} // namespace
+} // namespace velo

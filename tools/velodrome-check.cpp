@@ -1,0 +1,178 @@
+//===- tools/velodrome-check.cpp - Offline trace checker CLI --------------===//
+//
+// Command-line front end for analysing recorded traces: the shape of tool a
+// downstream user points at a trace dump from their own instrumentation.
+//
+//   velodrome-check [options] <trace-file>
+//
+//     --backend=<velodrome|basic|atomizer|eraser|hb|all>   (default all)
+//     --dot=<file>     write the first violation's error graph as dot
+//     --witness        print a serial witness when the trace is serializable
+//     --no-merge       run Velodrome with the naive [INS OUTSIDE] rule
+//     --stats          print happens-before graph statistics
+//     --quiet          verdict only
+//
+// Exit status: 0 serializable, 1 atomicity violation, 2 usage/input error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "atomizer/Atomizer.h"
+#include "core/BasicVelodrome.h"
+#include "core/Velodrome.h"
+#include "eraser/Eraser.h"
+#include "events/TraceText.h"
+#include "hbrace/HbRaceDetector.h"
+#include "oracle/SerializabilityOracle.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace velo;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: velodrome-check [options] <trace-file>\n"
+      "  --backend=<velodrome|basic|atomizer|eraser|hb|all>  (default all)\n"
+      "  --dot=<file>   write the first violation's error graph\n"
+      "  --witness      print a serial witness when serializable\n"
+      "  --no-merge     disable the merge optimization\n"
+      "  --stats        print happens-before graph statistics\n"
+      "  --quiet        verdict only\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string BackendSel = "all", TraceFile, DotFile;
+  bool Witness = false, NoMerge = false, Stats = false, Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--backend=", 0) == 0) {
+      BackendSel = Arg.substr(10);
+    } else if (Arg.rfind("--dot=", 0) == 0) {
+      DotFile = Arg.substr(6);
+    } else if (Arg == "--witness") {
+      Witness = true;
+    } else if (Arg == "--no-merge") {
+      NoMerge = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      usage();
+      return 2;
+    } else if (TraceFile.empty()) {
+      TraceFile = Arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (TraceFile.empty()) {
+    usage();
+    return 2;
+  }
+
+  Trace T;
+  std::string Error;
+  if (!readTraceFile(TraceFile, T, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  std::vector<std::string> Problems;
+  if (!T.validate(&Problems)) {
+    std::fprintf(stderr, "error: trace is not well formed:\n");
+    for (const std::string &P : Problems)
+      std::fprintf(stderr, "  %s\n", P.c_str());
+    return 2;
+  }
+
+  bool RunVelo = BackendSel == "velodrome" || BackendSel == "all";
+  bool RunBasic = BackendSel == "basic" || BackendSel == "all";
+  bool RunAtom = BackendSel == "atomizer" || BackendSel == "all";
+  bool RunEraser = BackendSel == "eraser" || BackendSel == "all";
+  bool RunHb = BackendSel == "hb" || BackendSel == "all";
+  if (!(RunVelo || RunBasic || RunAtom || RunEraser || RunHb)) {
+    std::fprintf(stderr, "unknown backend: %s\n", BackendSel.c_str());
+    return 2;
+  }
+
+  VelodromeOptions VOpts;
+  VOpts.UseMerge = !NoMerge;
+  Velodrome Velo(VOpts);
+  BasicVelodrome Basic;
+  Atomizer Atom;
+  Eraser Race;
+  HbRaceDetector Hb;
+
+  std::vector<Backend *> Backends;
+  if (RunVelo)
+    Backends.push_back(&Velo);
+  if (RunBasic)
+    Backends.push_back(&Basic);
+  if (RunAtom)
+    Backends.push_back(&Atom);
+  if (RunEraser)
+    Backends.push_back(&Race);
+  if (RunHb)
+    Backends.push_back(&Hb);
+  replayAll(T, Backends);
+
+  bool Violation = (RunVelo && Velo.sawViolation()) ||
+                   (!RunVelo && RunBasic && Basic.sawViolation());
+
+  if (!Quiet) {
+    std::printf("%s: %zu events, %u threads\n", TraceFile.c_str(), T.size(),
+                T.numThreads());
+    for (Backend *B : Backends) {
+      std::printf("[%s] %zu warning(s)\n", B->name(), B->warnings().size());
+      for (const Warning &W : B->warnings())
+        std::printf("  %s\n", W.Message.c_str());
+    }
+    if (Stats && RunVelo) {
+      std::printf("[graph] allocated=%llu maxAlive=%llu edges=%llu "
+                  "merged=%llu\n",
+                  static_cast<unsigned long long>(
+                      Velo.graph().nodesAllocated()),
+                  static_cast<unsigned long long>(
+                      Velo.graph().maxNodesAlive()),
+                  static_cast<unsigned long long>(Velo.graph().edgesAdded()),
+                  static_cast<unsigned long long>(
+                      Velo.graph().nodesMerged()));
+    }
+  }
+
+  if (!DotFile.empty() && RunVelo && !Velo.warnings().empty() &&
+      !Velo.warnings()[0].Dot.empty()) {
+    std::ofstream Out(DotFile);
+    Out << Velo.warnings()[0].Dot;
+    if (!Quiet)
+      std::printf("error graph written to %s\n", DotFile.c_str());
+  }
+
+  if (Witness) {
+    OracleResult Oracle = checkSerializable(T);
+    if (Oracle.Serializable) {
+      TxnIndex Index = buildTxnIndex(T);
+      std::printf("# serial witness\n%s",
+                  printTrace(buildSerialWitness(T, Index, Oracle)).c_str());
+    } else if (!Quiet) {
+      std::printf("no witness: trace is not serializable\n");
+    }
+  }
+
+  std::printf("verdict: %s\n",
+              Violation ? "NOT conflict-serializable" : "serializable");
+  return Violation ? 1 : 0;
+}
