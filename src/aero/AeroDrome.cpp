@@ -1,0 +1,264 @@
+//===- aero/AeroDrome.cpp - Linear-time vector-clock checker --------------===//
+//
+// See AeroDrome.h for the algorithm overview. The invariants maintained
+// here:
+//
+//   1. TS.Cur->Clock is the exact set of transactions ordered before T's
+//      current transaction (including itself). Live objects grow; frozen
+//      objects are never touched again.
+//   2. Every frontier map entry references the transaction that performed
+//      the operation, so later readers of the entry see the full eventual
+//      dependency set of that transaction, even for dependencies the
+//      transaction acquires after publishing the entry.
+//   3. TS.Succ records, per thread r, the earliest transaction index of r
+//      known to be ordered after T's open transaction. Joining a clock that
+//      contains any recorded successor closes a cycle.
+//
+// A violation is flagged exactly when a join would close a cycle; the join
+// is then skipped, mirroring Velodrome's refusal to add cycle-closing
+// edges, and the analysis continues.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aero/AeroDrome.h"
+
+#include <string>
+
+namespace velo {
+
+void AeroDrome::beginAnalysis(const SymbolTable &Syms) {
+  Backend::beginAnalysis(Syms);
+  Threads.clear();
+  LastRelease.clear();
+  Vars.clear();
+  Violations.clear();
+  ReportedMethods.clear();
+  Saw = false;
+  NumJoins = NumTxns = NumAllocs = 0;
+}
+
+AeroDrome::ThreadState &AeroDrome::state(Tid T) { return Threads[T]; }
+
+void AeroDrome::advance(ThreadState &TS, Tid T, const Event &E) {
+  ++NumTxns;
+  if (TS.Cur && TS.Cur.use_count() == 1) {
+    // No frontier map references the previous transaction: recycle the
+    // object in place instead of allocating. This is the common case for
+    // long unary runs and the analogue of HbGraph's slot recycling.
+    TS.Cur->Time++;
+    TS.Cur->Finished = false;
+    TS.Cur->Clock.set(T, TS.Cur->Time);
+  } else {
+    auto Next = std::make_shared<TxnClock>();
+    ++NumAllocs;
+    Next->Owner = T;
+    if (TS.Cur) {
+      TS.Cur->Finished = true;
+      Next->Time = TS.Cur->Time + 1;
+      Next->Clock = TS.Cur->Clock; // program order: carry deps forward
+    } else {
+      Next->Time = 1;
+    }
+    Next->Clock.set(T, Next->Time);
+    TS.Cur = std::move(Next);
+  }
+  TS.Succ.clear();
+  if (TS.PendingParent) {
+    TxnClockRef Parent = std::move(TS.PendingParent);
+    TS.PendingParent.reset();
+    joinFrom(TS, T, Parent, E);
+  }
+}
+
+bool AeroDrome::beginUnary(ThreadState &TS, Tid T, const Event &E) {
+  if (TS.Depth > 0)
+    return false;
+  advance(TS, T, E);
+  return true;
+}
+
+/// Render the conflicting operation for the warning message.
+static std::string opDesc(const Event &E, const SymbolTable *Syms) {
+  switch (E.Kind) {
+  case Op::Read:
+    return "rd " + (Syms ? Syms->varName(E.var()) : std::to_string(E.var()));
+  case Op::Write:
+    return "wr " + (Syms ? Syms->varName(E.var()) : std::to_string(E.var()));
+  case Op::Acquire:
+    return "acq " +
+           (Syms ? Syms->lockName(E.lock()) : std::to_string(E.lock()));
+  case Op::Release:
+    return "rel " +
+           (Syms ? Syms->lockName(E.lock()) : std::to_string(E.lock()));
+  case Op::Join:
+    return "join T" + std::to_string(E.child());
+  case Op::Fork:
+    return "fork T" + std::to_string(E.child());
+  default:
+    return "op";
+  }
+}
+
+void AeroDrome::joinFrom(ThreadState &TS, Tid T, const TxnClockRef &Ref,
+                         const Event &E) {
+  if (!Ref || Ref == TS.Cur)
+    return;
+  ++NumJoins;
+  uint64_t C = TS.Cur->Time;
+  // Cycle check 1: the dependency already contains our open transaction.
+  if (Ref->Clock.get(T) >= C) {
+    reportViolation(TS, T, Ref->Owner, E);
+    return; // skip the cycle-closing join, as Velodrome skips the edge
+  }
+  // Cycle check 2: the dependency contains a recorded successor of our open
+  // transaction, so it is transitively ordered after us.
+  Tid Witness = 0;
+  if (TS.Succ.intersects(Ref->Clock, Witness)) {
+    reportViolation(TS, T, Witness, E);
+    return;
+  }
+  TS.Cur->Clock.joinWith(Ref->Clock);
+  if (!Ref->Finished && Ref->Owner != T) {
+    // Ref's transaction is still open: tell it that our transaction — and
+    // everything already known to follow our transaction — succeeds it.
+    ThreadState &OS = state(Ref->Owner);
+    OS.Succ.record(T, C);
+    OS.Succ.recordAll(TS.Succ);
+  }
+}
+
+void AeroDrome::reportViolation(ThreadState &TS, Tid T, Tid Witness,
+                                const Event &E) {
+  Saw = true;
+  Label Method = TS.Outer;
+  if (!ReportedMethods.insert(Method).second)
+    return; // one violation record per blamed method
+  AeroViolation V;
+  V.Thread = T;
+  V.Method = Method;
+  V.Witness = Witness;
+  V.Kind = E.Kind;
+  V.Target = E.Target;
+  Violations.push_back(V);
+  if (Violations.size() > Opts.MaxWarnings)
+    return;
+  Warning W;
+  W.Analysis = "aerodrome";
+  W.Category = "atomicity";
+  W.Method = Method;
+  W.Message = "atomicity violation in " +
+              (Method == NoLabel
+                   ? std::string("unary operation")
+                   : (Symbols ? Symbols->labelName(Method)
+                              : std::to_string(Method))) +
+              ": T" + std::to_string(T) + " " + opDesc(E, Symbols) +
+              " closes a dependency cycle through T" + std::to_string(Witness);
+  report(std::move(W));
+}
+
+void AeroDrome::onBegin(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  if (TS.Depth++ == 0) {
+    advance(TS, E.Thread, E);
+    TS.Outer = E.label();
+  }
+}
+
+void AeroDrome::onEnd(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  if (TS.Depth > 0 && --TS.Depth == 0) {
+    if (TS.Cur)
+      TS.Cur->Finished = true;
+    TS.Outer = NoLabel;
+  }
+}
+
+void AeroDrome::onAcquire(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  bool Unary = beginUnary(TS, E.Thread, E);
+  auto It = LastRelease.find(E.lock());
+  if (It != LastRelease.end())
+    joinFrom(TS, E.Thread, It->second, E);
+  if (Unary)
+    TS.Cur->Finished = true;
+}
+
+void AeroDrome::onRelease(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  bool Unary = beginUnary(TS, E.Thread, E);
+  LastRelease[E.lock()] = TS.Cur;
+  if (Unary)
+    TS.Cur->Finished = true;
+}
+
+void AeroDrome::onRead(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  bool Unary = beginUnary(TS, E.Thread, E);
+  VarClocks &VC = Vars[E.var()];
+  joinFrom(TS, E.Thread, VC.LastWrite, E);
+  if (E.Thread >= VC.Readers.size())
+    VC.Readers.resize(E.Thread + 1);
+  VC.Readers[E.Thread] = TS.Cur;
+  if (Unary)
+    TS.Cur->Finished = true;
+}
+
+void AeroDrome::onWrite(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  bool Unary = beginUnary(TS, E.Thread, E);
+  VarClocks &VC = Vars[E.var()];
+  joinFrom(TS, E.Thread, VC.LastWrite, E);
+  for (const TxnClockRef &Rd : VC.Readers)
+    joinFrom(TS, E.Thread, Rd, E);
+  // Frontier reduction: all previous readers are now ordered before this
+  // write, so future conflicts with them flow through our clock.
+  VC.Readers.clear();
+  VC.LastWrite = TS.Cur;
+  if (Unary)
+    TS.Cur->Finished = true;
+}
+
+void AeroDrome::onFork(const Event &E) {
+  ThreadState &TS = state(E.Thread);
+  bool Unary = beginUnary(TS, E.Thread, E);
+  // The child's first transaction starts after the forking transaction;
+  // resolve the dependency lazily at the child's first event so the child
+  // observes the fork-point transaction's final clock.
+  state(E.child()).PendingParent = TS.Cur;
+  if (Unary)
+    TS.Cur->Finished = true;
+}
+
+void AeroDrome::onJoin(const Event &E) {
+  ThreadState &Child = state(E.child());
+  TxnClockRef Last = Child.Cur ? Child.Cur : Child.PendingParent;
+  ThreadState &TS = state(E.Thread);
+  bool Unary = beginUnary(TS, E.Thread, E);
+  joinFrom(TS, E.Thread, Last, E);
+  if (Unary)
+    TS.Cur->Finished = true;
+}
+
+void AeroDrome::onEvent(const Event &E) {
+  countEvent();
+  switch (E.Kind) {
+  case Op::Begin:
+    return onBegin(E);
+  case Op::End:
+    return onEnd(E);
+  case Op::Acquire:
+    return onAcquire(E);
+  case Op::Release:
+    return onRelease(E);
+  case Op::Read:
+    return onRead(E);
+  case Op::Write:
+    return onWrite(E);
+  case Op::Fork:
+    return onFork(E);
+  case Op::Join:
+    return onJoin(E);
+  }
+}
+
+} // namespace velo

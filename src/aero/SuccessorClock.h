@@ -1,0 +1,87 @@
+//===- aero/SuccessorClock.h - Known-successor frontier ---------*- C++ -*-===//
+//
+// The piece that makes the vector-clock checker complete, not just sound.
+//
+// Plain clock propagation only flows *forward*: when a transaction observes
+// an ongoing transaction, it snapshots the dependencies the source has
+// acquired so far. Dependencies the source acquires afterwards never reach
+// observers that have already sampled it, so a cycle that closes through
+// such a late dependency would be invisible to the ordinary
+// "joined-a-clock-containing-my-own-component" check.
+//
+// The fix is a backward record: every open transaction remembers which
+// transactions have observed it. A successor of thread r is summarized by
+// the *earliest* transaction index of r that observed us — every later
+// transaction of r is also a successor by program order, so one component
+// per thread suffices (min instead of the usual max join). When the open
+// transaction later acquires a dependency clock D, finding any recorded
+// successor inside D proves D is transitively ordered after us, closing a
+// cycle.
+//
+// 0 doubles as "no successor recorded": transaction indices start at 1.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_AERO_SUCCESSORCLOCK_H
+#define VELO_AERO_SUCCESSORCLOCK_H
+
+#include "events/Event.h"
+#include "hbrace/VectorClock.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace velo {
+
+/// Min-clock over transaction indices: component r is the earliest
+/// transaction of thread r known to be ordered after the owning (open)
+/// transaction, or 0 when none is.
+class SuccessorClock {
+public:
+  uint64_t get(Tid T) const { return T < Min.size() ? Min[T] : 0; }
+
+  /// Record that transaction Time of thread T is a successor.
+  void record(Tid T, uint64_t Time) {
+    if (T >= Min.size())
+      Min.resize(T + 1, 0);
+    if (Min[T] == 0 || Time < Min[T])
+      Min[T] = Time;
+  }
+
+  /// Fold in another successor frontier (the observer's own known
+  /// successors are transitively ours as well).
+  void recordAll(const SuccessorClock &Other) {
+    for (size_t I = 0; I < Other.Min.size(); ++I)
+      if (Other.Min[I] != 0)
+        record(static_cast<Tid>(I), Other.Min[I]);
+  }
+
+  /// Does clock D contain any recorded successor? Returns true and the
+  /// witnessing thread when D's component for some thread r reaches the
+  /// earliest recorded successor transaction of r.
+  bool intersects(const VectorClock &D, Tid &WitnessOut) const {
+    for (size_t I = 0; I < Min.size(); ++I) {
+      if (Min[I] != 0 && D.get(static_cast<Tid>(I)) >= Min[I]) {
+        WitnessOut = static_cast<Tid>(I);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool empty() const {
+    for (uint64_t V : Min)
+      if (V != 0)
+        return false;
+    return true;
+  }
+
+  void clear() { Min.clear(); }
+
+private:
+  std::vector<uint64_t> Min;
+};
+
+} // namespace velo
+
+#endif // VELO_AERO_SUCCESSORCLOCK_H

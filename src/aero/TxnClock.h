@@ -1,0 +1,55 @@
+//===- aero/TxnClock.h - Shared per-transaction vector clocks ---*- C++ -*-===//
+//
+// The unit of state of the vector-clock atomicity checker ("Atomicity
+// Checking in Linear Time using Vector Clocks", Mathur & Viswanathan): one
+// clock object per transaction, where unary (non-transactional) operations
+// are singleton transactions. The clock of a transaction is the set of
+// transactions that must be serialized before it, represented as one
+// component per thread (component t = the latest transaction index of
+// thread t that precedes this transaction).
+//
+// Clock objects are shared by reference: the per-lock, per-variable, and
+// fork/join frontier maps hold shared_ptrs into the owning thread's current
+// transaction object. While the transaction is open the object is *live*
+// (its clock still grows as the transaction acquires dependencies); at the
+// transaction's end it is frozen and never mutated again. A reader that
+// dereferences a live object therefore sees the whole ongoing transaction's
+// dependency set, which is exactly what transactional happens-before
+// requires — an edge from an open transaction orders *all* of it, not just
+// the prefix that performed the conflicting operation.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_AERO_TXNCLOCK_H
+#define VELO_AERO_TXNCLOCK_H
+
+#include "events/Event.h"
+#include "hbrace/VectorClock.h"
+
+#include <memory>
+
+namespace velo {
+
+/// One transaction (or singleton unary operation) of the vector-clock
+/// checker: its owner, its per-thread transaction index, and its clock.
+struct TxnClock {
+  Tid Owner = 0;
+  /// The owner's transaction counter for this transaction; equals
+  /// Clock.get(Owner) at all times.
+  uint64_t Time = 0;
+  /// Set at transaction end; a frozen clock is immutable. Maps may keep
+  /// referencing it — it is the transaction's final dependency set.
+  bool Finished = false;
+  /// Transactions serialized before this one (including itself at Owner).
+  VectorClock Clock;
+};
+
+/// Shared reference into a thread's transaction history. The maps (last
+/// write, last reads, last release, fork frontier) keep the referenced
+/// transaction's clock alive; dropping the last reference reclaims it, which
+/// is the vector-clock analogue of HbGraph's reference-counting GC.
+using TxnClockRef = std::shared_ptr<TxnClock>;
+
+} // namespace velo
+
+#endif // VELO_AERO_TXNCLOCK_H

@@ -54,6 +54,11 @@ public:
   /// which thread to stall; only the Atomizer overrides it.
   virtual bool lastEventSuspicious() const { return false; }
 
+  /// True once the back-end has detected at least one definite violation.
+  /// Verdict-producing checkers (Velodrome, BasicVelodrome, AeroDrome)
+  /// override this; heuristic back-ends keep the default.
+  virtual bool sawViolation() const { return false; }
+
   const std::vector<Warning> &warnings() const { return Reports; }
   uint64_t eventCount() const { return NumEvents; }
 

@@ -35,7 +35,7 @@ public:
   void onEvent(const Event &E) override;
 
   /// Did any edge insertion close a (non-trivial) cycle?
-  bool sawViolation() const { return ViolationCount > 0; }
+  bool sawViolation() const override { return ViolationCount > 0; }
   uint64_t violationCount() const { return ViolationCount; }
 
   /// Labels of transactions observed on some cycle (the current transaction

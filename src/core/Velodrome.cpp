@@ -227,22 +227,31 @@ void Velodrome::onFork(const Event &E) {
     S = naiveUnary(E.Thread, {TS.Last}, {Op::Fork, E.child(), E.Thread});
   }
   TS.Last = S;
-  state(E.child()).Last = S;
+  // The fork step may come back stale: naiveUnary (and merge) can hand out
+  // a node that was collected the moment it was finished, when every source
+  // was already dead. Resolve before publishing so the child starts from a
+  // live step (or bottom) instead of inheriting a dangling one and paying
+  // the resolution on every later edge it draws.
+  state(E.child()).Last = Graph.resolve(S);
 }
 
 void Velodrome::onJoin(const Event &E) {
   ThreadState &TS = state(E.Thread);
   ThreadState &Child = state(E.child());
   EdgeInfo Info{Op::Join, E.child(), E.Thread};
+  // Same staleness hazard as onFork: the child's final step may have been
+  // collected already. Resolve it once here rather than relying on every
+  // downstream consumer to do so.
+  Step ChildLast = Graph.resolve(Child.Last);
   if (TS.InTxn) {
     Step S = tickInside(TS);
-    addEdgeChecked(Child.Last, S, Info, TS);
+    addEdgeChecked(ChildLast, S, Info, TS);
     TS.Last = S;
     return;
   }
   TS.Last = Opts.UseMerge
-                ? Graph.merge({TS.Last, Child.Last}, E.Thread, Info)
-                : naiveUnary(E.Thread, {TS.Last, Child.Last}, Info);
+                ? Graph.merge({TS.Last, ChildLast}, E.Thread, Info)
+                : naiveUnary(E.Thread, {TS.Last, ChildLast}, Info);
 }
 
 void Velodrome::endAnalysis() {}
@@ -323,11 +332,14 @@ void Velodrome::reportCycle(const CycleReport &Cycle, ThreadState &TS) {
       V.Method = V.RefutedBlocks.front(); // outermost refuted block
   }
 
-  if (ReportedMethods.count(V.Method))
+  // Mark the method as seen *before* applying the warning cap: once the cap
+  // is hit, later cycles blaming the same method must still be recognized as
+  // duplicates, or each one re-enters here and pays for blame resolution and
+  // dot rendering again.
+  if (!ReportedMethods.insert(V.Method).second)
     return;
   if (Violations.size() >= Opts.MaxWarnings)
     return;
-  ReportedMethods.insert(V.Method);
   Violations.push_back(V);
 
   Warning W;

@@ -83,7 +83,7 @@ public:
   const HbGraph &graph() const { return Graph; }
 
   /// Did the observed trace contain any non-serializable cycle?
-  bool sawViolation() const { return !Violations.empty(); }
+  bool sawViolation() const override { return !Violations.empty(); }
 
 private:
   struct BlockEntry {

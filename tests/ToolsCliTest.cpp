@@ -79,14 +79,15 @@ TEST(CheckCliTest, DotExportWritesAGraph) {
 }
 
 TEST(CheckCliTest, BackendSelectionWorks) {
-  for (const char *Backend : {"velodrome", "basic", "atomizer", "eraser",
-                              "hb", "all"}) {
+  for (const char *Backend : {"velodrome", "basic", "aero", "atomizer",
+                              "eraser", "hb", "all"}) {
     int Code = runCmd(std::string(VELO_CHECK_BIN) + " --quiet --backend=" +
                       Backend + " " + dataFile("rmw_violation.trace"));
     // Race-only back-ends report verdict "serializable" (exit 0); the
     // atomicity-capable ones exit 1.
     bool Atomicity = std::string(Backend) == "velodrome" ||
                      std::string(Backend) == "basic" ||
+                     std::string(Backend) == "aero" ||
                      std::string(Backend) == "all";
     EXPECT_EQ(Code, Atomicity ? 1 : 0) << Backend;
   }
@@ -113,6 +114,39 @@ TEST(RunCliTest, RecordedRunRoundTripsThroughCheck) {
 
 TEST(RunCliTest, CleanWorkloadExitsZero) {
   EXPECT_EQ(runCmd(std::string(VELO_RUN_BIN) + " raja --seed=5"), 0);
+}
+
+TEST(RunCliTest, MalformedScaleExitsTwo) {
+  for (const char *Bad : {"--scale=0", "--scale=-3", "--scale=abc",
+                          "--scale=", "--scale=2x", "--scale=+4",
+                          "--scale=99999999999999999999"})
+    EXPECT_EQ(runCmd(std::string(VELO_RUN_BIN) + " " + Bad + " philo"), 2)
+        << Bad;
+}
+
+TEST(RunCliTest, MalformedSeedExitsTwo) {
+  for (const char *Bad : {"--seed=", "--seed=-1", "--seed=12junk",
+                          "--seed=+7", "--seed=0x10",
+                          "--seed=99999999999999999999999999"})
+    EXPECT_EQ(runCmd(std::string(VELO_RUN_BIN) + " " + Bad + " philo"), 2)
+        << Bad;
+}
+
+TEST(RunCliTest, ValidScaleAndSeedStillRun) {
+  int Code = runCmd(std::string(VELO_RUN_BIN) +
+                    " philo --scale=2 --seed=7");
+  EXPECT_TRUE(Code == 0 || Code == 1) << "verdict exit, not a usage error";
+}
+
+TEST(RunCliTest, BackendSelectionWorks) {
+  for (const char *Backend : {"velodrome", "aero", "both"}) {
+    int Code = runCmd(std::string(VELO_RUN_BIN) + " multiset --seed=3" +
+                      " --backend=" + Backend);
+    EXPECT_TRUE(Code == 0 || Code == 1) << Backend;
+  }
+  EXPECT_EQ(runCmd(std::string(VELO_RUN_BIN) +
+                   " multiset --backend=bogus"),
+            2);
 }
 
 TEST(RunCliTest, PolicyAndCorruptionFlagsParse) {

@@ -41,6 +41,32 @@ TEST(VelodromeOptionsTest, DistinctMethodsEachGetAWarning) {
   EXPECT_EQ(Methods.size(), 7u);
 }
 
+// Regression: reportCycle used to bail out at the MaxWarnings cap *before*
+// recording the blamed method in its seen-set, so every later cycle on the
+// same method re-entered full blame resolution and dot rendering. With the
+// fix, the method is marked seen even when its warning is dropped; the
+// externally visible counts must stay capped and deduplicated throughout.
+TEST(VelodromeOptionsTest, MaxWarningsOneWithRepeatedCyclesOnSameMethod) {
+  TraceBuilder B;
+  // Two separate cycles blaming the same method "m" (distinct variables so
+  // each closes its own cycle), then two more on a second method "n" that
+  // arrive after the cap is already exhausted.
+  B.begin(0, "m").rd(0, "x").wr(1, "x").wr(0, "x").end(0);
+  B.begin(0, "m").rd(0, "y").wr(1, "y").wr(0, "y").end(0);
+  B.begin(0, "n").rd(0, "z").wr(1, "z").wr(0, "z").end(0);
+  B.begin(0, "n").rd(0, "w").wr(1, "w").wr(0, "w").end(0);
+
+  VelodromeOptions Opts;
+  Opts.MaxWarnings = 1;
+  Velodrome V(Opts);
+  replay(B.take(), V);
+
+  EXPECT_TRUE(V.sawViolation());
+  ASSERT_EQ(V.violations().size(), 1u);
+  EXPECT_EQ(V.warnings().size(), 1u);
+  EXPECT_EQ(V.violations()[0].Method, V.warnings()[0].Method);
+}
+
 TEST(VelodromeOptionsTest, EmitDotOffLeavesDotEmpty) {
   VelodromeOptions Opts;
   Opts.EmitDot = false;

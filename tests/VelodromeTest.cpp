@@ -9,6 +9,7 @@
 #include "core/BasicVelodrome.h"
 #include "core/Velodrome.h"
 #include "events/TraceBuilder.h"
+#include "oracle/SerializabilityOracle.h"
 
 #include <gtest/gtest.h>
 
@@ -398,6 +399,53 @@ TEST(BasicVelodromeTest, AllocatesOneNodePerTransaction) {
   BasicVelodrome V;
   replay(B.trace(), V);
   EXPECT_EQ(V.nodesAllocated(), 3u);
+}
+
+// Regression: the fork step published to the child used to be the raw step
+// returned by merge/naiveUnary, which can already be collected (a unary
+// node whose sources are all dead is finished — and GC'd — on creation).
+// The parent's unary run ahead of the fork makes exactly that happen; the
+// child must still be ordered correctly and the verdict must match the
+// oracle in both merge configurations.
+TEST(VelodromeTest, ForkAfterGcStillOrdersChildAndDetectsCycle) {
+  TraceBuilder B;
+  // Unary churn: each write moves the W(a) frontier, the prior node dies.
+  B.wr(0, "a").wr(0, "a").wr(0, "a");
+  B.fork(0, 1);
+  // Child transaction racing an unguarded parent write: a genuine cycle.
+  B.begin(1, "child").rd(1, "x").wr(0, "x").wr(1, "x").end(1);
+  Trace T = B.take();
+  ASSERT_TRUE(T.validate());
+  ASSERT_FALSE(checkSerializable(T).Serializable);
+
+  for (bool UseMerge : {true, false}) {
+    VelodromeOptions Opts;
+    Opts.UseMerge = UseMerge;
+    Velodrome V = runVelodrome(T, Opts);
+    EXPECT_TRUE(V.sawViolation()) << "merge=" << UseMerge;
+  }
+}
+
+TEST(VelodromeTest, ForkAfterGcCleanChildStaysClean) {
+  TraceBuilder B;
+  B.wr(0, "a").wr(0, "a").wr(0, "a");
+  B.fork(0, 1);
+  // The child sees the parent's pre-fork write and hands a value back
+  // through join: serializable, and the join edge must survive the child's
+  // final step being resolved.
+  B.begin(1, "child").rd(1, "a").wr(1, "x").end(1);
+  B.join(0, 1);
+  B.rd(0, "x");
+  Trace T = B.take();
+  ASSERT_TRUE(T.validate());
+  ASSERT_TRUE(checkSerializable(T).Serializable);
+
+  for (bool UseMerge : {true, false}) {
+    VelodromeOptions Opts;
+    Opts.UseMerge = UseMerge;
+    Velodrome V = runVelodrome(T, Opts);
+    EXPECT_FALSE(V.sawViolation()) << "merge=" << UseMerge;
+  }
 }
 
 } // namespace

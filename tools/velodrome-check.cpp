@@ -5,7 +5,7 @@
 //
 //   velodrome-check [options] <trace-file>
 //
-//     --backend=<velodrome|basic|atomizer|eraser|hb|all>   (default all)
+//     --backend=<velodrome|basic|aero|atomizer|eraser|hb|all>  (default all)
 //     --dot=<file>     write the first violation's error graph as dot
 //     --witness        print a serial witness when the trace is serializable
 //     --no-merge       run Velodrome with the naive [INS OUTSIDE] rule
@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "aero/AeroDrome.h"
 #include "atomizer/Atomizer.h"
 #include "core/BasicVelodrome.h"
 #include "core/Velodrome.h"
@@ -37,7 +38,8 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: velodrome-check [options] <trace-file>\n"
-      "  --backend=<velodrome|basic|atomizer|eraser|hb|all>  (default all)\n"
+      "  --backend=<velodrome|basic|aero|atomizer|eraser|hb|all>"
+      "  (default all)\n"
       "  --dot=<file>   write the first violation's error graph\n"
       "  --witness      print a serial witness when serializable\n"
       "  --no-merge     disable the merge optimization\n"
@@ -100,10 +102,11 @@ int main(int argc, char **argv) {
 
   bool RunVelo = BackendSel == "velodrome" || BackendSel == "all";
   bool RunBasic = BackendSel == "basic" || BackendSel == "all";
+  bool RunAero = BackendSel == "aero" || BackendSel == "all";
   bool RunAtom = BackendSel == "atomizer" || BackendSel == "all";
   bool RunEraser = BackendSel == "eraser" || BackendSel == "all";
   bool RunHb = BackendSel == "hb" || BackendSel == "all";
-  if (!(RunVelo || RunBasic || RunAtom || RunEraser || RunHb)) {
+  if (!(RunVelo || RunBasic || RunAero || RunAtom || RunEraser || RunHb)) {
     std::fprintf(stderr, "unknown backend: %s\n", BackendSel.c_str());
     return 2;
   }
@@ -112,6 +115,7 @@ int main(int argc, char **argv) {
   VOpts.UseMerge = !NoMerge;
   Velodrome Velo(VOpts);
   BasicVelodrome Basic;
+  AeroDrome Aero;
   Atomizer Atom;
   Eraser Race;
   HbRaceDetector Hb;
@@ -121,6 +125,8 @@ int main(int argc, char **argv) {
     Backends.push_back(&Velo);
   if (RunBasic)
     Backends.push_back(&Basic);
+  if (RunAero)
+    Backends.push_back(&Aero);
   if (RunAtom)
     Backends.push_back(&Atom);
   if (RunEraser)
@@ -129,8 +135,12 @@ int main(int argc, char **argv) {
     Backends.push_back(&Hb);
   replayAll(T, Backends);
 
-  bool Violation = (RunVelo && Velo.sawViolation()) ||
-                   (!RunVelo && RunBasic && Basic.sawViolation());
+  // Verdict priority: the graph checkers are the reference implementation;
+  // the vector-clock back-end supplies the verdict only when it runs alone.
+  bool Violation = RunVelo    ? Velo.sawViolation()
+                   : RunBasic ? Basic.sawViolation()
+                   : RunAero  ? Aero.sawViolation()
+                              : false;
 
   if (!Quiet) {
     std::printf("%s: %zu events, %u threads\n", TraceFile.c_str(), T.size(),

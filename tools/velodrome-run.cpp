@@ -8,7 +8,8 @@
 //
 //     --list               list available workloads and their guard sites
 //     --seed=<n>           scheduler/workload seed          (default 1)
-//     --scale=<n>          work multiplier                  (default 1)
+//     --scale=<n>          work multiplier >= 1             (default 1)
+//     --backend=<velodrome|aero|both>  atomicity checker    (default velodrome)
 //     --record=<file>      write the observed trace
 //     --disable=<site>     disable a guard site (repeatable)
 //     --adversarial        Atomizer-guided scheduling
@@ -19,12 +20,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "aero/AeroDrome.h"
 #include "analysis/TraceRecorder.h"
 #include "atomizer/Atomizer.h"
 #include "core/Velodrome.h"
 #include "events/TraceText.h"
 #include "workloads/Workload.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -37,8 +41,37 @@ void usage() {
   std::fprintf(stderr,
                "usage: velodrome-run [options] <workload>\n"
                "  --list  --seed=N  --scale=N  --record=FILE\n"
+               "  --backend=velodrome|aero|both\n"
                "  --disable=SITE  --adversarial  --policy=POLICY\n"
                "  --exclude-known\n");
+}
+
+/// Parse a full decimal uint64 ("--seed="). Rejects empty strings, trailing
+/// garbage, signs, and out-of-range values.
+bool parseU64(const char *S, uint64_t &Out) {
+  if (*S == '\0' || *S == '-' || *S == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (errno != 0 || End == S || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Parse a positive decimal int ("--scale="). Rejects 0, negatives,
+/// non-numeric input, and overflow.
+bool parseScale(const char *S, int &Out) {
+  if (*S == '\0' || *S == '-' || *S == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long V = std::strtol(S, &End, 10);
+  if (errno != 0 || End == S || *End != '\0' || V < 1 || V > INT_MAX)
+    return false;
+  Out = static_cast<int>(V);
+  return true;
 }
 
 void listWorkloads() {
@@ -58,6 +91,7 @@ int main(int argc, char **argv) {
   std::string Name, RecordFile;
   uint64_t Seed = 1;
   int Scale = 1;
+  bool RunVelo = true, RunAero = false;
   bool Adversarial = false, ExcludeKnown = false;
   StallPolicy Policy = StallPolicy::AllOps;
   std::vector<std::string> Disabled;
@@ -68,9 +102,33 @@ int main(int argc, char **argv) {
       listWorkloads();
       return 0;
     } else if (Arg.rfind("--seed=", 0) == 0) {
-      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+      if (!parseU64(Arg.c_str() + 7, Seed)) {
+        std::fprintf(stderr, "invalid --seed value: '%s'\n", Arg.c_str() + 7);
+        usage();
+        return 2;
+      }
     } else if (Arg.rfind("--scale=", 0) == 0) {
-      Scale = std::atoi(Arg.c_str() + 8);
+      if (!parseScale(Arg.c_str() + 8, Scale)) {
+        std::fprintf(stderr, "invalid --scale value: '%s' (must be >= 1)\n",
+                     Arg.c_str() + 8);
+        usage();
+        return 2;
+      }
+    } else if (Arg.rfind("--backend=", 0) == 0) {
+      std::string B = Arg.substr(10);
+      if (B == "velodrome") {
+        RunVelo = true;
+        RunAero = false;
+      } else if (B == "aero") {
+        RunVelo = false;
+        RunAero = true;
+      } else if (B == "both") {
+        RunVelo = RunAero = true;
+      } else {
+        std::fprintf(stderr, "unknown backend: %s\n", B.c_str());
+        usage();
+        return 2;
+      }
     } else if (Arg.rfind("--record=", 0) == 0) {
       RecordFile = Arg.substr(9);
     } else if (Arg.rfind("--disable=", 0) == 0) {
@@ -130,9 +188,15 @@ int main(int argc, char **argv) {
   Opts.Policy = Policy;
 
   Velodrome Velo;
+  AeroDrome Aero;
   Atomizer Atom;
   TraceRecorder Rec;
-  std::vector<Backend *> Backends{&Velo, &Atom};
+  std::vector<Backend *> Backends;
+  if (RunVelo)
+    Backends.push_back(&Velo);
+  if (RunAero)
+    Backends.push_back(&Aero);
+  Backends.push_back(&Atom);
   if (!RecordFile.empty())
     Backends.push_back(&Rec);
   Runtime RT(Opts, Backends);
@@ -146,12 +210,28 @@ int main(int argc, char **argv) {
   std::printf("%s: seed=%llu scale=%d events=%llu\n", W->name(),
               static_cast<unsigned long long>(Seed), Scale,
               static_cast<unsigned long long>(RT.eventCount()));
-  std::printf("[Velodrome] %zu violation(s)\n", Velo.violations().size());
-  for (const AtomicityViolation &V : Velo.violations())
-    std::printf("  %s (%s, cycle of %zu)\n",
-                RT.symbols().labelName(V.Method).c_str(),
-                V.BlameResolved ? "blame resolved" : "blame unresolved",
-                V.CycleLength);
+  if (RunVelo) {
+    std::printf("[Velodrome] %zu violation(s)\n", Velo.violations().size());
+    for (const AtomicityViolation &V : Velo.violations())
+      std::printf("  %s (%s, cycle of %zu)\n",
+                  RT.symbols().labelName(V.Method).c_str(),
+                  V.BlameResolved ? "blame resolved" : "blame unresolved",
+                  V.CycleLength);
+  }
+  if (RunAero) {
+    std::printf("[AeroDrome] %zu violation(s)\n", Aero.violations().size());
+    for (const AeroViolation &V : Aero.violations())
+      std::printf("  %s (witness T%u)\n",
+                  V.Method == NoLabel
+                      ? "(unary)"
+                      : RT.symbols().labelName(V.Method).c_str(),
+                  V.Witness);
+  }
+  if (RunVelo && RunAero && Velo.sawViolation() != Aero.sawViolation())
+    std::fprintf(stderr,
+                 "warning: backend verdicts disagree "
+                 "(Velodrome=%d AeroDrome=%d)\n",
+                 Velo.sawViolation(), Aero.sawViolation());
   std::printf("[Atomizer]  %zu warning(s)\n", Atom.warnings().size());
   for (const Warning &Warn : Atom.warnings())
     std::printf("  %s\n", Warn.Message.c_str());
@@ -164,5 +244,7 @@ int main(int argc, char **argv) {
     std::printf("trace written to %s (%zu events)\n", RecordFile.c_str(),
                 Rec.trace().size());
   }
-  return Velo.sawViolation() ? 1 : 0;
+  bool Violation =
+      (RunVelo && Velo.sawViolation()) || (RunAero && Aero.sawViolation());
+  return Violation ? 1 : 0;
 }
