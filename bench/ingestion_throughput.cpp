@@ -1,0 +1,135 @@
+//===- bench/ingestion_throughput.cpp - Streaming-ingestion benchmark -----===//
+//
+// Measures the hardened ingestion path end to end: write an N-event trace to
+// disk, then stream it (TraceStream -> TraceSanitizer -> AeroDrome) the way
+// velodrome-check's default path does, reporting events/sec and peak RSS.
+// The point of the RSS column is the acceptance criterion of the ingestion
+// work: memory must stay flat in trace length on the streaming path (the
+// whole-file Trace object is only built for --witness).
+//
+//   ingestion_throughput [--events=N] [--seed=N] [--keep]
+//
+//===----------------------------------------------------------------------===//
+
+#include "aero/AeroDrome.h"
+#include "events/TraceGen.h"
+#include "events/TraceSanitizer.h"
+#include "events/TraceStream.h"
+#include "events/TraceText.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+using namespace velo;
+
+namespace {
+
+long maxRssKb() {
+  struct rusage Usage;
+  getrusage(RUSAGE_SELF, &Usage);
+  return Usage.ru_maxrss;
+}
+
+/// Write an approximately NumEvents-long well-formed trace to Path in
+/// bounded memory (generated and flushed in chunks).
+uint64_t writeBigTrace(const std::string &Path, uint64_t NumEvents,
+                       uint64_t Seed) {
+  std::ofstream Out(Path);
+  TraceGenOptions Opts;
+  Opts.Threads = 8;
+  Opts.Vars = 64;
+  Opts.Locks = 8;
+  Opts.Steps = 20000;
+  Opts.GuardedAccessPct = 60;
+  uint64_t Written = 0;
+  for (uint64_t Chunk = 0; Written < NumEvents; ++Chunk) {
+    Trace T = generateRandomTrace(Seed * 7919 + Chunk, Opts);
+    Out << printTrace(T);
+    Written += T.size();
+  }
+  return Written;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t NumEvents = 10'000'000, Seed = 1;
+  bool Keep = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--events=", 0) == 0)
+      NumEvents = std::strtoull(Arg.c_str() + 9, nullptr, 10);
+    else if (Arg.rfind("--seed=", 0) == 0)
+      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    else if (Arg == "--keep")
+      Keep = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: ingestion_throughput [--events=N] [--seed=N] "
+                   "[--keep]\n");
+      return 2;
+    }
+  }
+
+  std::string Path = "/tmp/velo_ingestion_bench.trace";
+  std::printf("generating ~%llu events to %s...\n",
+              static_cast<unsigned long long>(NumEvents), Path.c_str());
+  uint64_t Written = writeBigTrace(Path, NumEvents, Seed);
+  long RssAfterGen = maxRssKb();
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot reopen %s\n", Path.c_str());
+    return 2;
+  }
+  SymbolTable Syms;
+  TraceStream Stream(In, Syms);
+  TraceSanitizer Sanitizer(SanitizeMode::Lenient);
+  AeroDrome Aero;
+  Aero.beginAnalysis(Syms);
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<Event> Batch;
+  Event E;
+  uint64_t Delivered = 0;
+  while (Stream.next(E)) {
+    Batch.clear();
+    Sanitizer.push(E, Batch, Stream.lineNo());
+    for (const Event &Out : Batch) {
+      Aero.onEvent(Out);
+      ++Delivered;
+    }
+  }
+  Batch.clear();
+  Sanitizer.finish(Batch);
+  for (const Event &Out : Batch) {
+    Aero.onEvent(Out);
+    ++Delivered;
+  }
+  Aero.endAnalysis();
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+  if (Stream.failed()) {
+    std::fprintf(stderr, "stream failed: %s\n", Stream.error().c_str());
+    return 1;
+  }
+  std::printf("events written   %llu\n",
+              static_cast<unsigned long long>(Written));
+  std::printf("events delivered %llu\n",
+              static_cast<unsigned long long>(Delivered));
+  std::printf("ingest time      %.2f s (%.2f Mev/s)\n", Secs,
+              Delivered / Secs / 1e6);
+  std::printf("violation        %s\n", Aero.sawViolation() ? "yes" : "no");
+  std::printf("peak RSS         %ld KB (after generation: %ld KB)\n",
+              maxRssKb(), RssAfterGen);
+  if (!Keep)
+    std::remove(Path.c_str());
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- analysis/Governor.cpp - Resource governor & degradation ------------===//
+
+#include "analysis/Governor.h"
+
+namespace velo {
+
+void GovernedAnalysis::beginAnalysis(const SymbolTable &Syms) {
+  Backend::beginAnalysis(Syms);
+  State = GovernorState::Normal;
+  Reason.clear();
+  Delivered = 0;
+  Start = std::chrono::steady_clock::now();
+  Primary.beginAnalysis(Syms);
+  if (Fallback)
+    Fallback->beginAnalysis(Syms);
+}
+
+void GovernedAnalysis::degradeOrExhaust(std::string Why) {
+  if (Fallback && State == GovernorState::Normal) {
+    State = GovernorState::Degraded;
+    Reason = std::move(Why);
+    return;
+  }
+  exhaust(std::move(Why));
+}
+
+void GovernedAnalysis::exhaust(std::string Why) {
+  State = GovernorState::Exhausted;
+  Reason = std::move(Why);
+}
+
+void GovernedAnalysis::onEvent(const Event &E) {
+  if (State == GovernorState::Exhausted)
+    return;
+  countEvent();
+
+  if (Limits.MaxEvents && Delivered >= Limits.MaxEvents) {
+    // The fallback pays per-event too, so an event budget cannot be saved
+    // by degrading — stop outright.
+    exhaust("event budget of " + std::to_string(Limits.MaxEvents) +
+            " exhausted");
+    return;
+  }
+
+  ++Delivered;
+  if (State == GovernorState::Normal)
+    Primary.onEvent(E);
+  if (Fallback)
+    Fallback->onEvent(E);
+
+  if (State == GovernorState::Normal &&
+      (Limits.MaxLiveNodes || Limits.MaxMemoryBytes) && ResourceProbe) {
+    uint64_t Nodes = 0, Bytes = 0;
+    ResourceProbe(Nodes, Bytes);
+    if (Limits.MaxLiveNodes && Nodes > Limits.MaxLiveNodes)
+      degradeOrExhaust("live graph nodes " + std::to_string(Nodes) +
+                       " exceed cap " + std::to_string(Limits.MaxLiveNodes));
+    else if (Limits.MaxMemoryBytes && Bytes > Limits.MaxMemoryBytes)
+      degradeOrExhaust("estimated analysis memory " + std::to_string(Bytes) +
+                       " bytes exceeds cap " +
+                       std::to_string(Limits.MaxMemoryBytes));
+  }
+
+  uint32_t Interval = Limits.CheckIntervalEvents ? Limits.CheckIntervalEvents : 1;
+  if (Limits.DeadlineMillis && State != GovernorState::Exhausted &&
+      Delivered % Interval == 0) {
+    auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+    if (static_cast<uint64_t>(Elapsed) > Limits.DeadlineMillis)
+      exhaust("wall-clock deadline of " +
+              std::to_string(Limits.DeadlineMillis) + " ms exceeded after " +
+              std::to_string(Delivered) + " events");
+  }
+}
+
+void GovernedAnalysis::endAnalysis() {
+  // Both checkers settle even after degradation/exhaustion: violations
+  // found on the delivered prefix are definite.
+  Primary.endAnalysis();
+  if (Fallback)
+    Fallback->endAnalysis();
+}
+
+GovernorVerdict GovernedAnalysis::verdict() const {
+  bool PrimarySaw = Primary.sawViolation();
+  bool FallbackSaw = Fallback && Fallback->sawViolation();
+  if (PrimarySaw || FallbackSaw)
+    return GovernorVerdict::Violation;
+  if (State == GovernorState::Exhausted)
+    return GovernorVerdict::Unknown;
+  return GovernorVerdict::Serializable;
+}
+
+} // namespace velo

@@ -1,0 +1,76 @@
+//===- analysis/SanitizerGate.h - Sanitizing backend fan-out ----*- C++ -*-===//
+//
+// Routes a live event stream (the monitored runtime, or any other in-process
+// producer) through a TraceSanitizer before it reaches the analysis
+// back-ends, so ill-formed sequences cannot corrupt checker state even in
+// builds where assert is compiled out. In strict mode the gate fail-stops:
+// after the first ill-formed event nothing further is forwarded and the
+// driver reports rejected(). In lenient mode it repairs and counts.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_ANALYSIS_SANITIZERGATE_H
+#define VELO_ANALYSIS_SANITIZERGATE_H
+
+#include "analysis/Backend.h"
+#include "events/TraceSanitizer.h"
+
+#include <vector>
+
+namespace velo {
+
+/// A Backend that validates/repairs the stream and fans it out to the
+/// wrapped back-ends. The wrapped back-ends must not also be registered
+/// with the producer directly (they would see events twice).
+class SanitizerGate : public Backend {
+public:
+  SanitizerGate(std::vector<Backend *> Inner, SanitizeMode Mode)
+      : Inner(std::move(Inner)), Mode(Mode), San(Mode) {}
+
+  const char *name() const override { return "SanitizerGate"; }
+
+  void beginAnalysis(const SymbolTable &Syms) override {
+    Backend::beginAnalysis(Syms);
+    San = TraceSanitizer(Mode);
+    for (Backend *B : Inner)
+      B->beginAnalysis(Syms);
+  }
+
+  void onEvent(const Event &E) override {
+    countEvent();
+    Scratch.clear();
+    if (!San.push(E, Scratch)) // diagnostic carries the event index
+      return; // strict rejection: fail-stop, nothing forwarded
+    forward();
+  }
+
+  void endAnalysis() override {
+    Scratch.clear();
+    if (San.finish(Scratch))
+      forward();
+    for (Backend *B : Inner)
+      B->endAnalysis();
+  }
+
+  /// Did strict mode reject the stream? (error() has the diagnostic, with
+  /// the event index in place of a line number.)
+  bool rejected() const { return San.failed(); }
+  const std::string &error() const { return San.error(); }
+  const RepairCounts &repairs() const { return San.repairs(); }
+
+private:
+  void forward() {
+    for (const Event &E : Scratch)
+      for (Backend *B : Inner)
+        B->onEvent(E);
+  }
+
+  std::vector<Backend *> Inner;
+  SanitizeMode Mode;
+  TraceSanitizer San;
+  std::vector<Event> Scratch;
+};
+
+} // namespace velo
+
+#endif // VELO_ANALYSIS_SANITIZERGATE_H

@@ -92,7 +92,8 @@ void BasicVelodrome::onEvent(const Event &E) {
   }
   case Op::End: {
     int &D = Depth[T];
-    assert(D > 0 && "end without begin");
+    if (D <= 0)
+      return; // unmatched end: the sanitizer owns rejection; stay safe here
     if (--D > 0)
       return;
     // [INS EXIT]

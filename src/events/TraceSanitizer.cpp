@@ -1,0 +1,239 @@
+//===- events/TraceSanitizer.cpp - Trace validation & repair --------------===//
+
+#include "events/TraceSanitizer.h"
+
+#include <algorithm>
+
+namespace velo {
+
+std::string RepairCounts::summary() const {
+  std::string Out;
+  auto Add = [&](uint64_t N, const char *What) {
+    if (N == 0)
+      return;
+    if (!Out.empty())
+      Out += "; ";
+    Out += std::string(What) + ": " + std::to_string(N);
+  };
+  Add(ReentrantAcquires, "re-entrant acquires");
+  Add(ForeignAcquires, "foreign acquires");
+  Add(UnheldReleases, "unheld releases");
+  Add(UnmatchedEnds, "unmatched ends");
+  Add(UnclosedTxns, "unclosed transactions");
+  Add(OrphanForks, "orphan forks");
+  Add(DroppedForks, "dropped forks");
+  Add(DroppedJoins, "dropped joins");
+  Add(PostJoinEvents, "post-join events");
+  return Out;
+}
+
+bool TraceSanitizer::reject(const std::string &Msg, size_t SourceLine) {
+  Failed = true;
+  Error = (SourceLine != 0 ? "line " + std::to_string(SourceLine)
+                           : "event " + std::to_string(EventIdx)) +
+          ": " + Msg;
+  return false;
+}
+
+void TraceSanitizer::emit(const Event &E, std::vector<Event> &Out) {
+  // The state machine advances only here: dropped events leave no trace, so
+  // re-sanitizing the emitted stream reproduces the same decisions with
+  // nothing left to repair (idempotence).
+  ThreadState &TS = Threads[E.Thread];
+  TS.Ran = true;
+  switch (E.Kind) {
+  case Op::Begin:
+    TS.Depth++;
+    break;
+  case Op::End:
+    TS.Depth--;
+    break;
+  case Op::Acquire:
+    Locks[E.lock()] = {E.Thread, 1};
+    break;
+  case Op::Release:
+    Locks.erase(E.lock());
+    break;
+  case Op::Fork:
+    Threads[E.child()].Forked = true;
+    break;
+  case Op::Join:
+    Threads[E.child()].Joined = true;
+    break;
+  case Op::Read:
+  case Op::Write:
+    break;
+  }
+  Out.push_back(E);
+}
+
+void TraceSanitizer::closeOpenBlocks(Tid T, ThreadState &TS,
+                                     std::vector<Event> &Out) {
+  while (TS.Depth > 0) {
+    Repairs.UnclosedTxns++;
+    emit(Event::end(T), Out);
+  }
+}
+
+bool TraceSanitizer::push(const Event &E, std::vector<Event> &Out,
+                          size_t SourceLine) {
+  if (Failed)
+    return false;
+  ++EventIdx;
+  bool Strict = Mode == SanitizeMode::Strict;
+  // Note: fork/join branches insert the child into Threads, which can rehash
+  // the map — take references only after all insertions for this event.
+  if (Threads[E.Thread].Joined) {
+    if (Strict)
+      return reject("thread acts after being joined", SourceLine);
+    Repairs.PostJoinEvents++;
+    return true;
+  }
+
+  switch (E.Kind) {
+  case Op::Begin:
+  case Op::Read:
+  case Op::Write:
+    break; // always well-formed
+
+  case Op::End:
+    if (Threads[E.Thread].Depth <= 0) {
+      if (Strict)
+        return reject("end without matching begin", SourceLine);
+      Repairs.UnmatchedEnds++;
+      return true;
+    }
+    break;
+
+  case Op::Acquire: {
+    auto It = Locks.find(E.lock());
+    if (It != Locks.end()) {
+      if (It->second.Holder == E.Thread) {
+        if (Strict)
+          return reject("re-entrant acquire (should be filtered)",
+                        SourceLine);
+        It->second.Depth++;
+        Repairs.ReentrantAcquires++;
+        return true;
+      }
+      if (Strict)
+        return reject("acquire of a held lock", SourceLine);
+      Repairs.ForeignAcquires++;
+      return true;
+    }
+    break;
+  }
+
+  case Op::Release: {
+    auto It = Locks.find(E.lock());
+    if (It == Locks.end() || It->second.Holder != E.Thread) {
+      if (Strict)
+        return reject("release of a lock not held by this thread",
+                      SourceLine);
+      Repairs.UnheldReleases++;
+      return true;
+    }
+    if (It->second.Depth > 1) {
+      // Matching release of a filtered re-entrant acquire (counted there).
+      It->second.Depth--;
+      return true;
+    }
+    break;
+  }
+
+  case Op::Fork: {
+    if (E.child() == E.Thread) {
+      if (Strict)
+        return reject("thread forks itself", SourceLine);
+      Repairs.DroppedForks++;
+      return true;
+    }
+    ThreadState &Child = Threads[E.child()];
+    if (Child.Forked) {
+      if (Strict)
+        return reject("thread forked twice", SourceLine);
+      Repairs.DroppedForks++;
+      return true;
+    }
+    if (Child.Ran) {
+      if (Strict)
+        return reject("forked thread already ran", SourceLine);
+      // The fork cannot be applied retroactively; the child is promoted to
+      // an initial thread (its fork is implicitly at trace start).
+      Repairs.OrphanForks++;
+      return true;
+    }
+    break;
+  }
+
+  case Op::Join: {
+    if (E.child() == E.Thread) {
+      if (Strict)
+        return reject("thread joins itself", SourceLine);
+      Repairs.DroppedJoins++;
+      return true;
+    }
+    ThreadState &Child = Threads[E.child()];
+    if (Child.Joined) {
+      if (Strict)
+        return reject("thread joined twice", SourceLine);
+      Repairs.DroppedJoins++;
+      return true;
+    }
+    // The joined thread ends here: auto-close its open atomic blocks.
+    // (Strict mode matches Trace::validate, which permits open blocks.)
+    if (!Strict)
+      closeOpenBlocks(E.child(), Threads[E.child()], Out);
+    break;
+  }
+  }
+
+  emit(E, Out);
+  return true;
+}
+
+bool TraceSanitizer::finish(std::vector<Event> &Out) {
+  if (Failed)
+    return false;
+  if (Mode == SanitizeMode::Lenient) {
+    // Snapshot and sort: closeOpenBlocks only touches existing entries, but
+    // iterating the unordered map directly would make the synthesized-end
+    // order depend on hashing.
+    std::vector<Tid> Open;
+    for (const auto &[T, TS] : Threads)
+      if (TS.Depth > 0)
+        Open.push_back(T);
+    std::sort(Open.begin(), Open.end());
+    for (Tid T : Open)
+      closeOpenBlocks(T, Threads[T], Out);
+  }
+  return true;
+}
+
+bool sanitizeTrace(const Trace &In, SanitizeMode Mode, Trace &Out,
+                   RepairCounts *RepairsOut, std::string &ErrorOut) {
+  Out.symbols() = In.symbols();
+  TraceSanitizer S(Mode);
+  std::vector<Event> Buf;
+  for (const Event &E : In) {
+    Buf.clear();
+    if (!S.push(E, Buf)) {
+      ErrorOut = S.error();
+      return false;
+    }
+    for (const Event &O : Buf)
+      Out.push(O);
+  }
+  Buf.clear();
+  if (!S.finish(Buf)) {
+    ErrorOut = S.error();
+    return false;
+  }
+  for (const Event &O : Buf)
+    Out.push(O);
+  if (RepairsOut)
+    *RepairsOut = S.repairs();
+  return true;
+}
+
+} // namespace velo

@@ -1,0 +1,132 @@
+//===- events/TraceStream.cpp - Incremental trace reading -----------------===//
+
+#include "events/TraceStream.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace velo {
+
+namespace {
+
+/// Parse "T<digits>" into a thread id. Rejects non-digits and ids at or
+/// above MaxThreads: threads are dense from 0 and the back-ends allocate
+/// per-thread state, so an absurd id in a corrupt dump must be a parse
+/// error, not a multi-gigabyte allocation.
+bool parseTid(const std::string &Token, Tid &Out) {
+  if (Token.size() < 2 || Token[0] != 'T')
+    return false;
+  constexpr uint64_t MaxThreads = 1 << 20;
+  uint64_t V = 0;
+  for (size_t I = 1; I < Token.size(); ++I) {
+    char C = Token[I];
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+    if (V >= MaxThreads)
+      return false;
+  }
+  Out = static_cast<Tid>(V);
+  return true;
+}
+
+/// Split Line into at most four whitespace-separated tokens (the fourth is
+/// only captured to report it as trailing garbage). Returns the token count.
+size_t splitTokens(const std::string &Line, std::string Toks[4]) {
+  size_t N = 0, I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && std::isspace(static_cast<unsigned char>(Line[I])))
+      ++I;
+    if (I >= Line.size())
+      break;
+    size_t Start = I;
+    while (I < Line.size() &&
+           !std::isspace(static_cast<unsigned char>(Line[I])))
+      ++I;
+    Toks[N++] = Line.substr(Start, I - Start);
+    if (N == 4)
+      break; // trailing garbage: one token is enough for the diagnostic
+  }
+  return N;
+}
+
+} // namespace
+
+LineParse parseTraceLine(const std::string &RawLine, SymbolTable &Syms,
+                         Event &Ev, std::string &ErrorOut) {
+  std::string Line = RawLine;
+  size_t Hash = Line.find('#');
+  if (Hash != std::string::npos)
+    Line.resize(Hash);
+
+  std::string Toks[4];
+  size_t N = splitTokens(Line, Toks);
+  if (N == 0)
+    return LineParse::Blank;
+  auto Fail = [&](const std::string &Msg) {
+    ErrorOut = Msg;
+    return LineParse::Error;
+  };
+  if (N == 4)
+    return Fail("trailing token '" + Toks[3] + "'");
+
+  Tid T;
+  if (!parseTid(Toks[0], T))
+    return Fail("expected thread id 'T<n>', got '" + Toks[0] + "'");
+  if (N < 2)
+    return Fail("missing operation");
+  const std::string &OpTok = Toks[1];
+  bool HasArg = N == 3;
+  const std::string &Arg = Toks[2];
+
+  if (OpTok == "rd" || OpTok == "wr") {
+    if (!HasArg)
+      return Fail("missing variable name");
+    VarId X = Syms.Vars.intern(Arg);
+    Ev = OpTok == "rd" ? Event::read(T, X) : Event::write(T, X);
+  } else if (OpTok == "acq" || OpTok == "rel") {
+    if (!HasArg)
+      return Fail("missing lock name");
+    LockId M = Syms.Locks.intern(Arg);
+    Ev = OpTok == "acq" ? Event::acquire(T, M) : Event::release(T, M);
+  } else if (OpTok == "begin") {
+    if (!HasArg)
+      return Fail("missing label");
+    Ev = Event::begin(T, Syms.Labels.intern(Arg));
+  } else if (OpTok == "end") {
+    if (HasArg)
+      return Fail("'end' takes no argument");
+    Ev = Event::end(T);
+  } else if (OpTok == "fork" || OpTok == "join") {
+    Tid Child;
+    if (!HasArg || !parseTid(Arg, Child))
+      return Fail("expected child thread id");
+    Ev = OpTok == "fork" ? Event::fork(T, Child) : Event::join(T, Child);
+  } else {
+    return Fail("unknown operation '" + OpTok + "'");
+  }
+  return LineParse::Event;
+}
+
+bool TraceStream::next(Event &Out) {
+  if (Failed)
+    return false;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string Msg;
+    switch (parseTraceLine(Line, Syms, Out, Msg)) {
+    case LineParse::Event:
+      ++NumEvents;
+      return true;
+    case LineParse::Blank:
+      continue;
+    case LineParse::Error:
+      Failed = true;
+      Error = "line " + std::to_string(LineNo) + ": " + Msg;
+      return false;
+    }
+  }
+  return false;
+}
+
+} // namespace velo

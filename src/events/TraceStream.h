@@ -1,0 +1,77 @@
+//===- events/TraceStream.h - Incremental trace reading ---------*- C++ -*-===//
+//
+// Streaming counterpart of parseTrace/readTraceFile: pulls events out of the
+// text format one line at a time, so the offline tools can feed a backend a
+// multi-gigabyte trace dump in constant memory (the whole-file Trace object
+// is only materialized when something genuinely needs random access, e.g.
+// the serializability oracle behind --witness).
+//
+// The per-line grammar is shared with the batch parser (parseTraceLine);
+// parseTrace is a thin loop over it, so the two paths cannot drift.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_EVENTS_TRACESTREAM_H
+#define VELO_EVENTS_TRACESTREAM_H
+
+#include "events/Trace.h"
+
+#include <istream>
+#include <string>
+
+namespace velo {
+
+/// Outcome of parsing a single line of trace text.
+enum class LineParse {
+  Event, ///< a well-formed event line; Ev is filled
+  Blank, ///< blank line or comment; nothing to do
+  Error, ///< malformed; ErrorOut holds the message (no line prefix)
+};
+
+/// Parse one line of the text format into Ev, interning names into Syms.
+/// The message in ErrorOut carries no "line N:" prefix — callers know the
+/// position.
+LineParse parseTraceLine(const std::string &Line, SymbolTable &Syms,
+                         Event &Ev, std::string &ErrorOut);
+
+/// Incremental reader over the trace text format. Usage:
+///
+///   TraceStream TS(In, Syms);
+///   Event E;
+///   while (TS.next(E)) consume(E);
+///   if (TS.failed()) report(TS.error());
+///
+class TraceStream {
+public:
+  TraceStream(std::istream &In, SymbolTable &Syms) : In(In), Syms(Syms) {}
+
+  /// Advance to the next event. Returns false at end of input or on the
+  /// first malformed line (distinguish via failed()).
+  bool next(Event &Out);
+
+  /// Did the stream stop on a malformed line (rather than clean EOF)?
+  bool failed() const { return Failed; }
+
+  /// "line N: message" for the malformed line; empty unless failed().
+  const std::string &error() const { return Error; }
+
+  /// 1-based line number of the most recently returned event (or of the
+  /// malformed line after a failure). 0 before the first line is read.
+  size_t lineNo() const { return LineNo; }
+
+  /// Events returned so far.
+  uint64_t eventCount() const { return NumEvents; }
+
+private:
+  std::istream &In;
+  SymbolTable &Syms;
+  std::string Line; ///< reused scratch buffer
+  std::string Error;
+  size_t LineNo = 0;
+  uint64_t NumEvents = 0;
+  bool Failed = false;
+};
+
+} // namespace velo
+
+#endif // VELO_EVENTS_TRACESTREAM_H

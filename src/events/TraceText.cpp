@@ -2,7 +2,10 @@
 
 #include "events/TraceText.h"
 
-#include <cstdlib>
+#include "events/TraceStream.h"
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -37,77 +40,15 @@ std::string printTrace(const Trace &T) {
   return Out;
 }
 
-namespace {
-
-/// Parse "T<digits>" into a thread id.
-bool parseTid(const std::string &Token, Tid &Out) {
-  if (Token.size() < 2 || Token[0] != 'T')
-    return false;
-  char *End = nullptr;
-  unsigned long V = std::strtoul(Token.c_str() + 1, &End, 10);
-  if (*End != '\0')
-    return false;
-  Out = static_cast<Tid>(V);
-  return true;
-}
-
-} // namespace
-
 bool parseTrace(const std::string &Text, Trace &Out, std::string &ErrorOut) {
   std::istringstream In(Text);
-  std::string Line;
-  size_t LineNo = 0;
-  while (std::getline(In, Line)) {
-    ++LineNo;
-    size_t Hash = Line.find('#');
-    if (Hash != std::string::npos)
-      Line.resize(Hash);
-    std::istringstream Fields(Line);
-    std::string TidTok, OpTok, Arg;
-    if (!(Fields >> TidTok))
-      continue; // blank line
-    auto Fail = [&](const std::string &Msg) {
-      ErrorOut = "line " + std::to_string(LineNo) + ": " + Msg;
-      return false;
-    };
-    Tid T;
-    if (!parseTid(TidTok, T))
-      return Fail("expected thread id 'T<n>', got '" + TidTok + "'");
-    if (!(Fields >> OpTok))
-      return Fail("missing operation");
-    bool HasArg = static_cast<bool>(Fields >> Arg);
-    std::string Extra;
-    if (Fields >> Extra)
-      return Fail("trailing token '" + Extra + "'");
-
-    SymbolTable &Syms = Out.symbols();
-    if (OpTok == "rd" || OpTok == "wr") {
-      if (!HasArg)
-        return Fail("missing variable name");
-      VarId X = Syms.Vars.intern(Arg);
-      Out.push(OpTok == "rd" ? Event::read(T, X) : Event::write(T, X));
-    } else if (OpTok == "acq" || OpTok == "rel") {
-      if (!HasArg)
-        return Fail("missing lock name");
-      LockId M = Syms.Locks.intern(Arg);
-      Out.push(OpTok == "acq" ? Event::acquire(T, M) : Event::release(T, M));
-    } else if (OpTok == "begin") {
-      if (!HasArg)
-        return Fail("missing label");
-      Out.push(Event::begin(T, Syms.Labels.intern(Arg)));
-    } else if (OpTok == "end") {
-      if (HasArg)
-        return Fail("'end' takes no argument");
-      Out.push(Event::end(T));
-    } else if (OpTok == "fork" || OpTok == "join") {
-      Tid Child;
-      if (!HasArg || !parseTid(Arg, Child))
-        return Fail("expected child thread id");
-      Out.push(OpTok == "fork" ? Event::fork(T, Child)
-                               : Event::join(T, Child));
-    } else {
-      return Fail("unknown operation '" + OpTok + "'");
-    }
+  TraceStream TS(In, Out.symbols());
+  Event E;
+  while (TS.next(E))
+    Out.push(E);
+  if (TS.failed()) {
+    ErrorOut = TS.error();
+    return false;
   }
   return true;
 }
@@ -120,16 +61,32 @@ bool writeTraceFile(const Trace &T, const std::string &Path) {
   return static_cast<bool>(Out);
 }
 
-bool readTraceFile(const std::string &Path, Trace &Out,
-                   std::string &ErrorOut) {
+TraceReadStatus readTraceFileStatus(const std::string &Path, Trace &Out,
+                                    std::string &ErrorOut) {
+  errno = 0;
   std::ifstream In(Path);
   if (!In) {
-    ErrorOut = "cannot open " + Path;
-    return false;
+    int Err = errno;
+    ErrorOut = "cannot open " + Path + ": " +
+               (Err != 0 ? std::strerror(Err) : "open failed");
+    return Err == ENOENT ? TraceReadStatus::NotFound : TraceReadStatus::IoError;
   }
-  std::stringstream Buf;
-  Buf << In.rdbuf();
-  return parseTrace(Buf.str(), Out, ErrorOut);
+  TraceStream TS(In, Out.symbols());
+  Event E;
+  while (TS.next(E))
+    Out.push(E);
+  if (TS.failed()) {
+    // "path:N: message" (TS.error() is "line N: message").
+    ErrorOut = Path + ":" + TS.error().substr(5);
+    return TraceReadStatus::ParseError;
+  }
+  if (In.bad()) {
+    int Err = errno;
+    ErrorOut = "read error on " + Path + ": " +
+               (Err != 0 ? std::strerror(Err) : "stream error");
+    return TraceReadStatus::IoError;
+  }
+  return TraceReadStatus::Ok;
 }
 
 } // namespace velo

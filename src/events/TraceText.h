@@ -33,8 +33,26 @@ bool parseTrace(const std::string &Text, Trace &Out, std::string &ErrorOut);
 /// Write a trace to a file. Returns false on I/O failure.
 bool writeTraceFile(const Trace &T, const std::string &Path);
 
+/// Why a trace file could not be read. Tools map NotFound/IoError to "check
+/// the path/permissions" diagnostics and ParseError to "fix the trace".
+enum class TraceReadStatus {
+  Ok,
+  NotFound,   ///< the file does not exist
+  IoError,    ///< open/read failed for another reason (permissions, ...)
+  ParseError, ///< the file was read but a line is malformed
+};
+
+/// Read a trace from a file. On failure, ErrorOut carries the failing path
+/// and strerror(errno) for I/O problems, or "<path>:N: message" for parse
+/// problems.
+TraceReadStatus readTraceFileStatus(const std::string &Path, Trace &Out,
+                                    std::string &ErrorOut);
+
 /// Read a trace from a file. Returns false and sets ErrorOut on failure.
-bool readTraceFile(const std::string &Path, Trace &Out, std::string &ErrorOut);
+inline bool readTraceFile(const std::string &Path, Trace &Out,
+                          std::string &ErrorOut) {
+  return readTraceFileStatus(Path, Out, ErrorOut) == TraceReadStatus::Ok;
+}
 
 } // namespace velo
 

@@ -1,0 +1,162 @@
+//===- tests/GovernorTest.cpp - Resource governor unit tests --------------===//
+//
+// The governor must degrade from the graph checker to the vector-clock
+// fallback at the node/memory caps (keeping the verdict), stop at the event
+// cap or deadline (Unknown unless a violation was already found), and never
+// change a verdict relative to the ungoverned analyses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aero/AeroDrome.h"
+#include "analysis/Governor.h"
+#include "core/Velodrome.h"
+#include "events/TraceGen.h"
+#include "events/TraceText.h"
+
+#include <gtest/gtest.h>
+
+namespace velo {
+namespace {
+
+Trace parse(const std::string &Text) {
+  Trace T;
+  std::string Error;
+  EXPECT_TRUE(parseTrace(Text, T, Error)) << Error;
+  return T;
+}
+
+/// Non-serializable: T1's write splits T0's read-modify-write transaction.
+const char *RmwViolation = "T0 begin update\n"
+                           "T0 rd x\n"
+                           "T1 begin clobber\n"
+                           "T1 wr x\n"
+                           "T1 end\n"
+                           "T0 wr x\n"
+                           "T0 end\n";
+
+/// Serializable: both transactions guard x with m.
+const char *CleanGuarded = "T0 begin a\nT0 acq m\nT0 wr x\nT0 rel m\nT0 end\n"
+                           "T1 begin b\nT1 acq m\nT1 rd x\nT1 rel m\nT1 end\n";
+
+/// Serializable, but four transactions are simultaneously in progress on
+/// disjoint variables — at least four graph nodes stay live mid-trace, so
+/// tiny node caps are guaranteed to trip (CleanGuarded is collected down to
+/// a node or two as it goes and never would).
+const char *WideOpen = "T0 begin a\nT0 wr a0\n"
+                       "T1 begin b\nT1 wr b1\n"
+                       "T2 begin c\nT2 wr c2\n"
+                       "T3 begin d\nT3 wr d3\n"
+                       "T0 end\nT1 end\nT2 end\nT3 end\n";
+
+/// Probe reporting Velodrome's live happens-before-graph node count.
+GovernedAnalysis::Probe veloProbe(Velodrome &V, uint64_t BytesPerNode = 0) {
+  return [&V, BytesPerNode](uint64_t &Nodes, uint64_t &Bytes) {
+    Nodes = V.graph().nodesAlive();
+    Bytes = Nodes * BytesPerNode;
+  };
+}
+
+TEST(GovernorTest, NoLimitsPassesThrough) {
+  Velodrome Velo;
+  GovernedAnalysis Gov(Velo, nullptr, GovernorLimits{});
+  replay(parse(RmwViolation), Gov);
+  EXPECT_EQ(Gov.state(), GovernorState::Normal);
+  EXPECT_EQ(Gov.verdict(), GovernorVerdict::Violation);
+  EXPECT_TRUE(Gov.breachReason().empty());
+
+  Velodrome Velo2;
+  GovernedAnalysis Gov2(Velo2, nullptr, GovernorLimits{});
+  replay(parse(CleanGuarded), Gov2);
+  EXPECT_EQ(Gov2.verdict(), GovernorVerdict::Serializable);
+}
+
+TEST(GovernorTest, EventCapWithoutFallbackIsUnknown) {
+  Velodrome Velo;
+  GovernorLimits Limits;
+  Limits.MaxEvents = 3;
+  GovernedAnalysis Gov(Velo, nullptr, Limits);
+  replay(parse(CleanGuarded), Gov); // 10 events, cap at 3
+  EXPECT_EQ(Gov.state(), GovernorState::Exhausted);
+  EXPECT_EQ(Gov.verdict(), GovernorVerdict::Unknown);
+  EXPECT_EQ(Gov.eventsDelivered(), 3u);
+  EXPECT_FALSE(Gov.breachReason().empty());
+}
+
+TEST(GovernorTest, ViolationFoundBeforeCapSurvivesTruncation) {
+  // The cycle completes on T0's write (event 6); capping right there must
+  // still report Violation — a cycle on a prefix is a cycle of the trace.
+  Velodrome Velo;
+  GovernorLimits Limits;
+  Limits.MaxEvents = 6;
+  GovernedAnalysis Gov(Velo, nullptr, Limits);
+  replay(parse(RmwViolation), Gov);
+  EXPECT_EQ(Gov.state(), GovernorState::Exhausted);
+  EXPECT_EQ(Gov.verdict(), GovernorVerdict::Violation);
+}
+
+TEST(GovernorTest, NodeCapDegradesToFallbackKeepingVerdict) {
+  for (const char *Text : {RmwViolation, WideOpen}) {
+    AeroDrome Reference;
+    replay(parse(Text), Reference);
+
+    Velodrome Velo;
+    AeroDrome Fallback;
+    GovernorLimits Limits;
+    Limits.MaxLiveNodes = 1; // any real trace exceeds this immediately
+    GovernedAnalysis Gov(Velo, &Fallback, Limits, veloProbe(Velo));
+    replay(parse(Text), Gov);
+
+    EXPECT_EQ(Gov.state(), GovernorState::Degraded) << Text;
+    EXPECT_NE(Gov.breachReason().find("node"), std::string::npos)
+        << Gov.breachReason();
+    EXPECT_EQ(Gov.sawViolation(), Reference.sawViolation())
+        << "degraded verdict must match the ungoverned fallback: " << Text;
+  }
+}
+
+TEST(GovernorTest, NodeCapWithoutFallbackIsUnknown) {
+  Velodrome Velo;
+  GovernorLimits Limits;
+  Limits.MaxLiveNodes = 1;
+  GovernedAnalysis Gov(Velo, nullptr, Limits, veloProbe(Velo));
+  replay(parse(WideOpen), Gov);
+  EXPECT_EQ(Gov.state(), GovernorState::Exhausted);
+  EXPECT_EQ(Gov.verdict(), GovernorVerdict::Unknown);
+}
+
+TEST(GovernorTest, MemoryCapDegradesLikeNodeCap) {
+  Velodrome Velo;
+  AeroDrome Fallback;
+  GovernorLimits Limits;
+  Limits.MaxMemoryBytes = 1; // 256 bytes/node estimate trips at once
+  GovernedAnalysis Gov(Velo, &Fallback, Limits, veloProbe(Velo, 256));
+  replay(parse(RmwViolation), Gov);
+  EXPECT_EQ(Gov.state(), GovernorState::Degraded);
+  EXPECT_EQ(Gov.verdict(), GovernorVerdict::Violation);
+}
+
+TEST(GovernorTest, LargeTraceUnderCapsCompletesWithoutAborting) {
+  // A generated trace far past the caps: the governor must come back with
+  // *some* verdict (never abort), and a Serializable verdict is only
+  // allowed when analysis actually covered the whole trace.
+  TraceGenOptions Opts;
+  Opts.Threads = 4;
+  Opts.Steps = 5000;
+  Trace T = generateRandomTrace(42, Opts);
+
+  Velodrome Velo;
+  AeroDrome Fallback;
+  GovernorLimits Limits;
+  Limits.MaxLiveNodes = 8;
+  Limits.MaxEvents = 2000;
+  Limits.DeadlineMillis = 60000;
+  GovernedAnalysis Gov(Velo, &Fallback, Limits, veloProbe(Velo));
+  replay(T, Gov);
+  EXPECT_EQ(Gov.state(), GovernorState::Exhausted);
+  EXPECT_EQ(Gov.eventsDelivered(), 2000u);
+  EXPECT_NE(Gov.verdict(), GovernorVerdict::Serializable)
+      << "a truncated clean run must not claim a full-trace verdict";
+}
+
+} // namespace
+} // namespace velo

@@ -1,0 +1,160 @@
+//===- tests/IngestionTest.cpp - Streaming reader & file I/O tests --------===//
+//
+// TraceStream must agree event-for-event with the batch parser (they share
+// parseTraceLine, but the loop logic differs), report precise line numbers,
+// and stop cleanly on malformed input. readTraceFileStatus must distinguish
+// missing files from unreadable files from malformed contents, and carry the
+// path in every diagnostic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/TraceGen.h"
+#include "events/TraceStream.h"
+#include "events/TraceText.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace velo {
+namespace {
+
+/// Drives a TraceStream over a string and keeps the stream alive for
+/// post-run inspection (failed / error / lineNo).
+struct StreamRun {
+  std::istringstream In;
+  SymbolTable Syms;
+  TraceStream TS;
+  std::vector<Event> Events;
+
+  explicit StreamRun(const std::string &Text) : In(Text), TS(In, Syms) {
+    Event E;
+    while (TS.next(E))
+      Events.push_back(E);
+  }
+};
+
+TEST(TraceStreamTest, MatchesBatchParserOnGeneratedTraces) {
+  TraceGenOptions Opts;
+  Opts.Threads = 3;
+  Opts.Steps = 80;
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    Opts.UseForkJoin = Seed % 2 == 0;
+    std::string Text = printTrace(generateRandomTrace(Seed, Opts));
+
+    Trace Batch;
+    std::string Error;
+    ASSERT_TRUE(parseTrace(Text, Batch, Error)) << Error;
+
+    StreamRun Run(Text);
+    ASSERT_FALSE(Run.TS.failed()) << Run.TS.error();
+    ASSERT_EQ(Run.Events.size(), Batch.size()) << "seed " << Seed;
+    for (size_t I = 0; I < Run.Events.size(); ++I)
+      EXPECT_TRUE(Run.Events[I] == Batch[I])
+          << "seed " << Seed << " event " << I;
+    EXPECT_EQ(Run.TS.eventCount(), Batch.size());
+  }
+}
+
+TEST(TraceStreamTest, SkipsBlankLinesAndComments) {
+  StreamRun Run("# header comment\n"
+                "\n"
+                "T0 wr x\n"
+                "   \n"
+                "  # indented comment\n"
+                "T1 rd x\n");
+  ASSERT_FALSE(Run.TS.failed()) << Run.TS.error();
+  ASSERT_EQ(Run.Events.size(), 2u);
+  EXPECT_EQ(Run.Events[0].Kind, Op::Write);
+  EXPECT_EQ(Run.Events[1].Kind, Op::Read);
+  EXPECT_EQ(Run.TS.lineNo(), 6u) << "line number of the last event";
+}
+
+TEST(TraceStreamTest, ReportsLineNumberOfMalformedLine) {
+  StreamRun Run("T0 wr x\n"
+                "# fine\n"
+                "T0 frobnicate x\n"
+                "T0 rd x\n");
+  EXPECT_EQ(Run.Events.size(), 1u) << "stops at the malformed line";
+  ASSERT_TRUE(Run.TS.failed());
+  EXPECT_EQ(Run.TS.error(), "line 3: unknown operation 'frobnicate'");
+  EXPECT_EQ(Run.TS.lineNo(), 3u);
+}
+
+TEST(TraceStreamTest, LineDiagnosticsMatchBatchParser) {
+  // The batch parser is a loop over the same per-line grammar; malformed
+  // input must produce byte-identical diagnostics on both paths.
+  const char *Bad[] = {
+      "T0 wr x\nnonsense\n",     "T0\n",          "T0 rd\n",
+      "T0 rd x trailing\n",      "X0 wr x\n",     "T wr x\n",
+      "T0 end extra\n",          "T0 fork x\n",   "T99999999999 wr x\n",
+  };
+  for (const char *Text : Bad) {
+    Trace Batch;
+    std::string BatchError;
+    ASSERT_FALSE(parseTrace(Text, Batch, BatchError)) << Text;
+
+    StreamRun Run(Text);
+    ASSERT_TRUE(Run.TS.failed()) << Text;
+    EXPECT_EQ(Run.TS.error(), BatchError) << Text;
+  }
+}
+
+TEST(ParseTraceLineTest, ClassifiesLines) {
+  SymbolTable Syms;
+  Event E;
+  std::string Error;
+  EXPECT_EQ(parseTraceLine("", Syms, E, Error), LineParse::Blank);
+  EXPECT_EQ(parseTraceLine("  # comment", Syms, E, Error), LineParse::Blank);
+  EXPECT_EQ(parseTraceLine("T3 acq mylock", Syms, E, Error),
+            LineParse::Event);
+  EXPECT_TRUE(E == Event::acquire(3, Syms.Locks.intern("mylock")));
+  EXPECT_EQ(parseTraceLine("T0 junk", Syms, E, Error), LineParse::Error);
+  EXPECT_EQ(Error, "unknown operation 'junk'");
+  EXPECT_EQ(parseTraceLine("T0 rd x y", Syms, E, Error), LineParse::Error);
+  EXPECT_EQ(Error, "trailing token 'y'");
+}
+
+TEST(ReadTraceFileTest, MissingFileIsNotFoundWithStrerror) {
+  Trace Out;
+  std::string Error;
+  EXPECT_EQ(readTraceFileStatus("/nonexistent/velo.trace", Out, Error),
+            TraceReadStatus::NotFound);
+  EXPECT_NE(Error.find("/nonexistent/velo.trace"), std::string::npos)
+      << Error;
+  EXPECT_NE(Error.find("No such file or directory"), std::string::npos)
+      << Error;
+  EXPECT_FALSE(readTraceFile("/nonexistent/velo.trace", Out, Error));
+}
+
+TEST(ReadTraceFileTest, MalformedFileIsParseErrorWithPathAndLine) {
+  std::string Path = ::testing::TempDir() + "velo_ingest_bad.trace";
+  {
+    std::ofstream OutFile(Path);
+    OutFile << "T0 wr x\nbogus\n";
+  }
+  Trace Out;
+  std::string Error;
+  EXPECT_EQ(readTraceFileStatus(Path, Out, Error),
+            TraceReadStatus::ParseError);
+  EXPECT_EQ(Error.find(Path + ":2: "), 0u) << Error;
+  std::remove(Path.c_str());
+}
+
+TEST(ReadTraceFileTest, WellFormedFileRoundTrips) {
+  std::string Path = ::testing::TempDir() + "velo_ingest_ok.trace";
+  TraceGenOptions Opts;
+  Trace T = generateRandomTrace(7, Opts);
+  ASSERT_TRUE(writeTraceFile(T, Path));
+  Trace Out;
+  std::string Error;
+  EXPECT_EQ(readTraceFileStatus(Path, Out, Error), TraceReadStatus::Ok)
+      << Error;
+  EXPECT_EQ(printTrace(Out), printTrace(T));
+  std::remove(Path.c_str());
+}
+
+} // namespace
+} // namespace velo

@@ -1,0 +1,272 @@
+//===- tests/SanitizerTest.cpp - Trace sanitizer unit tests ---------------===//
+//
+// Golden tests per repair category: each ill-formed input has an exact
+// expected repaired event sequence and exact per-category repair counts.
+// Plus the two mode contracts: strict acceptance coincides with
+// Trace::validate, and lenient repair is idempotent and always yields a
+// well-formed trace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/TraceGen.h"
+#include "events/TraceSanitizer.h"
+#include "events/TraceText.h"
+
+#include <gtest/gtest.h>
+
+namespace velo {
+namespace {
+
+Trace parse(const std::string &Text) {
+  Trace T;
+  std::string Error;
+  EXPECT_TRUE(parseTrace(Text, T, Error)) << Error;
+  return T;
+}
+
+/// Lenient-sanitize Text and return the repaired trace; Counts receives the
+/// repair tallies.
+Trace repair(const std::string &Text, RepairCounts &Counts) {
+  Trace Out;
+  std::string Error;
+  EXPECT_TRUE(
+      sanitizeTrace(parse(Text), SanitizeMode::Lenient, Out, &Counts, Error))
+      << Error;
+  return Out;
+}
+
+/// The repaired trace printed back to text (the golden form used below).
+std::string repairedText(const std::string &Text, RepairCounts &Counts) {
+  return printTrace(repair(Text, Counts));
+}
+
+/// Strict-mode rejection message for Text ("" when accepted).
+std::string strictError(const std::string &Text) {
+  Trace Out;
+  std::string Error;
+  if (sanitizeTrace(parse(Text), SanitizeMode::Strict, Out, nullptr, Error))
+    return "";
+  return Error;
+}
+
+TEST(SanitizerGoldenTest, ReentrantAcquireFiltered) {
+  RepairCounts C;
+  // The inner acquire/release pair vanishes; the outer pair survives.
+  EXPECT_EQ(repairedText("T0 acq m\n"
+                         "T0 acq m\n"
+                         "T0 wr x\n"
+                         "T0 rel m\n"
+                         "T0 rel m\n",
+                         C),
+            "T0 acq m\n"
+            "T0 wr x\n"
+            "T0 rel m\n");
+  EXPECT_EQ(C.ReentrantAcquires, 1u);
+  EXPECT_EQ(C.total(), 1u) << "matching inner release is not counted twice";
+}
+
+TEST(SanitizerGoldenTest, ForeignAcquireDropped) {
+  RepairCounts C;
+  EXPECT_EQ(repairedText("T0 acq m\n"
+                         "T1 acq m\n"
+                         "T1 wr x\n"
+                         "T0 rel m\n",
+                         C),
+            "T0 acq m\n"
+            "T1 wr x\n"
+            "T0 rel m\n");
+  EXPECT_EQ(C.ForeignAcquires, 1u);
+  EXPECT_EQ(C.total(), 1u);
+}
+
+TEST(SanitizerGoldenTest, UnheldReleaseDropped) {
+  RepairCounts C;
+  EXPECT_EQ(repairedText("T0 rel m\n"
+                         "T0 wr x\n",
+                         C),
+            "T0 wr x\n");
+  EXPECT_EQ(C.UnheldReleases, 1u);
+  EXPECT_EQ(C.total(), 1u);
+}
+
+TEST(SanitizerGoldenTest, UnmatchedEndDropped) {
+  RepairCounts C;
+  EXPECT_EQ(repairedText("T0 begin a\n"
+                         "T0 wr x\n"
+                         "T0 end\n"
+                         "T0 end\n",
+                         C),
+            "T0 begin a\n"
+            "T0 wr x\n"
+            "T0 end\n");
+  EXPECT_EQ(C.UnmatchedEnds, 1u);
+  EXPECT_EQ(C.total(), 1u);
+}
+
+TEST(SanitizerGoldenTest, UnclosedTransactionClosedAtTraceEnd) {
+  RepairCounts C;
+  // Both nested blocks get synthesized ends, innermost first.
+  EXPECT_EQ(repairedText("T0 begin outer\n"
+                         "T0 begin inner\n"
+                         "T0 wr x\n",
+                         C),
+            "T0 begin outer\n"
+            "T0 begin inner\n"
+            "T0 wr x\n"
+            "T0 end\n"
+            "T0 end\n");
+  EXPECT_EQ(C.UnclosedTxns, 2u);
+  EXPECT_EQ(C.total(), 2u);
+}
+
+TEST(SanitizerGoldenTest, UnclosedTransactionClosedAtJoin) {
+  RepairCounts C;
+  // T1 is joined with a block still open: the end is synthesized *before*
+  // the join so the joined thread stays quiet afterwards.
+  EXPECT_EQ(repairedText("T0 fork T1\n"
+                         "T1 begin child\n"
+                         "T1 wr x\n"
+                         "T0 join T1\n",
+                         C),
+            "T0 fork T1\n"
+            "T1 begin child\n"
+            "T1 wr x\n"
+            "T1 end\n"
+            "T0 join T1\n");
+  EXPECT_EQ(C.UnclosedTxns, 1u);
+  EXPECT_EQ(C.total(), 1u);
+}
+
+TEST(SanitizerGoldenTest, OrphanForkDropped) {
+  RepairCounts C;
+  // T1 ran before the fork: the stale fork is dropped and T1 is treated as
+  // an initial thread.
+  EXPECT_EQ(repairedText("T1 wr y\n"
+                         "T0 fork T1\n"
+                         "T0 rd y\n",
+                         C),
+            "T1 wr y\n"
+            "T0 rd y\n");
+  EXPECT_EQ(C.OrphanForks, 1u);
+  EXPECT_EQ(C.total(), 1u);
+}
+
+TEST(SanitizerGoldenTest, SelfAndDuplicateForkJoinDropped) {
+  RepairCounts C;
+  EXPECT_EQ(repairedText("T0 fork T0\n"
+                         "T0 fork T1\n"
+                         "T0 fork T1\n"
+                         "T1 wr x\n"
+                         "T0 join T1\n"
+                         "T0 join T1\n"
+                         "T0 join T0\n",
+                         C),
+            "T0 fork T1\n"
+            "T1 wr x\n"
+            "T0 join T1\n");
+  EXPECT_EQ(C.DroppedForks, 2u) << "self-fork and duplicate fork";
+  EXPECT_EQ(C.DroppedJoins, 2u) << "duplicate join and self-join";
+  EXPECT_EQ(C.total(), 4u);
+}
+
+TEST(SanitizerGoldenTest, PostJoinEventsDropped) {
+  RepairCounts C;
+  EXPECT_EQ(repairedText("T0 fork T1\n"
+                         "T1 wr x\n"
+                         "T0 join T1\n"
+                         "T1 wr x\n"
+                         "T1 rd x\n",
+                         C),
+            "T0 fork T1\n"
+            "T1 wr x\n"
+            "T0 join T1\n");
+  EXPECT_EQ(C.PostJoinEvents, 2u);
+  EXPECT_EQ(C.total(), 2u);
+}
+
+TEST(SanitizerGoldenTest, WellFormedTraceUntouched) {
+  RepairCounts C;
+  std::string Text = "T0 begin work\n"
+                     "T0 acq m\n"
+                     "T0 wr x\n"
+                     "T0 rel m\n"
+                     "T0 end\n";
+  EXPECT_EQ(repairedText(Text, C), Text);
+  EXPECT_EQ(C.total(), 0u);
+}
+
+TEST(SanitizerModeTest, StrictDiagnosticsNameTheEvent) {
+  // Whole-trace sanitization positions diagnostics by event index (the
+  // streaming path uses line numbers instead).
+  EXPECT_EQ(strictError("T0 begin a\nT0 end\nT0 end\n"),
+            "event 3: end without matching begin");
+  EXPECT_EQ(strictError("T0 rel m\n"),
+            "event 1: release of a lock not held by this thread");
+  EXPECT_EQ(strictError("T0 acq m\nT1 acq m\n"),
+            "event 2: acquire of a held lock");
+  EXPECT_EQ(strictError("T0 acq m\nT0 acq m\n"),
+            "event 2: re-entrant acquire (should be filtered)");
+  EXPECT_EQ(strictError("T1 wr y\nT0 fork T1\n"),
+            "event 2: forked thread already ran");
+  EXPECT_EQ(strictError("T0 fork T1\nT1 wr x\nT0 join T1\nT1 rd x\n"),
+            "event 4: thread acts after being joined");
+  EXPECT_EQ(strictError("T0 fork T0\n"), "event 1: thread forks itself");
+}
+
+TEST(SanitizerModeTest, StrictAcceptsExactlyWhatValidateAccepts) {
+  TraceGenOptions Opts;
+  Opts.Threads = 3;
+  Opts.Steps = 40;
+  for (uint64_t Seed = 0; Seed < 50; ++Seed) {
+    Opts.UseForkJoin = Seed % 2 == 0;
+    Trace T = generateRandomTrace(Seed, Opts);
+    Trace Out;
+    std::string Error;
+    ASSERT_TRUE(
+        sanitizeTrace(T, SanitizeMode::Strict, Out, nullptr, Error))
+        << "seed " << Seed << ": " << Error;
+    ASSERT_EQ(printTrace(Out), printTrace(T))
+        << "strict mode must not modify a well-formed trace (seed " << Seed
+        << ")";
+  }
+  // Open trailing blocks are legal (matching Trace::validate).
+  EXPECT_EQ(strictError("T0 begin open\nT0 wr x\n"), "");
+}
+
+TEST(SanitizerModeTest, LenientOutputIsWellFormedAndIdempotent) {
+  const char *Inputs[] = {
+      "T0 acq m\nT0 acq m\nT0 rel m\nT0 rel m\n",
+      "T0 rel m\nT0 end\nT1 wr x\n",
+      "T1 wr y\nT0 fork T1\nT0 join T1\nT1 rd y\n",
+      "T0 begin a\nT0 begin b\nT0 fork T1\nT1 begin c\nT0 join T1\n",
+  };
+  for (const char *Text : Inputs) {
+    RepairCounts First;
+    Trace Repaired = repair(Text, First);
+    EXPECT_GT(First.total(), 0u) << Text;
+
+    std::vector<std::string> Problems;
+    EXPECT_TRUE(Repaired.validate(&Problems))
+        << Text << (Problems.empty() ? "" : (": " + Problems[0]));
+
+    Trace Twice;
+    RepairCounts Second;
+    std::string Error;
+    ASSERT_TRUE(sanitizeTrace(Repaired, SanitizeMode::Lenient, Twice,
+                              &Second, Error))
+        << Error;
+    EXPECT_EQ(Second.total(), 0u) << "second pass must be a no-op: " << Text;
+    EXPECT_EQ(printTrace(Twice), printTrace(Repaired)) << Text;
+  }
+}
+
+TEST(SanitizerModeTest, RepairSummaryListsNonZeroCategoriesOnly) {
+  RepairCounts C;
+  EXPECT_EQ(C.summary(), "");
+  C.ReentrantAcquires = 2;
+  C.UnclosedTxns = 1;
+  EXPECT_EQ(C.summary(), "re-entrant acquires: 2; unclosed transactions: 1");
+}
+
+} // namespace
+} // namespace velo

@@ -20,6 +20,9 @@
 #ifndef VELO_RUN_BIN
 #define VELO_RUN_BIN "velodrome-run"
 #endif
+#ifndef VELO_FUZZ_BIN
+#define VELO_FUZZ_BIN "velodrome-fuzz"
+#endif
 #ifndef VELO_TEST_DATA_DIR
 #define VELO_TEST_DATA_DIR "tests/data"
 #endif
@@ -91,6 +94,82 @@ TEST(CheckCliTest, BackendSelectionWorks) {
                      std::string(Backend) == "all";
     EXPECT_EQ(Code, Atomicity ? 1 : 0) << Backend;
   }
+}
+
+TEST(CheckCliTest, StrictModeRejectsIllFormedTraces) {
+  // Default (strict) ingestion: structurally ill-formed traces are input
+  // errors (exit 2), never crashes and never verdicts.
+  for (const char *F :
+       {"fuzz/end_without_begin.trace", "fuzz/unheld_release.trace",
+        "fuzz/reentrant_acquire.trace", "fuzz/orphan_fork.trace"}) {
+    EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --quiet " +
+                     dataFile(F)),
+              2)
+        << F;
+    // The buffered --witness path routes through the same sanitizer.
+    EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --quiet --witness " +
+                     dataFile(F)),
+              2)
+        << F;
+  }
+}
+
+TEST(CheckCliTest, LenientModeRepairsAndReportsAVerdict) {
+  for (const char *F :
+       {"fuzz/end_without_begin.trace", "fuzz/unheld_release.trace",
+        "fuzz/reentrant_acquire.trace", "fuzz/orphan_fork.trace"})
+    EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --quiet --lenient " +
+                     dataFile(F)),
+              0)
+        << F << " repairs to a serializable trace";
+  // Repair must not mask a genuine violation in a well-formed trace.
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --quiet --lenient " +
+                   dataFile("rmw_violation.trace")),
+            1);
+}
+
+TEST(CheckCliTest, GovernorDegradationKeepsTheVerdict) {
+  // A 1-node cap forces immediate degradation from the graph checker to
+  // the vector-clock fallback; the verdict must be unchanged.
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --quiet --backend=all --max-live-nodes=1 " +
+                   dataFile("rmw_violation.trace")),
+            1);
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --quiet --backend=all --max-live-nodes=1 " +
+                   dataFile("flag_handoff.trace")),
+            0);
+}
+
+TEST(CheckCliTest, ResourceExhaustionExitsThree) {
+  // No fallback configured: breaching a cap mid-trace leaves the verdict
+  // unknown — reported as exit 3, never an abort.
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --quiet --backend=velodrome --max-events=2 " +
+                   dataFile("flag_handoff.trace")),
+            3);
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --quiet --backend=velodrome --max-live-nodes=1 " +
+                   dataFile("fuzz/interleaved_clean.trace")),
+            3);
+  // A violation found before the cap survives truncation.
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --quiet --backend=velodrome --max-events=6 " +
+                   dataFile("rmw_violation.trace")),
+            1);
+}
+
+TEST(FuzzCliTest, BoundedSmokeRunPasses) {
+  EXPECT_EQ(runCmd(std::string(VELO_FUZZ_BIN) + " --corpus=" +
+                   dataFile("fuzz") + " --seed=1 --iters=100 --save=" +
+                   ::testing::TempDir()),
+            0);
+}
+
+TEST(FuzzCliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(runCmd(std::string(VELO_FUZZ_BIN) + " --bogus"), 2);
+  EXPECT_EQ(runCmd(std::string(VELO_FUZZ_BIN) + " --iters=abc"), 2);
+  EXPECT_EQ(runCmd(std::string(VELO_FUZZ_BIN) + " --seed="), 2);
 }
 
 TEST(RunCliTest, ListAndUnknownWorkload) {

@@ -11,21 +11,38 @@
 //     --no-merge       run Velodrome with the naive [INS OUTSIDE] rule
 //     --stats          print happens-before graph statistics
 //     --quiet          verdict only
+//     --lenient        repair ill-formed traces instead of rejecting them
+//     --max-events=N       stop after N events            (0 = unlimited)
+//     --max-live-nodes=N   graph node cap, fall back to the vector-clock
+//                          checker on breach              (default 60000)
+//     --max-memory-mb=N    estimated-memory cap           (0 = unlimited)
+//     --deadline-ms=N      wall-clock budget              (0 = unlimited)
 //
-// Exit status: 0 serializable, 1 atomicity violation, 2 usage/input error.
+// The trace is streamed: events reach the back-ends as they are parsed, so
+// memory stays constant in the trace length (the file is buffered only for
+// --witness, whose serializability oracle needs random access).
+//
+// Exit status: 0 serializable, 1 atomicity violation, 2 usage/input error,
+// 3 resource-limited (budget exhausted before a verdict was reached).
+// docs/INGESTION.md specifies the full contract.
 //
 //===----------------------------------------------------------------------===//
 
 #include "aero/AeroDrome.h"
+#include "analysis/Governor.h"
 #include "atomizer/Atomizer.h"
 #include "core/BasicVelodrome.h"
 #include "core/Velodrome.h"
 #include "eraser/Eraser.h"
+#include "events/TraceSanitizer.h"
+#include "events/TraceStream.h"
 #include "events/TraceText.h"
 #include "hbrace/HbRaceDetector.h"
 #include "oracle/SerializabilityOracle.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -44,75 +61,129 @@ void usage() {
       "  --witness      print a serial witness when serializable\n"
       "  --no-merge     disable the merge optimization\n"
       "  --stats        print happens-before graph statistics\n"
-      "  --quiet        verdict only\n");
+      "  --quiet        verdict only\n"
+      "  --lenient      repair ill-formed traces instead of rejecting\n"
+      "  --max-events=N --max-live-nodes=N --max-memory-mb=N\n"
+      "  --deadline-ms=N      resource governor caps (0 = unlimited;\n"
+      "                       see docs/INGESTION.md)\n"
+      "exit: 0 serializable, 1 violation, 2 usage/input error,\n"
+      "      3 resource-limited\n");
+}
+
+/// Parse a full decimal uint64 ("--max-events="). Rejects empty strings,
+/// trailing garbage, signs, and out-of-range values.
+bool parseU64(const char *S, uint64_t &Out) {
+  if (*S == '\0' || *S == '-' || *S == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (errno != 0 || End == S || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+struct Options {
+  std::string BackendSel = "all", TraceFile, DotFile;
+  bool Witness = false, NoMerge = false, Stats = false, Quiet = false;
+  SanitizeMode Mode = SanitizeMode::Strict;
+  GovernorLimits Limits;
+};
+
+/// Returns 0 to continue, 2 on usage error, -1 when --help was handled.
+int parseArgs(int argc, char **argv, Options &O) {
+  // Graph slots are a 16-bit space (Step::MaxSlots); the default node cap
+  // keeps runaway traces degrading gracefully instead of exhausting it.
+  O.Limits.MaxLiveNodes = 60000;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    uint64_t *U64Target = nullptr;
+    size_t U64Prefix = 0;
+    if (Arg.rfind("--backend=", 0) == 0) {
+      O.BackendSel = Arg.substr(10);
+    } else if (Arg.rfind("--dot=", 0) == 0) {
+      O.DotFile = Arg.substr(6);
+    } else if (Arg == "--witness") {
+      O.Witness = true;
+    } else if (Arg == "--no-merge") {
+      O.NoMerge = true;
+    } else if (Arg == "--stats") {
+      O.Stats = true;
+    } else if (Arg == "--quiet") {
+      O.Quiet = true;
+    } else if (Arg == "--lenient") {
+      O.Mode = SanitizeMode::Lenient;
+    } else if (Arg == "--strict") {
+      O.Mode = SanitizeMode::Strict;
+    } else if (Arg.rfind("--max-events=", 0) == 0) {
+      U64Target = &O.Limits.MaxEvents;
+      U64Prefix = 13;
+    } else if (Arg.rfind("--max-live-nodes=", 0) == 0) {
+      U64Target = &O.Limits.MaxLiveNodes;
+      U64Prefix = 17;
+    } else if (Arg.rfind("--max-memory-mb=", 0) == 0) {
+      U64Target = &O.Limits.MaxMemoryBytes;
+      U64Prefix = 16;
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      U64Target = &O.Limits.DeadlineMillis;
+      U64Prefix = 14;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return -1;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      usage();
+      return 2;
+    } else if (O.TraceFile.empty()) {
+      O.TraceFile = Arg;
+    } else {
+      usage();
+      return 2;
+    }
+    if (U64Target) {
+      if (!parseU64(Arg.c_str() + U64Prefix, *U64Target)) {
+        std::fprintf(stderr, "invalid value in '%s'\n", Arg.c_str());
+        usage();
+        return 2;
+      }
+      if (U64Target == &O.Limits.MaxMemoryBytes)
+        *U64Target *= 1024 * 1024;
+    }
+  }
+  if (O.TraceFile.empty()) {
+    usage();
+    return 2;
+  }
+  return 0;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string BackendSel = "all", TraceFile, DotFile;
-  bool Witness = false, NoMerge = false, Stats = false, Quiet = false;
-
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg.rfind("--backend=", 0) == 0) {
-      BackendSel = Arg.substr(10);
-    } else if (Arg.rfind("--dot=", 0) == 0) {
-      DotFile = Arg.substr(6);
-    } else if (Arg == "--witness") {
-      Witness = true;
-    } else if (Arg == "--no-merge") {
-      NoMerge = true;
-    } else if (Arg == "--stats") {
-      Stats = true;
-    } else if (Arg == "--quiet") {
-      Quiet = true;
-    } else if (Arg == "--help" || Arg == "-h") {
-      usage();
-      return 0;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
-      usage();
-      return 2;
-    } else if (TraceFile.empty()) {
-      TraceFile = Arg;
-    } else {
-      usage();
-      return 2;
-    }
-  }
-  if (TraceFile.empty()) {
-    usage();
+  Options O;
+  switch (parseArgs(argc, argv, O)) {
+  case -1:
+    return 0;
+  case 2:
     return 2;
+  default:
+    break;
   }
 
-  Trace T;
-  std::string Error;
-  if (!readTraceFile(TraceFile, T, Error)) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
-    return 2;
-  }
-  std::vector<std::string> Problems;
-  if (!T.validate(&Problems)) {
-    std::fprintf(stderr, "error: trace is not well formed:\n");
-    for (const std::string &P : Problems)
-      std::fprintf(stderr, "  %s\n", P.c_str());
-    return 2;
-  }
-
-  bool RunVelo = BackendSel == "velodrome" || BackendSel == "all";
-  bool RunBasic = BackendSel == "basic" || BackendSel == "all";
-  bool RunAero = BackendSel == "aero" || BackendSel == "all";
-  bool RunAtom = BackendSel == "atomizer" || BackendSel == "all";
-  bool RunEraser = BackendSel == "eraser" || BackendSel == "all";
-  bool RunHb = BackendSel == "hb" || BackendSel == "all";
+  bool RunVelo = O.BackendSel == "velodrome" || O.BackendSel == "all";
+  bool RunBasic = O.BackendSel == "basic" || O.BackendSel == "all";
+  bool RunAero = O.BackendSel == "aero" || O.BackendSel == "all";
+  bool RunAtom = O.BackendSel == "atomizer" || O.BackendSel == "all";
+  bool RunEraser = O.BackendSel == "eraser" || O.BackendSel == "all";
+  bool RunHb = O.BackendSel == "hb" || O.BackendSel == "all";
   if (!(RunVelo || RunBasic || RunAero || RunAtom || RunEraser || RunHb)) {
-    std::fprintf(stderr, "unknown backend: %s\n", BackendSel.c_str());
+    std::fprintf(stderr, "unknown backend: %s\n", O.BackendSel.c_str());
     return 2;
   }
 
   VelodromeOptions VOpts;
-  VOpts.UseMerge = !NoMerge;
+  VOpts.UseMerge = !O.NoMerge;
   Velodrome Velo(VOpts);
   BasicVelodrome Basic;
   AeroDrome Aero;
@@ -120,37 +191,177 @@ int main(int argc, char **argv) {
   Eraser Race;
   HbRaceDetector Hb;
 
-  std::vector<Backend *> Backends;
+  // The backends whose warnings are reported, in table order.
+  std::vector<Backend *> Reporting;
   if (RunVelo)
-    Backends.push_back(&Velo);
+    Reporting.push_back(&Velo);
   if (RunBasic)
-    Backends.push_back(&Basic);
+    Reporting.push_back(&Basic);
   if (RunAero)
-    Backends.push_back(&Aero);
+    Reporting.push_back(&Aero);
   if (RunAtom)
-    Backends.push_back(&Atom);
+    Reporting.push_back(&Atom);
   if (RunEraser)
-    Backends.push_back(&Race);
+    Reporting.push_back(&Race);
   if (RunHb)
-    Backends.push_back(&Hb);
-  replayAll(T, Backends);
+    Reporting.push_back(&Hb);
 
-  // Verdict priority: the graph checkers are the reference implementation;
-  // the vector-clock back-end supplies the verdict only when it runs alone.
-  bool Violation = RunVelo    ? Velo.sawViolation()
-                   : RunBasic ? Basic.sawViolation()
-                   : RunAero  ? Aero.sawViolation()
-                              : false;
+  // The governor wraps the verdict-producing pair: the selected graph
+  // checker as primary, the vector-clock checker as its degradation target.
+  // Remaining back-ends are delivered alongside, ungoverned, and stop with
+  // the governor on exhaustion.
+  Backend *Primary = RunVelo    ? static_cast<Backend *>(&Velo)
+                     : RunBasic ? static_cast<Backend *>(&Basic)
+                     : RunAero  ? static_cast<Backend *>(&Aero)
+                                : nullptr;
+  Backend *Fallback =
+      RunAero && Primary != &Aero ? static_cast<Backend *>(&Aero) : nullptr;
+  GovernedAnalysis::Probe Probe;
+  if (Primary == &Velo)
+    Probe = [&Velo](uint64_t &Nodes, uint64_t &Bytes) {
+      Nodes = Velo.graph().nodesAlive();
+      // Rough per-node footprint: slot bookkeeping + edges + ancestor set.
+      Bytes = Nodes * 256;
+    };
+  bool Governed = Primary != nullptr && O.Limits.any();
+  GovernedAnalysis Gov(Governed ? *Primary : Velo, Fallback, O.Limits,
+                       std::move(Probe));
 
-  if (!Quiet) {
-    std::printf("%s: %zu events, %u threads\n", TraceFile.c_str(), T.size(),
-                T.numThreads());
-    for (Backend *B : Backends) {
+  // Delivery list: the governor stands in for its primary and fallback.
+  std::vector<Backend *> Delivery;
+  if (Governed)
+    Delivery.push_back(&Gov);
+  for (Backend *B : Reporting)
+    if (!Governed || (B != Primary && B != Fallback))
+      Delivery.push_back(B);
+
+  SymbolTable StreamSyms;
+  Trace Buffered; // only filled on the --witness path
+  TraceSanitizer San(O.Mode);
+  uint64_t EventsSeen = 0;
+  uint32_t ThreadsSeen = 0;
+  std::vector<Event> Scratch;
+
+  auto Deliver = [&](const Event &E) {
+    ++EventsSeen;
+    if (E.Thread >= ThreadsSeen)
+      ThreadsSeen = E.Thread + 1;
+    if ((E.Kind == Op::Fork || E.Kind == Op::Join) &&
+        E.child() >= ThreadsSeen)
+      ThreadsSeen = E.child() + 1;
+    for (Backend *B : Delivery)
+      B->onEvent(E);
+    // The reference checker has no GC and quadratic cycle checks; once the
+    // governor trips a cap the trace is past test scale, and keeping the
+    // reference fed would defeat the bound. Its warnings up to this point
+    // are kept.
+    if (Governed && Gov.state() != GovernorState::Normal)
+      for (size_t I = 0; I < Delivery.size(); ++I)
+        if (Delivery[I] == &Basic) {
+          Delivery.erase(Delivery.begin() + I);
+          std::fprintf(stderr,
+                       "governor: stopped the reference checker "
+                       "(Velodrome(basic), no GC) after the cap breach\n");
+          break;
+        }
+  };
+
+  if (O.Witness) {
+    // The serializability oracle needs random access: buffer, sanitize,
+    // then replay the repaired trace.
+    Trace Raw;
+    std::string Error;
+    TraceReadStatus St = readTraceFileStatus(O.TraceFile, Raw, Error);
+    if (St != TraceReadStatus::Ok) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    RepairCounts Repairs;
+    if (!sanitizeTrace(Raw, O.Mode, Buffered, &Repairs, Error)) {
+      std::fprintf(stderr, "error: %s: trace is not well formed: %s\n",
+                   O.TraceFile.c_str(), Error.c_str());
+      return 2;
+    }
+    if (Repairs.total() != 0)
+      std::fprintf(stderr, "lenient: repaired %llu event(s): %s\n",
+                   static_cast<unsigned long long>(Repairs.total()),
+                   Repairs.summary().c_str());
+    for (Backend *B : Delivery)
+      B->beginAnalysis(Buffered.symbols());
+    for (const Event &E : Buffered) {
+      Deliver(E);
+      if (Governed && Gov.state() == GovernorState::Exhausted)
+        break;
+    }
+    for (Backend *B : Delivery)
+      B->endAnalysis();
+  } else {
+    // Default path: stream the file through sanitizer and back-ends in
+    // constant memory.
+    errno = 0;
+    std::ifstream In(O.TraceFile);
+    if (!In) {
+      int Err = errno;
+      std::fprintf(stderr, "error: cannot open %s: %s\n", O.TraceFile.c_str(),
+                   Err != 0 ? std::strerror(Err) : "open failed");
+      return 2;
+    }
+    TraceStream TS(In, StreamSyms);
+    for (Backend *B : Delivery)
+      B->beginAnalysis(StreamSyms);
+    Event E;
+    bool Stopped = false;
+    while (!Stopped && TS.next(E)) {
+      Scratch.clear();
+      if (!San.push(E, Scratch, TS.lineNo())) {
+        std::fprintf(stderr,
+                     "error: %s: trace is not well formed: %s\n",
+                     O.TraceFile.c_str(), San.error().c_str());
+        return 2;
+      }
+      for (const Event &Out : Scratch) {
+        Deliver(Out);
+        if (Governed && Gov.state() == GovernorState::Exhausted) {
+          Stopped = true;
+          break;
+        }
+      }
+    }
+    if (TS.failed()) {
+      // TS.error() is "line N: message"; render as "<path>:N: message".
+      std::fprintf(stderr, "error: %s:%s\n", O.TraceFile.c_str(),
+                   TS.error().c_str() + 5);
+      return 2;
+    }
+    Scratch.clear();
+    San.finish(Scratch);
+    for (const Event &Out : Scratch)
+      if (!Stopped)
+        Deliver(Out);
+    for (Backend *B : Delivery)
+      B->endAnalysis();
+    if (San.repairs().total() != 0)
+      std::fprintf(stderr, "lenient: repaired %llu event(s): %s\n",
+                   static_cast<unsigned long long>(San.repairs().total()),
+                   San.repairs().summary().c_str());
+  }
+
+  if (Governed && Gov.state() != GovernorState::Normal)
+    std::fprintf(stderr, "governor: %s%s\n", Gov.breachReason().c_str(),
+                 Gov.state() == GovernorState::Degraded
+                     ? "; fell back to the vector-clock checker "
+                       "(blame and error graphs unavailable)"
+                     : "; analysis stopped");
+
+  if (!O.Quiet) {
+    std::printf("%s: %llu events, %u threads\n", O.TraceFile.c_str(),
+                static_cast<unsigned long long>(EventsSeen), ThreadsSeen);
+    for (Backend *B : Reporting) {
       std::printf("[%s] %zu warning(s)\n", B->name(), B->warnings().size());
       for (const Warning &W : B->warnings())
         std::printf("  %s\n", W.Message.c_str());
     }
-    if (Stats && RunVelo) {
+    if (O.Stats && RunVelo) {
       std::printf("[graph] allocated=%llu maxAlive=%llu edges=%llu "
                   "merged=%llu\n",
                   static_cast<unsigned long long>(
@@ -163,25 +374,48 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (!DotFile.empty() && RunVelo && !Velo.warnings().empty() &&
+  if (!O.DotFile.empty() && RunVelo && !Velo.warnings().empty() &&
       !Velo.warnings()[0].Dot.empty()) {
-    std::ofstream Out(DotFile);
+    std::ofstream Out(O.DotFile);
     Out << Velo.warnings()[0].Dot;
-    if (!Quiet)
-      std::printf("error graph written to %s\n", DotFile.c_str());
+    if (!O.Quiet)
+      std::printf("error graph written to %s\n", O.DotFile.c_str());
   }
 
-  if (Witness) {
-    OracleResult Oracle = checkSerializable(T);
+  if (O.Witness) {
+    OracleResult Oracle = checkSerializable(Buffered);
     if (Oracle.Serializable) {
-      TxnIndex Index = buildTxnIndex(T);
+      TxnIndex Index = buildTxnIndex(Buffered);
       std::printf("# serial witness\n%s",
-                  printTrace(buildSerialWitness(T, Index, Oracle)).c_str());
-    } else if (!Quiet) {
+                  printTrace(buildSerialWitness(Buffered, Index,
+                                                Oracle)).c_str());
+    } else if (!O.Quiet) {
       std::printf("no witness: trace is not serializable\n");
     }
   }
 
+  // Verdict priority: the graph checkers are the reference implementation;
+  // the vector-clock back-end supplies the verdict only when it runs alone.
+  // Under the governor, its verdict already encodes that priority plus
+  // degradation.
+  if (Governed) {
+    switch (Gov.verdict()) {
+    case GovernorVerdict::Violation:
+      std::printf("verdict: NOT conflict-serializable\n");
+      return 1;
+    case GovernorVerdict::Unknown:
+      std::printf("verdict: resource-limited: verdict unknown\n");
+      return 3;
+    case GovernorVerdict::Serializable:
+      break;
+    }
+    std::printf("verdict: serializable\n");
+    return 0;
+  }
+  bool Violation = RunVelo    ? Velo.sawViolation()
+                   : RunBasic ? Basic.sawViolation()
+                   : RunAero  ? Aero.sawViolation()
+                              : false;
   std::printf("verdict: %s\n",
               Violation ? "NOT conflict-serializable" : "serializable");
   return Violation ? 1 : 0;

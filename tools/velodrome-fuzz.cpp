@@ -1,0 +1,432 @@
+//===- tools/velodrome-fuzz.cpp - Differential ingestion fuzzer -----------===//
+//
+// Mutation-based fuzzing of the trace text format and the ingestion stack
+// behind it. Each iteration mutates a corpus entry (or a freshly generated
+// well-formed trace) and checks, on the mutant:
+//
+//   1. the parser never crashes, and rejects with a "line N:" diagnostic;
+//   2. parser round-trip stability: parse -> print -> parse is identity;
+//   3. strict sanitization accepts exactly the traces Trace::validate
+//      accepts;
+//   4. lenient sanitization always succeeds, its output satisfies
+//      Trace::validate, and it is idempotent (re-sanitizing performs zero
+//      repairs and is an identity on events);
+//   5. every back-end runs the repaired trace without crashing, and the
+//      three verdict checkers (Velodrome, BasicVelodrome, AeroDrome) agree;
+//   6. the resource governor degrades/stops cleanly under tiny caps.
+//
+// Failing inputs are written to --save for triage and check-in under
+// tests/data/fuzz/ as regression seeds. Fully deterministic for a given
+// --seed. CI runs a bounded smoke (fixed seed, small --iters) under
+// ASan+UBSan on every PR.
+//
+//   velodrome-fuzz [--corpus=DIR] [--seed=N] [--iters=N] [--save=DIR]
+//                  [--verbose]
+//
+// Exit status: 0 all checks passed, 1 a check failed, 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aero/AeroDrome.h"
+#include "analysis/Governor.h"
+#include "atomizer/Atomizer.h"
+#include "core/BasicVelodrome.h"
+#include "core/Velodrome.h"
+#include "eraser/Eraser.h"
+#include "events/TraceGen.h"
+#include "events/TraceSanitizer.h"
+#include "events/TraceText.h"
+#include "hbrace/HbRaceDetector.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace velo;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: velodrome-fuzz [options]\n"
+               "  --corpus=DIR  seed corpus directory (default "
+               "tests/data/fuzz)\n"
+               "  --seed=N      PRNG seed              (default 1)\n"
+               "  --iters=N     mutants to execute     (default 500)\n"
+               "  --save=DIR    where to write failing inputs (default .)\n"
+               "  --verbose     per-iteration progress\n");
+}
+
+/// Deterministic xorshift64* PRNG — no global state, replayable runs.
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+  uint64_t next() {
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return S * 0x2545f4914f6cdd1dull;
+  }
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+};
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  std::istringstream In(Text);
+  std::string L;
+  while (std::getline(In, L))
+    Lines.push_back(L);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// One random event line assembled from the format's vocabulary (valid more
+/// often than not, so mutants explore the sanitizer, not just the parser).
+std::string randomLine(Rng &R) {
+  static const char *Ops[] = {"rd", "wr", "acq", "rel",
+                              "begin", "end", "fork", "join"};
+  static const char *Args[] = {"x", "y", "z", "m", "n", "work", "commit"};
+  std::string Op = Ops[R.below(8)];
+  std::string Line = "T" + std::to_string(R.below(5)) + " " + Op;
+  if (Op == "fork" || Op == "join")
+    Line += " T" + std::to_string(R.below(5));
+  else if (Op != "end")
+    Line += " " + std::string(Args[R.below(7)]);
+  return Line;
+}
+
+std::string mutate(const std::string &Base,
+                   const std::vector<std::string> &Corpus, Rng &R) {
+  std::string Text = Base;
+  size_t Rounds = 1 + R.below(6);
+  for (size_t I = 0; I < Rounds; ++I) {
+    std::vector<std::string> Lines = splitLines(Text);
+    switch (R.below(9)) {
+    case 0: // delete a line
+      if (!Lines.empty())
+        Lines.erase(Lines.begin() + R.below(Lines.size()));
+      break;
+    case 1: // duplicate a line
+      if (!Lines.empty()) {
+        size_t J = R.below(Lines.size());
+        Lines.insert(Lines.begin() + R.below(Lines.size() + 1), Lines[J]);
+      }
+      break;
+    case 2: // swap two lines
+      if (Lines.size() >= 2)
+        std::swap(Lines[R.below(Lines.size())], Lines[R.below(Lines.size())]);
+      break;
+    case 3: // truncate mid-file (models a cut-off dump)
+      if (!Lines.empty())
+        Lines.resize(1 + R.below(Lines.size()));
+      break;
+    case 4: { // splice with another corpus entry
+      if (!Corpus.empty()) {
+        std::vector<std::string> Other =
+            splitLines(Corpus[R.below(Corpus.size())]);
+        size_t Keep = R.below(Lines.size() + 1);
+        Lines.resize(Keep);
+        size_t From = R.below(Other.size() + 1);
+        Lines.insert(Lines.end(), Other.begin() + From, Other.end());
+      }
+      break;
+    }
+    case 5: { // flip a byte to a random printable character
+      Text = joinLines(Lines);
+      if (!Text.empty())
+        Text[R.below(Text.size())] =
+            static_cast<char>(' ' + R.below('~' - ' ' + 1));
+      continue;
+    }
+    case 6: // insert a vocabulary line
+      Lines.insert(Lines.begin() + R.below(Lines.size() + 1), randomLine(R));
+      break;
+    case 7: { // jitter a digit
+      Text = joinLines(Lines);
+      std::vector<size_t> Digits;
+      for (size_t P = 0; P < Text.size(); ++P)
+        if (Text[P] >= '0' && Text[P] <= '9')
+          Digits.push_back(P);
+      if (!Digits.empty())
+        Text[Digits[R.below(Digits.size())]] =
+            static_cast<char>('0' + R.below(10));
+      continue;
+    }
+    case 8: // insert a garbage line
+      Lines.insert(Lines.begin() + R.below(Lines.size() + 1),
+                   I % 2 ? "T# wr" : "bogus line $$$");
+      break;
+    }
+    Text = joinLines(Lines);
+  }
+  return Text;
+}
+
+bool sameEvents(const Trace &A, const Trace &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (!(A[I] == B[I]))
+      return false;
+  return true;
+}
+
+struct FuzzStats {
+  uint64_t ParsedOk = 0, ParseRejected = 0, StrictOk = 0, Repaired = 0;
+  uint64_t RepairEvents = 0, Violations = 0, Serializable = 0;
+};
+
+/// Run every ingestion check on one mutant. Returns false with WhyOut set on
+/// the first property violation.
+bool checkMutant(const std::string &Text, FuzzStats &Stats,
+                 std::string &WhyOut) {
+  // 1. Parser must reject cleanly or accept.
+  Trace Raw;
+  std::string Error;
+  if (!parseTrace(Text, Raw, Error)) {
+    if (Error.rfind("line ", 0) != 0) {
+      WhyOut = "parse error lacks a line diagnostic: '" + Error + "'";
+      return false;
+    }
+    Stats.ParseRejected++;
+    return true; // rejected inputs end here
+  }
+  Stats.ParsedOk++;
+
+  // 2. Round-trip stability.
+  Trace Again;
+  if (!parseTrace(printTrace(Raw), Again, Error)) {
+    WhyOut = "re-parse of printed trace failed: " + Error;
+    return false;
+  }
+  if (!sameEvents(Raw, Again)) {
+    WhyOut = "print/parse round-trip changed the event sequence";
+    return false;
+  }
+
+  // 3. Strict sanitization accepts exactly what validate accepts.
+  Trace StrictOut;
+  bool StrictAccepts =
+      sanitizeTrace(Raw, SanitizeMode::Strict, StrictOut, nullptr, Error);
+  bool ValidateAccepts = Raw.validate(nullptr);
+  if (StrictAccepts != ValidateAccepts) {
+    WhyOut = std::string("strict sanitizer ") +
+             (StrictAccepts ? "accepted" : "rejected") +
+             " a trace validate " + (ValidateAccepts ? "accepts" : "rejects") +
+             (StrictAccepts ? "" : " (" + Error + ")");
+    return false;
+  }
+  if (StrictAccepts) {
+    Stats.StrictOk++;
+    if (!sameEvents(Raw, StrictOut)) {
+      WhyOut = "strict sanitization modified a well-formed trace";
+      return false;
+    }
+  }
+
+  // 4. Lenient sanitization: total, sound, idempotent.
+  Trace Repaired;
+  RepairCounts Repairs;
+  if (!sanitizeTrace(Raw, SanitizeMode::Lenient, Repaired, &Repairs, Error)) {
+    WhyOut = "lenient sanitization failed: " + Error;
+    return false;
+  }
+  std::vector<std::string> Problems;
+  if (!Repaired.validate(&Problems)) {
+    WhyOut = "repaired trace is not well formed: " +
+             (Problems.empty() ? "?" : Problems[0]);
+    return false;
+  }
+  Trace Twice;
+  RepairCounts Second;
+  if (!sanitizeTrace(Repaired, SanitizeMode::Lenient, Twice, &Second,
+                     Error) ||
+      Second.total() != 0 || !sameEvents(Repaired, Twice)) {
+    WhyOut = "lenient sanitization is not idempotent (" +
+             std::to_string(Second.total()) + " repairs on second pass)";
+    return false;
+  }
+  if (Repairs.total() != 0) {
+    Stats.Repaired++;
+    Stats.RepairEvents += Repairs.total();
+  }
+
+  // 5. No back-end crashes on the repaired trace; verdict checkers agree.
+  Velodrome Velo;
+  BasicVelodrome Basic;
+  AeroDrome Aero;
+  Atomizer Atom;
+  Eraser Race;
+  HbRaceDetector Hb;
+  replayAll(Repaired, {&Velo, &Basic, &Aero, &Atom, &Race, &Hb});
+  if (Velo.sawViolation() != Aero.sawViolation() ||
+      Velo.sawViolation() != Basic.sawViolation()) {
+    WhyOut = "verdicts disagree: Velodrome=" +
+             std::to_string(Velo.sawViolation()) +
+             " Basic=" + std::to_string(Basic.sawViolation()) +
+             " AeroDrome=" + std::to_string(Aero.sawViolation());
+    return false;
+  }
+  (Velo.sawViolation() ? Stats.Violations : Stats.Serializable)++;
+
+  // 6. The governor degrades and stops without aborting under tiny caps.
+  Velodrome GVelo;
+  AeroDrome GAero;
+  GovernorLimits Caps;
+  Caps.MaxLiveNodes = 4;
+  Caps.MaxEvents = Repaired.size() > 8 ? Repaired.size() / 2 : 0;
+  GovernedAnalysis Gov(GVelo, &GAero, Caps,
+                       [&GVelo](uint64_t &Nodes, uint64_t &Bytes) {
+                         Nodes = GVelo.graph().nodesAlive();
+                         Bytes = Nodes * 256;
+                       });
+  replay(Repaired, Gov);
+  if (Gov.verdict() == GovernorVerdict::Violation && !Velo.sawViolation()) {
+    WhyOut = "governed analysis reported a violation the full run did not";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string CorpusDir = "tests/data/fuzz", SaveDir = ".";
+  uint64_t Seed = 1, Iters = 500;
+  bool Verbose = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto U64 = [&](size_t Prefix, uint64_t &Out) {
+      char *End = nullptr;
+      errno = 0;
+      unsigned long long V = std::strtoull(Arg.c_str() + Prefix, &End, 10);
+      if (errno != 0 || End == Arg.c_str() + Prefix || *End != '\0') {
+        std::fprintf(stderr, "invalid value in '%s'\n", Arg.c_str());
+        return false;
+      }
+      Out = V;
+      return true;
+    };
+    if (Arg.rfind("--corpus=", 0) == 0) {
+      CorpusDir = Arg.substr(9);
+    } else if (Arg.rfind("--save=", 0) == 0) {
+      SaveDir = Arg.substr(7);
+    } else if (Arg.rfind("--seed=", 0) == 0) {
+      if (!U64(7, Seed))
+        return 2;
+    } else if (Arg.rfind("--iters=", 0) == 0) {
+      if (!U64(8, Iters))
+        return 2;
+    } else if (Arg == "--verbose") {
+      Verbose = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  // Seed corpus: every readable *.trace under --corpus, in sorted order for
+  // determinism. An empty/missing corpus still fuzzes generated traces.
+  std::vector<std::string> Corpus;
+  {
+    std::error_code Ec;
+    std::vector<std::filesystem::path> Paths;
+    for (const auto &Entry :
+         std::filesystem::directory_iterator(CorpusDir, Ec))
+      if (Entry.path().extension() == ".trace")
+        Paths.push_back(Entry.path());
+    std::sort(Paths.begin(), Paths.end());
+    for (const auto &P : Paths) {
+      std::ifstream In(P);
+      std::stringstream Buf;
+      Buf << In.rdbuf();
+      if (In)
+        Corpus.push_back(Buf.str());
+    }
+    if (Ec)
+      std::fprintf(stderr, "note: corpus directory %s: %s (fuzzing "
+                   "generated traces only)\n",
+                   CorpusDir.c_str(), Ec.message().c_str());
+  }
+  std::printf("velodrome-fuzz: %zu corpus seed(s), seed=%llu, iters=%llu\n",
+              Corpus.size(), static_cast<unsigned long long>(Seed),
+              static_cast<unsigned long long>(Iters));
+
+  Rng R(Seed * 0x9e3779b97f4a7c15ull + 1);
+  FuzzStats Stats;
+  uint64_t Failures = 0;
+
+  // Iteration 0 runs every corpus seed unmutated: checked-in crasher
+  // regressions re-execute verbatim on every fuzz run.
+  std::vector<std::string> Queue = Corpus;
+  for (uint64_t It = 0; It < Iters + Queue.size(); ++It) {
+    std::string Text;
+    if (It < Queue.size()) {
+      Text = Queue[It];
+    } else if (!Corpus.empty() && R.below(4) != 0) {
+      Text = mutate(Corpus[R.below(Corpus.size())], Corpus, R);
+    } else {
+      // Fresh structurally valid trace, then mutate it: exercises repairs
+      // on inputs that are *almost* well-formed.
+      TraceGenOptions GOpts;
+      GOpts.Threads = 2 + static_cast<uint32_t>(R.below(3));
+      GOpts.Steps = 10 + R.below(50);
+      GOpts.UseForkJoin = R.below(2) == 0;
+      Text = mutate(printTrace(generateRandomTrace(R.next(), GOpts)), Corpus,
+                    R);
+    }
+    std::string Why;
+    if (!checkMutant(Text, Stats, Why)) {
+      ++Failures;
+      std::string Path = SaveDir + "/fuzz-fail-" + std::to_string(It) +
+                         ".trace";
+      std::ofstream Out(Path);
+      Out << Text;
+      std::fprintf(stderr, "FAIL iter %llu: %s\n  input saved to %s\n",
+                   static_cast<unsigned long long>(It), Why.c_str(),
+                   Path.c_str());
+      if (Failures >= 10) {
+        std::fprintf(stderr, "too many failures; stopping early\n");
+        break;
+      }
+    }
+    if (Verbose && It % 100 == 0)
+      std::printf("  iter %llu...\n", static_cast<unsigned long long>(It));
+  }
+
+  std::printf("parsed=%llu rejected=%llu strict-ok=%llu repaired=%llu "
+              "(%llu repairs) violations=%llu serializable=%llu\n",
+              static_cast<unsigned long long>(Stats.ParsedOk),
+              static_cast<unsigned long long>(Stats.ParseRejected),
+              static_cast<unsigned long long>(Stats.StrictOk),
+              static_cast<unsigned long long>(Stats.Repaired),
+              static_cast<unsigned long long>(Stats.RepairEvents),
+              static_cast<unsigned long long>(Stats.Violations),
+              static_cast<unsigned long long>(Stats.Serializable));
+  if (Failures != 0) {
+    std::fprintf(stderr, "velodrome-fuzz: %llu failure(s)\n",
+                 static_cast<unsigned long long>(Failures));
+    return 1;
+  }
+  std::printf("velodrome-fuzz: all checks passed\n");
+  return 0;
+}

@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "aero/AeroDrome.h"
+#include "analysis/SanitizerGate.h"
 #include "analysis/TraceRecorder.h"
 #include "atomizer/Atomizer.h"
 #include "core/Velodrome.h"
@@ -199,13 +200,27 @@ int main(int argc, char **argv) {
   Backends.push_back(&Atom);
   if (!RecordFile.empty())
     Backends.push_back(&Rec);
-  Runtime RT(Opts, Backends);
+  // Defense in depth: the runtime's own stream is well-formed by
+  // construction, but every replay path routes through validation before a
+  // back-end sees an event — a runtime bug fail-stops with a diagnostic
+  // instead of silently corrupting the analyses (and the recorded trace is
+  // exactly what the back-ends analyzed).
+  SanitizerGate Gate(Backends, SanitizeMode::Strict);
+  Runtime RT(Opts, {&Gate});
   if (Adversarial)
     RT.setGuide(&Atom);
   if (ExcludeKnown)
     for (const std::string &M : W->nonAtomicMethods())
       RT.excludeMethod(M);
   W->run(RT);
+
+  if (Gate.rejected()) {
+    std::fprintf(stderr,
+                 "error: runtime produced an ill-formed event stream (%s); "
+                 "analysis results discarded\n",
+                 Gate.error().c_str());
+    return 2;
+  }
 
   std::printf("%s: seed=%llu scale=%d events=%llu\n", W->name(),
               static_cast<unsigned long long>(Seed), Scale,
