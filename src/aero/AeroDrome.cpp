@@ -22,7 +22,9 @@
 
 #include "aero/AeroDrome.h"
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 namespace velo {
 
@@ -237,6 +239,199 @@ void AeroDrome::onJoin(const Event &E) {
   joinFrom(TS, E.Thread, Last, E);
   if (Unary)
     TS.Cur->Finished = true;
+}
+
+namespace {
+
+template <typename MapT> std::vector<typename MapT::key_type>
+sortedKeys(const MapT &M) {
+  std::vector<typename MapT::key_type> Keys;
+  Keys.reserve(M.size());
+  for (const auto &KV : M)
+    Keys.push_back(KV.first);
+  std::sort(Keys.begin(), Keys.end());
+  return Keys;
+}
+
+void writeU64Vec(SnapshotWriter &W, const std::vector<uint64_t> &V) {
+  W.u64(V.size());
+  for (uint64_t X : V)
+    W.u64(X);
+}
+
+std::vector<uint64_t> readU64Vec(SnapshotReader &R) {
+  std::vector<uint64_t> V;
+  uint64_t N = R.u64();
+  for (uint64_t I = 0; I < N && !R.failed(); ++I)
+    V.push_back(R.u64());
+  return V;
+}
+
+} // namespace
+
+// Clock objects are shared by reference, and the sharing structure is
+// semantic: advance() recycles TS.Cur in place only when no frontier map
+// still references it (use_count() == 1), and joinFrom() short-circuits on
+// pointer identity (Ref == TS.Cur). The snapshot therefore serializes the
+// *object graph*, not the values: each distinct TxnClock gets an id (in a
+// deterministic traversal order), the object table is written once, and
+// every map slot stores an id. Restore rebuilds exactly one object per id,
+// so both use counts and identities come back bit-for-bit equivalent.
+void AeroDrome::serialize(SnapshotWriter &W) const {
+  serializeBase(W);
+  W.u64(Opts.MaxWarnings);
+
+  std::unordered_map<const TxnClock *, uint64_t> Ids;
+  std::vector<const TxnClock *> Objects;
+  auto idOf = [&](const TxnClockRef &Ref) -> uint64_t {
+    if (!Ref)
+      return 0;
+    auto [It, New] = Ids.emplace(Ref.get(), Objects.size() + 1);
+    if (New)
+      Objects.push_back(Ref.get());
+    return It->second;
+  };
+
+  // First pass: enumerate objects in a deterministic order (threads, then
+  // locks, then variables, each sorted by id).
+  std::vector<Tid> Tids = sortedKeys(Threads);
+  std::vector<LockId> LockIds = sortedKeys(LastRelease);
+  std::vector<VarId> VarIds = sortedKeys(Vars);
+  for (Tid T : Tids) {
+    const ThreadState &TS = Threads.at(T);
+    idOf(TS.Cur);
+    idOf(TS.PendingParent);
+  }
+  for (LockId M : LockIds)
+    idOf(LastRelease.at(M));
+  for (VarId X : VarIds) {
+    const VarClocks &VC = Vars.at(X);
+    idOf(VC.LastWrite);
+    for (const TxnClockRef &Rd : VC.Readers)
+      idOf(Rd);
+  }
+
+  // Object table.
+  W.u64(Objects.size());
+  for (const TxnClock *C : Objects) {
+    W.u32(C->Owner);
+    W.u64(C->Time);
+    W.boolean(C->Finished);
+    writeU64Vec(W, C->Clock.raw());
+  }
+
+  // Reference structure.
+  W.u64(Tids.size());
+  for (Tid T : Tids) {
+    const ThreadState &TS = Threads.at(T);
+    W.u32(T);
+    W.u64(idOf(TS.Cur));
+    writeU64Vec(W, TS.Succ.raw());
+    W.u64(idOf(TS.PendingParent));
+    W.u32(TS.Outer);
+    W.u64(static_cast<uint64_t>(TS.Depth));
+  }
+  W.u64(LockIds.size());
+  for (LockId M : LockIds) {
+    W.u32(M);
+    W.u64(idOf(LastRelease.at(M)));
+  }
+  W.u64(VarIds.size());
+  for (VarId X : VarIds) {
+    const VarClocks &VC = Vars.at(X);
+    W.u32(X);
+    W.u64(idOf(VC.LastWrite));
+    W.u64(VC.Readers.size());
+    for (const TxnClockRef &Rd : VC.Readers)
+      W.u64(idOf(Rd));
+  }
+
+  W.u64(Violations.size());
+  for (const AeroViolation &V : Violations) {
+    W.u32(V.Thread);
+    W.u32(V.Method);
+    W.u32(V.Witness);
+    W.u8(static_cast<uint8_t>(V.Kind));
+    W.u32(V.Target);
+  }
+  W.u64(ReportedMethods.size());
+  for (Label L : ReportedMethods)
+    W.u32(L);
+  W.boolean(Saw);
+  W.u64(NumJoins);
+  W.u64(NumTxns);
+  W.u64(NumAllocs);
+}
+
+bool AeroDrome::deserialize(SnapshotReader &R) {
+  if (!deserializeBase(R))
+    return false;
+  Opts.MaxWarnings = R.u64();
+
+  uint64_t NumObjects = R.u64();
+  if (R.failed())
+    return false;
+  std::vector<TxnClockRef> Objects;
+  Objects.reserve(NumObjects);
+  for (uint64_t I = 0; I < NumObjects && !R.failed(); ++I) {
+    auto C = std::make_shared<TxnClock>();
+    C->Owner = R.u32();
+    C->Time = R.u64();
+    C->Finished = R.boolean();
+    C->Clock.setRaw(readU64Vec(R));
+    Objects.push_back(std::move(C));
+  }
+  auto refOf = [&](uint64_t Id) -> TxnClockRef {
+    if (Id == 0 || Id > Objects.size())
+      return nullptr;
+    return Objects[Id - 1];
+  };
+
+  uint64_t NumThreads = R.u64();
+  for (uint64_t I = 0; I < NumThreads && !R.failed(); ++I) {
+    Tid T = R.u32();
+    ThreadState &TS = Threads[T];
+    TS.Cur = refOf(R.u64());
+    TS.Succ.setRaw(readU64Vec(R));
+    TS.PendingParent = refOf(R.u64());
+    TS.Outer = R.u32();
+    TS.Depth = static_cast<int>(R.u64());
+  }
+  uint64_t NumLocks = R.u64();
+  for (uint64_t I = 0; I < NumLocks && !R.failed(); ++I) {
+    LockId M = R.u32();
+    LastRelease[M] = refOf(R.u64());
+  }
+  uint64_t NumVars = R.u64();
+  for (uint64_t I = 0; I < NumVars && !R.failed(); ++I) {
+    VarId X = R.u32();
+    VarClocks &VC = Vars[X];
+    VC.LastWrite = refOf(R.u64());
+    uint64_t NumReaders = R.u64();
+    for (uint64_t J = 0; J < NumReaders && !R.failed(); ++J)
+      VC.Readers.push_back(refOf(R.u64()));
+  }
+
+  uint64_t NumViolations = R.u64();
+  for (uint64_t I = 0; I < NumViolations && !R.failed(); ++I) {
+    AeroViolation V;
+    V.Thread = R.u32();
+    V.Method = R.u32();
+    V.Witness = R.u32();
+    V.Kind = static_cast<Op>(R.u8());
+    V.Target = R.u32();
+    Violations.push_back(V);
+  }
+  uint64_t NumReported = R.u64();
+  for (uint64_t I = 0; I < NumReported && !R.failed(); ++I)
+    ReportedMethods.insert(R.u32());
+  Saw = R.boolean();
+  NumJoins = R.u64();
+  NumTxns = R.u64();
+  NumAllocs = R.u64();
+  // The temporary Objects vector dies here, so each restored map slot is
+  // the only owner of its reference — use counts match the saved run.
+  return !R.failed();
 }
 
 void AeroDrome::onEvent(const Event &E) {

@@ -69,6 +69,10 @@ public:
   uint64_t txnsStarted() const { return NumTxns; }
   uint64_t clocksAllocated() const { return NumAllocs; }
 
+  bool supportsSnapshot() const override { return true; }
+  void serialize(SnapshotWriter &W) const override;
+  bool deserialize(SnapshotReader &R) override;
+
 private:
   struct ThreadState {
     TxnClockRef Cur;       ///< current (or last) transaction clock object

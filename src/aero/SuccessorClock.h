@@ -78,6 +78,10 @@ public:
 
   void clear() { Min.clear(); }
 
+  /// Raw component access for checkpoint serialization.
+  const std::vector<uint64_t> &raw() const { return Min; }
+  void setRaw(std::vector<uint64_t> Components) { Min = std::move(Components); }
+
 private:
   std::vector<uint64_t> Min;
 };

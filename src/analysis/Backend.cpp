@@ -23,6 +23,34 @@ void replayAll(const Trace &T, const std::vector<Backend *> &Backends) {
     B->endAnalysis();
 }
 
+void Backend::serializeBase(SnapshotWriter &W) const {
+  W.u64(NumEvents);
+  W.u64(Reports.size());
+  for (const Warning &R : Reports) {
+    W.str(R.Analysis);
+    W.str(R.Category);
+    W.u32(R.Method);
+    W.str(R.Message);
+    W.str(R.Dot);
+  }
+}
+
+bool Backend::deserializeBase(SnapshotReader &R) {
+  NumEvents = R.u64();
+  uint64_t N = R.u64();
+  Reports.clear();
+  for (uint64_t I = 0; I < N && !R.failed(); ++I) {
+    Warning W;
+    W.Analysis = R.str();
+    W.Category = R.str();
+    W.Method = R.u32();
+    W.Message = R.str();
+    W.Dot = R.str();
+    Reports.push_back(std::move(W));
+  }
+  return !R.failed();
+}
+
 std::vector<Warning> dedupeByMethod(const std::vector<Warning> &Ws) {
   std::set<std::pair<std::string, Label>> Seen;
   std::vector<Warning> Out;

@@ -11,6 +11,7 @@
 #ifndef VELO_ANALYSIS_BACKEND_H
 #define VELO_ANALYSIS_BACKEND_H
 
+#include "analysis/Snapshot.h"
 #include "events/Trace.h"
 
 #include <cstdint>
@@ -59,6 +60,22 @@ public:
   /// override this; heuristic back-ends keep the default.
   virtual bool sawViolation() const { return false; }
 
+  /// Can this back-end round-trip its complete analysis state through a
+  /// snapshot? Back-ends that return true guarantee that
+  /// deserialize(serialize()) restores a state from which continuing the
+  /// event stream produces the identical verdict and warning list.
+  virtual bool supportsSnapshot() const { return false; }
+
+  /// Append the complete analysis state (including the inherited warning
+  /// list and event counter — call serializeBase() first).
+  virtual void serialize(SnapshotWriter &W) const { serializeBase(W); }
+
+  /// Restore state written by serialize(). The back-end must already have
+  /// had beginAnalysis() called with the (restored) symbol table, so the
+  /// Symbols pointer is valid and all containers start empty. Returns
+  /// false on decode failure; the back-end is then unusable.
+  virtual bool deserialize(SnapshotReader &R) { return deserializeBase(R); }
+
   const std::vector<Warning> &warnings() const { return Reports; }
   uint64_t eventCount() const { return NumEvents; }
 
@@ -72,6 +89,10 @@ public:
 protected:
   void report(Warning W) { Reports.push_back(std::move(W)); }
   void countEvent() { ++NumEvents; }
+
+  /// Serialize the base-class state (warnings, event counter).
+  void serializeBase(SnapshotWriter &W) const;
+  bool deserializeBase(SnapshotReader &R);
 
   const SymbolTable *Symbols = nullptr;
 

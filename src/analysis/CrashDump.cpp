@@ -1,0 +1,151 @@
+//===- analysis/CrashDump.cpp - Fatal-signal event context ----------------===//
+
+#include "analysis/CrashDump.h"
+
+#include <csignal>
+#include <cstring>
+#include <initializer_list>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace velo {
+namespace crashdump {
+
+namespace {
+
+constexpr uint64_t RingSize = 64;
+
+struct RingEntry {
+  uint8_t Kind = 0;
+  uint32_t Thread = 0;
+  uint32_t Target = 0;
+  uint64_t Index = 0;
+  uint64_t Line = 0;
+};
+
+// All handler-visible state is preallocated POD. The analysis loop is
+// single-threaded (RoadRunner-style serialized event delivery), so plain
+// stores suffice; volatile keeps the handler reading real memory.
+RingEntry Ring[RingSize];
+volatile uint64_t Noted = 0;
+char DumpPathBuf[1024];
+volatile bool HaveDumpPath = false;
+
+/// Async-signal-safe write of a whole buffer.
+void rawWrite(int Fd, const char *Buf, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, Buf, Len);
+    if (N <= 0)
+      return;
+    Buf += N;
+    Len -= static_cast<size_t>(N);
+  }
+}
+
+void rawStr(int Fd, const char *S) { rawWrite(Fd, S, std::strlen(S)); }
+
+/// Manual unsigned formatting (no stdio in a signal handler).
+void rawU64(int Fd, uint64_t V) {
+  char Buf[24];
+  int I = sizeof(Buf);
+  do {
+    Buf[--I] = static_cast<char>('0' + (V % 10));
+    V /= 10;
+  } while (V != 0);
+  rawWrite(Fd, Buf + I, sizeof(Buf) - static_cast<size_t>(I));
+}
+
+const char *opMnemonic(uint8_t Kind) {
+  switch (static_cast<Op>(Kind)) {
+  case Op::Read:
+    return "rd";
+  case Op::Write:
+    return "wr";
+  case Op::Acquire:
+    return "acq";
+  case Op::Release:
+    return "rel";
+  case Op::Begin:
+    return "begin";
+  case Op::End:
+    return "end";
+  case Op::Fork:
+    return "fork";
+  case Op::Join:
+    return "join";
+  }
+  return "?";
+}
+
+void dumpTo(int Fd, int Sig) {
+  rawStr(Fd, "velodrome: fatal signal ");
+  rawU64(Fd, static_cast<uint64_t>(Sig));
+  rawStr(Fd, "; last ");
+  uint64_t N = Noted < RingSize ? Noted : RingSize;
+  rawU64(Fd, N);
+  rawStr(Fd, " of ");
+  rawU64(Fd, Noted);
+  rawStr(Fd, " delivered events:\n");
+  uint64_t First = Noted < RingSize ? 0 : Noted - RingSize;
+  for (uint64_t I = First; I < Noted; ++I) {
+    const RingEntry &E = Ring[I % RingSize];
+    rawStr(Fd, "  event ");
+    rawU64(Fd, E.Index);
+    if (E.Line != 0) {
+      rawStr(Fd, " (line ");
+      rawU64(Fd, E.Line);
+      rawStr(Fd, ")");
+    }
+    rawStr(Fd, ": T");
+    rawU64(Fd, E.Thread);
+    rawStr(Fd, " ");
+    rawStr(Fd, opMnemonic(E.Kind));
+    if (static_cast<Op>(E.Kind) != Op::End) {
+      rawStr(Fd, " #");
+      rawU64(Fd, E.Target);
+    }
+    rawStr(Fd, "\n");
+  }
+}
+
+void onFatalSignal(int Sig) {
+  dumpTo(STDERR_FILENO, Sig);
+  if (HaveDumpPath) {
+    int Fd = ::open(DumpPathBuf, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (Fd >= 0) {
+      dumpTo(Fd, Sig);
+      ::close(Fd);
+    }
+  }
+  // Re-raise with the default disposition so the process still dies with
+  // the real signal (supervisors key off WTERMSIG).
+  std::signal(Sig, SIG_DFL);
+  ::raise(Sig);
+}
+
+} // namespace
+
+void noteEvent(const Event &E, uint64_t Index, uint64_t Line) {
+  RingEntry &Slot = Ring[Noted % RingSize];
+  Slot.Kind = static_cast<uint8_t>(E.Kind);
+  Slot.Thread = E.Thread;
+  Slot.Target = E.Target;
+  Slot.Index = Index;
+  Slot.Line = Line;
+  Noted = Noted + 1;
+}
+
+void installHandlers(const char *DumpPath) {
+  if (DumpPath && *DumpPath) {
+    std::strncpy(DumpPathBuf, DumpPath, sizeof(DumpPathBuf) - 1);
+    DumpPathBuf[sizeof(DumpPathBuf) - 1] = '\0';
+    HaveDumpPath = true;
+  }
+  for (int Sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT})
+    std::signal(Sig, onFatalSignal);
+}
+
+uint64_t eventsNoted() { return Noted; }
+
+} // namespace crashdump
+} // namespace velo

@@ -1,0 +1,45 @@
+//===- analysis/CrashDump.h - Fatal-signal event context --------*- C++ -*-===//
+//
+// Last-events crash diagnostics. The streaming tools record every event
+// they deliver into a small global ring buffer; on a fatal signal
+// (SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT) an async-signal-safe handler
+// dumps the signal number and the ring — the analysis's last moments — to
+// stderr and, when configured, to a dump file the supervisor folds into
+// its crash bundle. The handler then re-raises the signal with the
+// default disposition so the exit status still reports the real signal
+// (a supervisor's WIFSIGNALED check keeps working).
+//
+// Everything the handler touches is preallocated plain-old-data, and all
+// output goes through write(2) with manual integer formatting — no
+// malloc, no stdio, no locks. SIGKILL cannot be caught; supervised runs
+// cover that case with checkpoints instead.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_ANALYSIS_CRASHDUMP_H
+#define VELO_ANALYSIS_CRASHDUMP_H
+
+#include "events/Event.h"
+
+#include <cstdint>
+
+namespace velo {
+namespace crashdump {
+
+/// Record one delivered event in the crash ring (cheap: a few stores).
+/// Index is the 1-based position in the event stream, Line the 1-based
+/// trace line it came from (0 when unknown).
+void noteEvent(const Event &E, uint64_t Index, uint64_t Line);
+
+/// Install the fatal-signal handlers. DumpPath, when non-null, names a
+/// file the handler (re)writes with the same context it prints to stderr;
+/// the path is copied into static storage (truncated if overlong).
+void installHandlers(const char *DumpPath);
+
+/// Number of events currently held in the ring (for tests).
+uint64_t eventsNoted();
+
+} // namespace crashdump
+} // namespace velo
+
+#endif // VELO_ANALYSIS_CRASHDUMP_H

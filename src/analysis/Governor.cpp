@@ -48,6 +48,12 @@ void GovernedAnalysis::onEvent(const Event &E) {
   if (Fallback)
     Fallback->onEvent(E);
 
+  if (State == GovernorState::Normal && PrimaryFailed) {
+    std::string Why = PrimaryFailed();
+    if (!Why.empty())
+      degradeOrExhaust(std::move(Why));
+  }
+
   if (State == GovernorState::Normal &&
       (Limits.MaxLiveNodes || Limits.MaxMemoryBytes) && ResourceProbe) {
     uint64_t Nodes = 0, Bytes = 0;
@@ -80,6 +86,54 @@ void GovernedAnalysis::endAnalysis() {
   Primary.endAnalysis();
   if (Fallback)
     Fallback->endAnalysis();
+}
+
+void GovernedAnalysis::serialize(SnapshotWriter &W) const {
+  serializeBase(W);
+  W.u8(static_cast<uint8_t>(State));
+  W.str(Reason);
+  W.u64(Delivered);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  W.u64(static_cast<uint64_t>(ElapsedMs < 0 ? 0 : ElapsedMs));
+  SnapshotWriter PrimaryBlob;
+  Primary.serialize(PrimaryBlob);
+  W.blob(PrimaryBlob);
+  W.boolean(Fallback != nullptr);
+  if (Fallback) {
+    SnapshotWriter FallbackBlob;
+    Fallback->serialize(FallbackBlob);
+    W.blob(FallbackBlob);
+  }
+}
+
+bool GovernedAnalysis::deserialize(SnapshotReader &R) {
+  if (!deserializeBase(R))
+    return false;
+  uint8_t RawState = R.u8();
+  if (RawState > static_cast<uint8_t>(GovernorState::Exhausted))
+    return false;
+  State = static_cast<GovernorState>(RawState);
+  Reason = R.str();
+  Delivered = R.u64();
+  uint64_t ElapsedMs = R.u64();
+  // The deadline budget spans the whole analysis, crashes included: shift
+  // the start time back by the time already consumed before the snapshot.
+  Start = std::chrono::steady_clock::now() -
+          std::chrono::milliseconds(ElapsedMs);
+  SnapshotReader PrimaryBlob = R.blob();
+  if (!Primary.deserialize(PrimaryBlob))
+    return false;
+  bool HadFallback = R.boolean();
+  if (HadFallback != (Fallback != nullptr))
+    return false; // resumed with a different backend configuration
+  if (Fallback) {
+    SnapshotReader FallbackBlob = R.blob();
+    if (!Fallback->deserialize(FallbackBlob))
+      return false;
+  }
+  return !R.failed();
 }
 
 GovernorVerdict GovernedAnalysis::verdict() const {

@@ -66,11 +66,19 @@ enum class GovernorVerdict {
 class GovernedAnalysis : public Backend {
 public:
   using Probe = std::function<void(uint64_t &LiveNodes, uint64_t &Bytes)>;
+  /// Polled after each event delivered to the primary: a non-empty string
+  /// reports an internal failure of the primary (e.g. the happens-before
+  /// graph ran out of node slots) and triggers degradation with that
+  /// string as the reason — the recoverable path for conditions that used
+  /// to abort the process.
+  using FailProbe = std::function<std::string()>;
 
   GovernedAnalysis(Backend &Primary, Backend *Fallback, GovernorLimits Limits,
-                   Probe ResourceProbe = nullptr)
+                   Probe ResourceProbe = nullptr,
+                   FailProbe PrimaryFailed = nullptr)
       : Primary(Primary), Fallback(Fallback), Limits(Limits),
-        ResourceProbe(std::move(ResourceProbe)) {}
+        ResourceProbe(std::move(ResourceProbe)),
+        PrimaryFailed(std::move(PrimaryFailed)) {}
 
   const char *name() const override { return "Governed"; }
 
@@ -92,6 +100,17 @@ public:
   /// Events actually delivered to the analysis (drops after exhaustion).
   uint64_t eventsDelivered() const { return Delivered; }
 
+  /// Snapshot support: the wrapper serializes its own budget state plus
+  /// one nested blob per wrapped checker, so a resumed governed run
+  /// continues from the same state (the deadline budget is cumulative
+  /// across the crash — elapsed time is carried in the snapshot).
+  bool supportsSnapshot() const override {
+    return Primary.supportsSnapshot() &&
+           (!Fallback || Fallback->supportsSnapshot());
+  }
+  void serialize(SnapshotWriter &W) const override;
+  bool deserialize(SnapshotReader &R) override;
+
 private:
   /// Drop to the fallback if one is available and still running, else stop.
   void degradeOrExhaust(std::string Why);
@@ -101,6 +120,7 @@ private:
   Backend *Fallback;
   GovernorLimits Limits;
   Probe ResourceProbe;
+  FailProbe PrimaryFailed;
 
   GovernorState State = GovernorState::Normal;
   std::string Reason;

@@ -1,0 +1,154 @@
+//===- analysis/Snapshot.cpp - Versioned analysis checkpoints -------------===//
+
+#include "analysis/Snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace velo {
+
+namespace {
+
+// "VELOSNP\n": seven printable bytes plus a newline so that cat'ing a
+// snapshot to a terminal shows one clean marker line, like PNG's header.
+constexpr char Magic[8] = {'V', 'E', 'L', 'O', 'S', 'N', 'P', '\n'};
+
+void appendU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+uint32_t decodeU32(const char *P) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<uint8_t>(P[I])) << (8 * I);
+  return V;
+}
+
+uint64_t decodeU64(const char *P) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<uint8_t>(P[I])) << (8 * I);
+  return V;
+}
+
+} // namespace
+
+uint64_t snapshotChecksum(const std::string &Bytes) {
+  uint64_t H = 14695981039346656037ULL; // FNV offset basis
+  for (char C : Bytes) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 1099511628211ULL; // FNV prime
+  }
+  return H;
+}
+
+bool SnapshotWriter::writeFile(const std::string &Path,
+                               std::string &ErrorOut) const {
+  std::string File;
+  File.reserve(sizeof(Magic) + 24 + Buf.size());
+  File.append(Magic, sizeof(Magic));
+  appendU32(File, SnapshotVersion);
+  appendU32(File, 0); // reserved
+  appendU64(File, Buf.size());
+  appendU64(File, snapshotChecksum(Buf));
+  File.append(Buf);
+
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      ErrorOut = "cannot open " + Tmp + " for writing";
+      return false;
+    }
+    Out.write(File.data(), static_cast<std::streamsize>(File.size()));
+    Out.flush();
+    if (!Out) {
+      ErrorOut = "short write to " + Tmp;
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ErrorOut = "cannot rename " + Tmp + " to " + Path;
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool SnapshotReader::readFile(const std::string &Path, SnapshotReader &Out,
+                              std::string &ErrorOut) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    ErrorOut = "cannot open snapshot " + Path;
+    return false;
+  }
+  std::string File((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  constexpr size_t HeaderSize = sizeof(Magic) + 4 + 4 + 8 + 8;
+  if (File.size() < HeaderSize ||
+      std::memcmp(File.data(), Magic, sizeof(Magic)) != 0) {
+    ErrorOut = Path + ": not a snapshot file (bad magic)";
+    return false;
+  }
+  uint32_t Version = decodeU32(File.data() + sizeof(Magic));
+  if (Version != SnapshotVersion) {
+    ErrorOut = Path + ": snapshot version " + std::to_string(Version) +
+               " does not match this binary's version " +
+               std::to_string(SnapshotVersion);
+    return false;
+  }
+  uint64_t PayloadSize = decodeU64(File.data() + sizeof(Magic) + 8);
+  uint64_t Checksum = decodeU64(File.data() + sizeof(Magic) + 16);
+  if (File.size() - HeaderSize != PayloadSize) {
+    ErrorOut = Path + ": truncated snapshot (payload " +
+               std::to_string(File.size() - HeaderSize) + " of " +
+               std::to_string(PayloadSize) + " bytes)";
+    return false;
+  }
+  std::string Payload = File.substr(HeaderSize);
+  if (snapshotChecksum(Payload) != Checksum) {
+    ErrorOut = Path + ": snapshot checksum mismatch (corrupt file)";
+    return false;
+  }
+  Out = SnapshotReader(std::move(Payload));
+  return true;
+}
+
+namespace {
+
+void serializeInterner(SnapshotWriter &W, const StringInterner &I) {
+  W.u64(I.size());
+  for (uint32_t Id = 0; Id < I.size(); ++Id)
+    W.str(I.name(Id));
+}
+
+bool deserializeInterner(SnapshotReader &R, StringInterner &I) {
+  uint64_t N = R.u64();
+  for (uint64_t Id = 0; Id < N && !R.failed(); ++Id)
+    I.intern(R.str());
+  return !R.failed() && I.size() == N;
+}
+
+} // namespace
+
+void serializeSymbols(SnapshotWriter &W, const SymbolTable &Syms) {
+  serializeInterner(W, Syms.Vars);
+  serializeInterner(W, Syms.Locks);
+  serializeInterner(W, Syms.Labels);
+}
+
+bool deserializeSymbols(SnapshotReader &R, SymbolTable &Syms) {
+  return deserializeInterner(R, Syms.Vars) &&
+         deserializeInterner(R, Syms.Locks) &&
+         deserializeInterner(R, Syms.Labels);
+}
+
+} // namespace velo

@@ -29,18 +29,26 @@ public:
   void onEvent(const Event &E) override {
     countEvent();
     Recorded.push(E);
+    // Flush newly interned names eagerly: if the process dies before
+    // endAnalysis the recorded trace is still self-contained up to the
+    // last event (syncFrom only appends, so this is O(new names)).
+    syncSymbols();
   }
 
-  void endAnalysis() override {
-    // Copy symbols so the trace is self-contained once the runtime dies.
-    if (Symbols)
-      Recorded.symbols() = *Symbols;
-  }
+  void endAnalysis() override { syncSymbols(); }
 
   const Trace &trace() const { return Recorded; }
   Trace takeTrace() { return std::move(Recorded); }
 
 private:
+  void syncSymbols() {
+    if (!Symbols)
+      return;
+    Recorded.symbols().Vars.syncFrom(Symbols->Vars);
+    Recorded.symbols().Locks.syncFrom(Symbols->Locks);
+    Recorded.symbols().Labels.syncFrom(Symbols->Labels);
+  }
+
   Trace Recorded;
 };
 

@@ -2,6 +2,9 @@
 
 #include "atomizer/Atomizer.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace velo {
 
 void Atomizer::beginAnalysis(const SymbolTable &Syms) {
@@ -28,6 +31,47 @@ void Atomizer::violate(ThreadState &TS, const Event &E, const char *Why) {
       (Symbols ? Symbols->labelName(TS.Outer) : std::to_string(TS.Outer)) +
       ": " + Why + " (T" + std::to_string(E.Thread) + ")";
   report(std::move(W));
+}
+
+void Atomizer::serialize(SnapshotWriter &W) const {
+  serializeBase(W);
+  Engine.serialize(W);
+  std::vector<Tid> Tids;
+  for (const auto &KV : Threads)
+    Tids.push_back(KV.first);
+  std::sort(Tids.begin(), Tids.end());
+  W.u64(Tids.size());
+  for (Tid T : Tids) {
+    const ThreadState &TS = Threads.at(T);
+    W.u32(T);
+    W.u64(static_cast<uint64_t>(TS.Depth));
+    W.u8(TS.Ph == Phase::PostCommit ? 1 : 0);
+    W.u32(TS.Outer);
+    W.boolean(TS.ViolatedThisTxn);
+  }
+  W.u64(Flagged.size());
+  for (Label L : Flagged)
+    W.u32(L);
+  W.boolean(Suspicious);
+}
+
+bool Atomizer::deserialize(SnapshotReader &R) {
+  if (!deserializeBase(R) || !Engine.deserialize(R))
+    return false;
+  uint64_t NumThreads = R.u64();
+  for (uint64_t I = 0; I < NumThreads && !R.failed(); ++I) {
+    Tid T = R.u32();
+    ThreadState &TS = Threads[T];
+    TS.Depth = static_cast<int>(R.u64());
+    TS.Ph = R.u8() ? Phase::PostCommit : Phase::PreCommit;
+    TS.Outer = R.u32();
+    TS.ViolatedThisTxn = R.boolean();
+  }
+  uint64_t NumFlagged = R.u64();
+  for (uint64_t I = 0; I < NumFlagged && !R.failed(); ++I)
+    Flagged.insert(R.u32());
+  Suspicious = R.boolean();
+  return !R.failed();
 }
 
 void Atomizer::onEvent(const Event &E) {

@@ -2,6 +2,7 @@
 
 #include "core/BasicVelodrome.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace velo {
@@ -148,6 +149,108 @@ void BasicVelodrome::onEvent(const Event &E) {
     return;
   }
   }
+}
+
+namespace {
+
+template <typename MapT, typename Fn>
+void forEachSorted(const MapT &M, Fn Visit) {
+  std::vector<typename MapT::key_type> Keys;
+  Keys.reserve(M.size());
+  for (const auto &KV : M)
+    Keys.push_back(KV.first);
+  std::sort(Keys.begin(), Keys.end());
+  for (const auto &K : Keys)
+    Visit(K, M.at(K));
+}
+
+} // namespace
+
+void BasicVelodrome::serialize(SnapshotWriter &W) const {
+  serializeBase(W);
+  W.u64(Nodes.size());
+  for (const Node &N : Nodes) {
+    W.u32(N.Owner);
+    W.u32(N.Root);
+    W.u64(N.Out.size());
+    for (uint32_t Succ : N.Out)
+      W.u32(Succ);
+  }
+  auto WriteU32Map = [&](const std::unordered_map<Tid, uint32_t> &M) {
+    W.u64(M.size());
+    forEachSorted(M, [&](uint32_t K, uint32_t V) {
+      W.u32(K);
+      W.u32(V);
+    });
+  };
+  WriteU32Map(Current);
+  W.u64(Depth.size());
+  forEachSorted(Depth, [&](Tid T, int D) {
+    W.u32(T);
+    W.u64(static_cast<uint64_t>(D));
+  });
+  WriteU32Map(LastTxn);
+  WriteU32Map(Unlock);
+  WriteU32Map(LastWr);
+  W.u64(LastRd.size());
+  forEachSorted(LastRd, [&](VarId X, const std::map<Tid, uint32_t> &Rd) {
+    W.u32(X);
+    W.u64(Rd.size());
+    for (const auto &[T, N] : Rd) {
+      W.u32(T);
+      W.u32(N);
+    }
+  });
+  W.u64(ViolationCount);
+  W.u64(Flagged.size());
+  for (Label L : Flagged)
+    W.u32(L);
+}
+
+bool BasicVelodrome::deserialize(SnapshotReader &R) {
+  if (!deserializeBase(R))
+    return false;
+  uint64_t NumNodes = R.u64();
+  for (uint64_t I = 0; I < NumNodes && !R.failed(); ++I) {
+    Node N;
+    N.Owner = R.u32();
+    N.Root = R.u32();
+    uint64_t NumOut = R.u64();
+    for (uint64_t J = 0; J < NumOut && !R.failed(); ++J)
+      N.Out.push_back(R.u32());
+    Nodes.push_back(std::move(N));
+  }
+  auto ReadU32Map = [&](std::unordered_map<Tid, uint32_t> &M) {
+    uint64_t N = R.u64();
+    for (uint64_t I = 0; I < N && !R.failed(); ++I) {
+      uint32_t K = R.u32();
+      M[K] = R.u32();
+    }
+  };
+  ReadU32Map(Current);
+  uint64_t NumDepth = R.u64();
+  for (uint64_t I = 0; I < NumDepth && !R.failed(); ++I) {
+    Tid T = R.u32();
+    Depth[T] = static_cast<int>(R.u64());
+  }
+  ReadU32Map(LastTxn);
+  ReadU32Map(Unlock);
+  ReadU32Map(LastWr);
+  uint64_t NumRdVars = R.u64();
+  for (uint64_t I = 0; I < NumRdVars && !R.failed(); ++I) {
+    VarId X = R.u32();
+    uint64_t N = R.u64();
+    std::map<Tid, uint32_t> &Rd = LastRd[X];
+    for (uint64_t J = 0; J < N && !R.failed(); ++J) {
+      Tid T = R.u32();
+      Rd[T] = R.u32();
+    }
+  }
+  ViolationCount = R.u64();
+  uint64_t NumFlagged = R.u64();
+  for (uint64_t I = 0; I < NumFlagged && !R.failed(); ++I)
+    Flagged.insert(R.u32());
+  return !R.failed();
 }
 
 } // namespace velo

@@ -20,6 +20,7 @@
 #include "analysis/Backend.h"
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +45,10 @@ public:
 
   /// Total nodes allocated (one per transaction, unary included).
   uint64_t nodesAllocated() const { return Nodes.size(); }
+
+  bool supportsSnapshot() const override { return true; }
+  void serialize(SnapshotWriter &W) const override;
+  bool deserialize(SnapshotReader &R) override;
 
 private:
   static constexpr uint32_t None = 0xffffffffu;
@@ -73,7 +78,11 @@ private:
   std::unordered_map<Tid, uint32_t> LastTxn;    ///< L
   std::unordered_map<LockId, uint32_t> Unlock;  ///< U
   std::unordered_map<VarId, uint32_t> LastWr;   ///< W
-  std::unordered_map<VarId, std::unordered_map<Tid, uint32_t>> LastRd; ///< R
+  /// R. The inner map is ordered: onWrite draws its read->write edges by
+  /// iterating it, and the order determines which edge closes a cycle
+  /// first — it must not vary with hash-table layout, or a resumed run
+  /// could count violations differently from a straight-through one.
+  std::unordered_map<VarId, std::map<Tid, uint32_t>> LastRd;
 
   uint64_t ViolationCount = 0;
   std::set<Label> Flagged;

@@ -29,6 +29,7 @@
 #ifndef VELO_CORE_HBGRAPH_H
 #define VELO_CORE_HBGRAPH_H
 
+#include "analysis/Snapshot.h"
 #include "core/Step.h"
 #include "events/Event.h"
 #include "support/FlatSet.h"
@@ -89,8 +90,15 @@ public:
   /// Allocate a node for a new transaction by Owner whose outermost atomic
   /// block is labeled Root (NoLabel for a merge-created unary node). Active
   /// nodes carry the +1 "open transaction" reference; unary merge nodes are
-  /// born finished. Returns the node's first step.
+  /// born finished. Returns the node's first step, or bottom when all
+  /// 65535 slots are pinned live (GraphFull — see graphFull()); the graph
+  /// is then degraded, never the process.
   Step allocNode(Tid Owner, Label Root, bool Active);
+
+  /// Has a node allocation ever failed for lack of slots? Once full, the
+  /// analysis wrapping this graph can no longer certify serializability
+  /// (missing nodes mean missing edges) and should degrade or stop.
+  bool graphFull() const { return Full; }
 
   /// Issue the next timestamp within the node of S (the paper's "L(t)+1").
   /// Bottom maps to bottom.
@@ -150,6 +158,13 @@ public:
   /// Reset to the empty graph (drops all nodes and statistics).
   void clear();
 
+  /// Checkpoint the complete graph (slots, edges, ancestor sets, free
+  /// list, statistics) / restore it into an empty graph. Steps held by the
+  /// owning analysis stay valid across the round-trip because slot indices
+  /// and stamps are preserved exactly.
+  void serialize(SnapshotWriter &W) const;
+  bool deserialize(SnapshotReader &R);
+
 private:
   struct Node {
     bool InUse = false;
@@ -177,6 +192,7 @@ private:
   uint64_t NumEdges = 0;
   uint64_t NumMerged = 0;
   HighWater Alive;
+  bool Full = false;
 };
 
 } // namespace velo

@@ -51,6 +51,9 @@ public:
 
   uint64_t raw() const { return Bits; }
 
+  /// Rebuild a step from raw() bits (checkpoint restore).
+  static Step fromRaw(uint64_t Bits) { return Step(Bits); }
+
   bool operator==(const Step &Other) const { return Bits == Other.Bits; }
   bool operator!=(const Step &Other) const { return Bits != Other.Bits; }
 

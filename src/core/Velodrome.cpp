@@ -4,6 +4,7 @@
 
 #include "support/DotWriter.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace velo {
@@ -48,6 +49,8 @@ Step Velodrome::unaryProgramStep(ThreadState &TS, Tid T,
 Step Velodrome::naiveUnary(Tid T, const std::vector<Step> &Sources,
                            const EdgeInfo &Info) {
   Step S = Graph.allocNode(T, NoLabel, /*Active=*/true);
+  if (S.isBottom()) // GraphFull: the operation goes untracked
+    return Step::bottom();
   for (Step Src : Sources)
     Graph.addEdge(Src, S, Info, nullptr); // fresh node: no cycle possible
   Graph.finishNode(S.slot());
@@ -96,6 +99,12 @@ void Velodrome::onBegin(const Event &E) {
   if (!TS.InTxn) {
     // [INS2 ENTER]: fresh node; program-order edge from L(t).
     Step S = Graph.allocNode(E.Thread, E.label(), /*Active=*/true);
+    if (S.isBottom()) {
+      // GraphFull: the transaction cannot be tracked. Leave the thread
+      // outside any transaction (its End will no-op harmlessly); the
+      // verdict is degraded, surfaced via graphExhausted().
+      return;
+    }
     TS.CurNode = S.slot();
     TS.InTxn = true;
     TS.Stack.push_back({E.label(), S.stamp()});
@@ -259,6 +268,139 @@ void Velodrome::onJoin(const Event &E) {
 }
 
 void Velodrome::endAnalysis() {}
+
+namespace {
+
+/// Iterate an unordered map in sorted key order so snapshots are
+/// byte-stable across runs (the analysis itself never depends on map
+/// order; this is purely for reproducible checkpoint artifacts).
+template <typename MapT, typename Fn>
+void forEachSorted(const MapT &M, Fn Visit) {
+  std::vector<typename MapT::key_type> Keys;
+  Keys.reserve(M.size());
+  for (const auto &KV : M)
+    Keys.push_back(KV.first);
+  std::sort(Keys.begin(), Keys.end());
+  for (const auto &K : Keys)
+    Visit(K, M.at(K));
+}
+
+} // namespace
+
+void Velodrome::serialize(SnapshotWriter &W) const {
+  serializeBase(W);
+  W.boolean(Opts.UseMerge);
+  W.boolean(Opts.EmitDot);
+  W.u64(Opts.MaxWarnings);
+  Graph.serialize(W);
+
+  W.u64(Threads.size());
+  forEachSorted(Threads, [&](Tid T, const ThreadState &TS) {
+    W.u32(T);
+    W.u64(TS.Stack.size());
+    for (const BlockEntry &B : TS.Stack) {
+      W.u32(B.BlockLabel);
+      W.u64(B.BeginStamp);
+    }
+    W.u64(TS.Last.raw());
+    W.u32(TS.CurNode);
+    W.boolean(TS.InTxn);
+  });
+
+  W.u64(LastUnlock.size());
+  forEachSorted(LastUnlock, [&](LockId M, const Step &S) {
+    W.u32(M);
+    W.u64(S.raw());
+  });
+  W.u64(LastWrite.size());
+  forEachSorted(LastWrite, [&](VarId X, const Step &S) {
+    W.u32(X);
+    W.u64(S.raw());
+  });
+  W.u64(LastReads.size());
+  forEachSorted(LastReads, [&](VarId X, const std::vector<Step> &Reads) {
+    W.u32(X);
+    W.u64(Reads.size());
+    for (Step S : Reads)
+      W.u64(S.raw());
+  });
+
+  W.u64(Violations.size());
+  for (const AtomicityViolation &V : Violations) {
+    W.u32(V.Method);
+    W.u32(V.Thread);
+    W.boolean(V.BlameResolved);
+    W.u64(V.RefutedBlocks.size());
+    for (Label L : V.RefutedBlocks)
+      W.u32(L);
+    W.u64(V.CycleLength);
+  }
+  W.u64(ReportedMethods.size());
+  for (Label L : ReportedMethods)
+    W.u32(L);
+}
+
+bool Velodrome::deserialize(SnapshotReader &R) {
+  if (!deserializeBase(R))
+    return false;
+  Opts.UseMerge = R.boolean();
+  Opts.EmitDot = R.boolean();
+  Opts.MaxWarnings = R.u64();
+  if (!Graph.deserialize(R))
+    return false;
+
+  uint64_t NumThreads = R.u64();
+  for (uint64_t I = 0; I < NumThreads && !R.failed(); ++I) {
+    Tid T = R.u32();
+    ThreadState &TS = Threads[T];
+    uint64_t Depth = R.u64();
+    for (uint64_t J = 0; J < Depth && !R.failed(); ++J) {
+      BlockEntry B;
+      B.BlockLabel = R.u32();
+      B.BeginStamp = R.u64();
+      TS.Stack.push_back(B);
+    }
+    TS.Last = Step::fromRaw(R.u64());
+    TS.CurNode = R.u32();
+    TS.InTxn = R.boolean();
+  }
+
+  uint64_t NumUnlocks = R.u64();
+  for (uint64_t I = 0; I < NumUnlocks && !R.failed(); ++I) {
+    LockId M = R.u32();
+    LastUnlock[M] = Step::fromRaw(R.u64());
+  }
+  uint64_t NumWrites = R.u64();
+  for (uint64_t I = 0; I < NumWrites && !R.failed(); ++I) {
+    VarId X = R.u32();
+    LastWrite[X] = Step::fromRaw(R.u64());
+  }
+  uint64_t NumReadVars = R.u64();
+  for (uint64_t I = 0; I < NumReadVars && !R.failed(); ++I) {
+    VarId X = R.u32();
+    uint64_t N = R.u64();
+    std::vector<Step> &Reads = LastReads[X];
+    for (uint64_t J = 0; J < N && !R.failed(); ++J)
+      Reads.push_back(Step::fromRaw(R.u64()));
+  }
+
+  uint64_t NumViolations = R.u64();
+  for (uint64_t I = 0; I < NumViolations && !R.failed(); ++I) {
+    AtomicityViolation V;
+    V.Method = R.u32();
+    V.Thread = R.u32();
+    V.BlameResolved = R.boolean();
+    uint64_t NumRefuted = R.u64();
+    for (uint64_t J = 0; J < NumRefuted && !R.failed(); ++J)
+      V.RefutedBlocks.push_back(R.u32());
+    V.CycleLength = R.u64();
+    Violations.push_back(std::move(V));
+  }
+  uint64_t NumReported = R.u64();
+  for (uint64_t I = 0; I < NumReported && !R.failed(); ++I)
+    ReportedMethods.insert(R.u32());
+  return !R.failed();
+}
 
 std::string Velodrome::describeEdge(const EdgeInfo &Info) const {
   std::string Out = opName(Info.Kind);

@@ -85,6 +85,15 @@ public:
   /// Did the observed trace contain any non-serializable cycle?
   bool sawViolation() const override { return !Violations.empty(); }
 
+  /// Has the graph run out of node slots? Once true the analysis can no
+  /// longer certify serializability (operations go untracked); the
+  /// governor surfaces this as degradation / an Unknown verdict.
+  bool graphExhausted() const { return Graph.graphFull(); }
+
+  bool supportsSnapshot() const override { return true; }
+  void serialize(SnapshotWriter &W) const override;
+  bool deserialize(SnapshotReader &R) override;
+
 private:
   struct BlockEntry {
     Label BlockLabel;

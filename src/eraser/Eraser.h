@@ -63,6 +63,25 @@ public:
 
   const LockSetEngine &engine() const { return Engine; }
 
+  bool supportsSnapshot() const override { return true; }
+
+  void serialize(SnapshotWriter &W) const override {
+    serializeBase(W);
+    Engine.serialize(W);
+    W.u64(ReportedVars.size());
+    for (VarId X : ReportedVars)
+      W.u32(X);
+  }
+
+  bool deserialize(SnapshotReader &R) override {
+    if (!deserializeBase(R) || !Engine.deserialize(R))
+      return false;
+    uint64_t N = R.u64();
+    for (uint64_t I = 0; I < N && !R.failed(); ++I)
+      ReportedVars.insert(R.u32());
+    return !R.failed();
+  }
+
 private:
   LockSetEngine Engine;
   std::set<VarId> ReportedVars;

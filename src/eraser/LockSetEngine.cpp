@@ -3,6 +3,7 @@
 #include "eraser/LockSetEngine.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace velo {
 
@@ -54,6 +55,61 @@ bool LockSetEngine::accessIsUnprotected(Tid T, VarId X, bool IsWrite) {
     return false;
   }
   return false;
+}
+
+void LockSetEngine::serialize(SnapshotWriter &W) const {
+  std::vector<Tid> Tids;
+  for (const auto &KV : Held)
+    Tids.push_back(KV.first);
+  std::sort(Tids.begin(), Tids.end());
+  W.u64(Tids.size());
+  for (Tid T : Tids) {
+    const std::set<LockId> &Locks = Held.at(T);
+    W.u32(T);
+    W.u64(Locks.size());
+    for (LockId M : Locks)
+      W.u32(M);
+  }
+
+  std::vector<VarId> VarIds;
+  for (const auto &KV : Vars)
+    VarIds.push_back(KV.first);
+  std::sort(VarIds.begin(), VarIds.end());
+  W.u64(VarIds.size());
+  for (VarId X : VarIds) {
+    const VarInfo &V = Vars.at(X);
+    W.u32(X);
+    W.u8(static_cast<uint8_t>(V.State));
+    W.u32(V.Owner);
+    W.u64(V.Candidate.size());
+    for (LockId M : V.Candidate)
+      W.u32(M);
+    W.boolean(V.RacySharedModified);
+  }
+}
+
+bool LockSetEngine::deserialize(SnapshotReader &R) {
+  clear();
+  uint64_t NumThreads = R.u64();
+  for (uint64_t I = 0; I < NumThreads && !R.failed(); ++I) {
+    Tid T = R.u32();
+    std::set<LockId> &Locks = Held[T];
+    uint64_t N = R.u64();
+    for (uint64_t J = 0; J < N && !R.failed(); ++J)
+      Locks.insert(R.u32());
+  }
+  uint64_t NumVars = R.u64();
+  for (uint64_t I = 0; I < NumVars && !R.failed(); ++I) {
+    VarId X = R.u32();
+    VarInfo &V = Vars[X];
+    V.State = static_cast<VarState>(R.u8());
+    V.Owner = R.u32();
+    uint64_t N = R.u64();
+    for (uint64_t J = 0; J < N && !R.failed(); ++J)
+      V.Candidate.insert(R.u32());
+    V.RacySharedModified = R.boolean();
+  }
+  return !R.failed();
 }
 
 } // namespace velo

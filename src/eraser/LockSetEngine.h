@@ -23,6 +23,7 @@
 #ifndef VELO_ERASER_LOCKSETENGINE_H
 #define VELO_ERASER_LOCKSETENGINE_H
 
+#include "analysis/Snapshot.h"
 #include "events/Event.h"
 
 #include <set>
@@ -65,6 +66,11 @@ public:
   const std::set<LockId> &heldLocks(Tid T) {
     return Held[T];
   }
+
+  /// Checkpoint the full lockset state (held locks, per-variable state
+  /// machine) / restore into a cleared engine.
+  void serialize(SnapshotWriter &W) const;
+  bool deserialize(SnapshotReader &R);
 
 private:
   enum class VarState { Virgin, Exclusive, Shared, SharedModified };

@@ -210,6 +210,77 @@ bool TraceSanitizer::finish(std::vector<Event> &Out) {
   return true;
 }
 
+void TraceSanitizer::serialize(SnapshotWriter &W) const {
+  W.u8(Mode == SanitizeMode::Lenient ? 1 : 0);
+  std::vector<Tid> Tids;
+  for (const auto &KV : Threads)
+    Tids.push_back(KV.first);
+  std::sort(Tids.begin(), Tids.end());
+  W.u64(Tids.size());
+  for (Tid T : Tids) {
+    const ThreadState &TS = Threads.at(T);
+    W.u32(T);
+    W.u64(static_cast<uint64_t>(TS.Depth));
+    W.boolean(TS.Ran);
+    W.boolean(TS.Forked);
+    W.boolean(TS.Joined);
+  }
+  std::vector<LockId> LockIds;
+  for (const auto &KV : Locks)
+    LockIds.push_back(KV.first);
+  std::sort(LockIds.begin(), LockIds.end());
+  W.u64(LockIds.size());
+  for (LockId M : LockIds) {
+    const LockState &LS = Locks.at(M);
+    W.u32(M);
+    W.u32(LS.Holder);
+    W.u32(LS.Depth);
+  }
+  W.u64(Repairs.ReentrantAcquires);
+  W.u64(Repairs.ForeignAcquires);
+  W.u64(Repairs.UnheldReleases);
+  W.u64(Repairs.UnmatchedEnds);
+  W.u64(Repairs.UnclosedTxns);
+  W.u64(Repairs.OrphanForks);
+  W.u64(Repairs.DroppedForks);
+  W.u64(Repairs.DroppedJoins);
+  W.u64(Repairs.PostJoinEvents);
+  W.u64(EventIdx);
+}
+
+bool TraceSanitizer::deserialize(SnapshotReader &R) {
+  SanitizeMode Saved = R.u8() ? SanitizeMode::Lenient : SanitizeMode::Strict;
+  if (Saved != Mode)
+    return false; // resumed with a different --lenient/--strict setting
+  uint64_t NumThreads = R.u64();
+  for (uint64_t I = 0; I < NumThreads && !R.failed(); ++I) {
+    Tid T = R.u32();
+    ThreadState &TS = Threads[T];
+    TS.Depth = static_cast<int>(R.u64());
+    TS.Ran = R.boolean();
+    TS.Forked = R.boolean();
+    TS.Joined = R.boolean();
+  }
+  uint64_t NumLocks = R.u64();
+  for (uint64_t I = 0; I < NumLocks && !R.failed(); ++I) {
+    LockId M = R.u32();
+    LockState &LS = Locks[M];
+    LS.Holder = R.u32();
+    LS.Depth = R.u32();
+  }
+  Repairs.ReentrantAcquires = R.u64();
+  Repairs.ForeignAcquires = R.u64();
+  Repairs.UnheldReleases = R.u64();
+  Repairs.UnmatchedEnds = R.u64();
+  Repairs.UnclosedTxns = R.u64();
+  Repairs.OrphanForks = R.u64();
+  Repairs.DroppedForks = R.u64();
+  Repairs.DroppedJoins = R.u64();
+  Repairs.PostJoinEvents = R.u64();
+  EventIdx = R.u64();
+  return !R.failed();
+}
+
 bool sanitizeTrace(const Trace &In, SanitizeMode Mode, Trace &Out,
                    RepairCounts *RepairsOut, std::string &ErrorOut) {
   Out.symbols() = In.symbols();

@@ -43,6 +43,7 @@
 #ifndef VELO_EVENTS_TRACESANITIZER_H
 #define VELO_EVENTS_TRACESANITIZER_H
 
+#include "analysis/Snapshot.h"
 #include "events/Trace.h"
 
 #include <string>
@@ -102,6 +103,12 @@ public:
   bool failed() const { return Failed; }
   const std::string &error() const { return Error; }
   const RepairCounts &repairs() const { return Repairs; }
+
+  /// Checkpoint the full well-formedness state (per-thread/per-lock state
+  /// machines, repair counters, input position) / restore into a freshly
+  /// constructed sanitizer of the same mode.
+  void serialize(SnapshotWriter &W) const;
+  bool deserialize(SnapshotReader &R);
 
 private:
   struct ThreadState {

@@ -62,6 +62,16 @@ public:
   /// Events returned so far.
   uint64_t eventCount() const { return NumEvents; }
 
+  /// Restore position bookkeeping after the caller has seeked the
+  /// underlying stream to a line boundary recorded in a checkpoint: Line
+  /// is the 1-based number of the last line already consumed, Events the
+  /// events returned up to it. Parsing simply continues from the seeked
+  /// position with these counters.
+  void resumeAt(size_t Line, uint64_t Events) {
+    LineNo = Line;
+    NumEvents = Events;
+  }
+
 private:
   std::istream &In;
   SymbolTable &Syms;

@@ -2,7 +2,89 @@
 
 #include "hbrace/HbRaceDetector.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace velo {
+
+namespace {
+
+void writeClock(SnapshotWriter &W, const VectorClock &C) {
+  W.u64(C.raw().size());
+  for (uint64_t V : C.raw())
+    W.u64(V);
+}
+
+bool readClock(SnapshotReader &R, VectorClock &C) {
+  std::vector<uint64_t> V;
+  uint64_t N = R.u64();
+  for (uint64_t I = 0; I < N && !R.failed(); ++I)
+    V.push_back(R.u64());
+  C.setRaw(std::move(V));
+  return !R.failed();
+}
+
+template <typename MapT> std::vector<typename MapT::key_type>
+sortedKeys(const MapT &M) {
+  std::vector<typename MapT::key_type> Keys;
+  for (const auto &KV : M)
+    Keys.push_back(KV.first);
+  std::sort(Keys.begin(), Keys.end());
+  return Keys;
+}
+
+} // namespace
+
+void HbRaceDetector::serialize(SnapshotWriter &W) const {
+  serializeBase(W);
+  std::vector<Tid> Tids = sortedKeys(ThreadClocks);
+  W.u64(Tids.size());
+  for (Tid T : Tids) {
+    W.u32(T);
+    writeClock(W, ThreadClocks.at(T));
+  }
+  std::vector<LockId> LockIds = sortedKeys(LockClocks);
+  W.u64(LockIds.size());
+  for (LockId M : LockIds) {
+    W.u32(M);
+    writeClock(W, LockClocks.at(M));
+  }
+  std::vector<VarId> VarIds = sortedKeys(Vars);
+  W.u64(VarIds.size());
+  for (VarId X : VarIds) {
+    W.u32(X);
+    writeClock(W, Vars.at(X).Reads);
+    writeClock(W, Vars.at(X).Writes);
+  }
+  W.u64(RacyVars.size());
+  for (VarId X : RacyVars)
+    W.u32(X);
+}
+
+bool HbRaceDetector::deserialize(SnapshotReader &R) {
+  if (!deserializeBase(R))
+    return false;
+  uint64_t NumThreads = R.u64();
+  for (uint64_t I = 0; I < NumThreads && !R.failed(); ++I) {
+    Tid T = R.u32();
+    readClock(R, ThreadClocks[T]);
+  }
+  uint64_t NumLocks = R.u64();
+  for (uint64_t I = 0; I < NumLocks && !R.failed(); ++I) {
+    LockId M = R.u32();
+    readClock(R, LockClocks[M]);
+  }
+  uint64_t NumVars = R.u64();
+  for (uint64_t I = 0; I < NumVars && !R.failed(); ++I) {
+    VarId X = R.u32();
+    readClock(R, Vars[X].Reads);
+    readClock(R, Vars[X].Writes);
+  }
+  uint64_t NumRacy = R.u64();
+  for (uint64_t I = 0; I < NumRacy && !R.failed(); ++I)
+    RacyVars.insert(R.u32());
+  return !R.failed();
+}
 
 void HbRaceDetector::beginAnalysis(const SymbolTable &Syms) {
   Backend::beginAnalysis(Syms);

@@ -63,6 +63,12 @@ public:
 
   void clear() { Clocks.clear(); }
 
+  /// Raw component access for checkpoint serialization.
+  const std::vector<uint64_t> &raw() const { return Clocks; }
+  void setRaw(std::vector<uint64_t> Components) {
+    Clocks = std::move(Components);
+  }
+
 private:
   std::vector<uint64_t> Clocks;
 };

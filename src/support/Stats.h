@@ -53,6 +53,12 @@ public:
   uint64_t current() const { return Current; }
   uint64_t peak() const { return Peak; }
 
+  /// Restore both values from a checkpoint.
+  void restore(uint64_t Cur, uint64_t Pk) {
+    Current = Cur;
+    Peak = std::max(Pk, Cur);
+  }
+
 private:
   uint64_t Current = 0;
   uint64_t Peak = 0;

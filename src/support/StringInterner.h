@@ -58,6 +58,16 @@ public:
 
   size_t size() const { return Names.size(); }
 
+  /// Append the names Other holds beyond our current size, keeping ids
+  /// aligned. Both tables must have grown append-only from a common prefix
+  /// (true for a recorder shadowing a live trace's interner), so a plain
+  /// size comparison makes the no-op case O(1).
+  void syncFrom(const StringInterner &Other) {
+    for (uint32_t Id = static_cast<uint32_t>(Names.size());
+         Id < Other.size(); ++Id)
+      intern(Other.name(Id));
+  }
+
 private:
   std::vector<std::string> Names;
   std::unordered_map<std::string, uint32_t> IdByName;

@@ -1,0 +1,393 @@
+//===- tests/SnapshotTest.cpp - Checkpoint/restore correctness ------------===//
+//
+// The crash-resilience contract: restoring an analysis from a snapshot and
+// replaying the rest of the trace must be indistinguishable from never
+// having stopped. Covered here:
+//
+//  * snapshot container primitives (round-trip, sticky failure, nesting);
+//  * file format hardening (atomic write, corruption and version checks);
+//  * for every golden trace and every back-end, snapshot -> restore at
+//    EVERY event boundary converges to byte-identical final state;
+//  * graph slot exhaustion degrades (bottom steps, graphFull) instead of
+//    aborting, and surfaces through the governor's fail probe;
+//  * sanitizer/governor snapshot guards (mode and configuration mismatch).
+//
+//===----------------------------------------------------------------------===//
+
+#include "aero/AeroDrome.h"
+#include "analysis/Governor.h"
+#include "analysis/Snapshot.h"
+#include "analysis/TraceRecorder.h"
+#include "atomizer/Atomizer.h"
+#include "core/BasicVelodrome.h"
+#include "core/HbGraph.h"
+#include "core/Velodrome.h"
+#include "eraser/Eraser.h"
+#include "events/TraceSanitizer.h"
+#include "events/TraceText.h"
+#include "hbrace/HbRaceDetector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef VELO_TEST_DATA_DIR
+#define VELO_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace velo {
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Container primitives
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotIoTest, PrimitivesRoundTrip) {
+  SnapshotWriter W;
+  W.u8(7);
+  W.u32(0xdeadbeef);
+  W.u64(0x0123456789abcdefull);
+  W.boolean(true);
+  W.boolean(false);
+  W.str("hello");
+  W.str("");
+  SnapshotReader R(W.payload());
+  EXPECT_EQ(R.u8(), 7);
+  EXPECT_EQ(R.u32(), 0xdeadbeefu);
+  EXPECT_EQ(R.u64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(R.boolean());
+  EXPECT_FALSE(R.boolean());
+  EXPECT_EQ(R.str(), "hello");
+  EXPECT_EQ(R.str(), "");
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_FALSE(R.failed());
+}
+
+TEST(SnapshotIoTest, TruncatedReadFailsSticky) {
+  SnapshotWriter W;
+  W.u32(42);
+  SnapshotReader R(W.payload());
+  EXPECT_EQ(R.u32(), 42u);
+  EXPECT_EQ(R.u64(), 0u); // past the end
+  EXPECT_TRUE(R.failed());
+  EXPECT_EQ(R.u8(), 0);
+  EXPECT_EQ(R.str(), "");
+  EXPECT_TRUE(R.failed()) << "failure is sticky";
+}
+
+TEST(SnapshotIoTest, NestedBlobFailureIsIsolated) {
+  SnapshotWriter Inner;
+  Inner.u32(1);
+  SnapshotWriter W;
+  W.blob(Inner);
+  W.u32(99);
+  SnapshotReader R(W.payload());
+  SnapshotReader Sub = R.blob();
+  EXPECT_EQ(Sub.u32(), 1u);
+  Sub.u64(); // overruns the blob
+  EXPECT_TRUE(Sub.failed());
+  EXPECT_FALSE(R.failed()) << "sub-reader failure must not poison parent";
+  EXPECT_EQ(R.u32(), 99u);
+}
+
+//===----------------------------------------------------------------------===//
+// File format
+//===----------------------------------------------------------------------===//
+
+std::string tempPath(const char *Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+TEST(SnapshotFileTest, WriteReadRoundTripIsAtomic) {
+  std::string Path = tempPath("snap_roundtrip.snap");
+  SnapshotWriter W;
+  W.str("payload");
+  W.u64(1234);
+  std::string Error;
+  ASSERT_TRUE(W.writeFile(Path, Error)) << Error;
+  EXPECT_FALSE(std::filesystem::exists(Path + ".tmp"))
+      << "temporary must be renamed away";
+  SnapshotReader R;
+  ASSERT_TRUE(SnapshotReader::readFile(Path, R, Error)) << Error;
+  EXPECT_EQ(R.str(), "payload");
+  EXPECT_EQ(R.u64(), 1234u);
+  std::remove(Path.c_str());
+}
+
+TEST(SnapshotFileTest, CorruptedPayloadIsRejected) {
+  std::string Path = tempPath("snap_corrupt.snap");
+  SnapshotWriter W;
+  W.str("some payload bytes that matter");
+  std::string Error;
+  ASSERT_TRUE(W.writeFile(Path, Error)) << Error;
+
+  // Flip the last payload byte.
+  std::string Bytes;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Bytes = Buf.str();
+  }
+  ASSERT_FALSE(Bytes.empty());
+  Bytes.back() = static_cast<char>(Bytes.back() ^ 0x40);
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Bytes;
+  }
+  SnapshotReader R;
+  EXPECT_FALSE(SnapshotReader::readFile(Path, R, Error));
+  EXPECT_FALSE(Error.empty());
+
+  // Flip a version byte instead: rejected before any payload decoding.
+  Bytes.back() = static_cast<char>(Bytes.back() ^ 0x40); // restore
+  Bytes[8] = static_cast<char>(Bytes[8] ^ 0x01);
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Bytes;
+  }
+  EXPECT_FALSE(SnapshotReader::readFile(Path, R, Error));
+
+  // And a broken magic.
+  Bytes[8] = static_cast<char>(Bytes[8] ^ 0x01); // restore
+  Bytes[0] = 'X';
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Bytes;
+  }
+  EXPECT_FALSE(SnapshotReader::readFile(Path, R, Error));
+  std::remove(Path.c_str());
+}
+
+TEST(SnapshotFileTest, MissingFileIsAnError) {
+  SnapshotReader R;
+  std::string Error;
+  EXPECT_FALSE(SnapshotReader::readFile(tempPath("no_such.snap"), R, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(SnapshotSymbolsTest, SymbolTableRoundTrips) {
+  SymbolTable Syms;
+  Syms.Vars.intern("x");
+  Syms.Vars.intern("y");
+  Syms.Locks.intern("mu");
+  Syms.Labels.intern("Set.add");
+  SnapshotWriter W;
+  serializeSymbols(W, Syms);
+  SnapshotReader R(W.payload());
+  SymbolTable Back;
+  ASSERT_TRUE(deserializeSymbols(R, Back));
+  EXPECT_EQ(Back.Vars.size(), 2u);
+  EXPECT_EQ(Back.varName(0), "x");
+  EXPECT_EQ(Back.varName(1), "y");
+  EXPECT_EQ(Back.lockName(0), "mu");
+  EXPECT_EQ(Back.labelName(0), "Set.add");
+}
+
+//===----------------------------------------------------------------------===//
+// Every-boundary round trip on the golden traces
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> goldenTraces() {
+  std::vector<std::string> Paths;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(VELO_TEST_DATA_DIR))
+    if (Entry.is_regular_file() && Entry.path().extension() == ".trace")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}
+
+/// Straight run vs. snapshot-at-Split/restore/continue: the final
+/// serialized state must be byte-identical and the warning lists equal.
+template <typename BackendT>
+void expectEveryBoundaryRoundTrip(const Trace &T, const char *Name,
+                                  const std::string &File) {
+  BackendT Full;
+  Full.beginAnalysis(T.symbols());
+  for (size_t I = 0; I < T.size(); ++I)
+    Full.onEvent(T[I]);
+  Full.endAnalysis();
+  SnapshotWriter WFull;
+  Full.serialize(WFull);
+
+  for (size_t Split = 0; Split <= T.size(); ++Split) {
+    BackendT Prefix;
+    Prefix.beginAnalysis(T.symbols());
+    for (size_t I = 0; I < Split; ++I)
+      Prefix.onEvent(T[I]);
+    SnapshotWriter W;
+    Prefix.serialize(W);
+
+    BackendT Restored;
+    Restored.beginAnalysis(T.symbols());
+    SnapshotReader R(W.payload());
+    ASSERT_TRUE(Restored.deserialize(R))
+        << Name << " on " << File << " at split " << Split;
+    for (size_t I = Split; I < T.size(); ++I)
+      Restored.onEvent(T[I]);
+    Restored.endAnalysis();
+
+    SnapshotWriter WRestored;
+    Restored.serialize(WRestored);
+    EXPECT_EQ(WRestored.payload(), WFull.payload())
+        << Name << " on " << File << " diverges after a snapshot at event "
+        << Split;
+    EXPECT_EQ(Restored.sawViolation(), Full.sawViolation())
+        << Name << " on " << File << " at split " << Split;
+    ASSERT_EQ(Restored.warnings().size(), Full.warnings().size())
+        << Name << " on " << File << " at split " << Split;
+    for (size_t I = 0; I < Full.warnings().size(); ++I)
+      EXPECT_EQ(Restored.warnings()[I].Message, Full.warnings()[I].Message)
+          << Name << " on " << File << " at split " << Split;
+  }
+}
+
+TEST(SnapshotBoundaryTest, EveryBackendEveryGoldenTraceEveryBoundary) {
+  std::vector<std::string> Paths = goldenTraces();
+  ASSERT_FALSE(Paths.empty()) << "no golden traces under "
+                              << VELO_TEST_DATA_DIR;
+  for (const std::string &Path : Paths) {
+    Trace T;
+    std::string Error;
+    ASSERT_EQ(readTraceFileStatus(Path, T, Error), TraceReadStatus::Ok)
+        << Path << ": " << Error;
+    expectEveryBoundaryRoundTrip<Velodrome>(T, "Velodrome", Path);
+    expectEveryBoundaryRoundTrip<BasicVelodrome>(T, "BasicVelodrome", Path);
+    expectEveryBoundaryRoundTrip<AeroDrome>(T, "AeroDrome", Path);
+    expectEveryBoundaryRoundTrip<Atomizer>(T, "Atomizer", Path);
+    expectEveryBoundaryRoundTrip<Eraser>(T, "Eraser", Path);
+    expectEveryBoundaryRoundTrip<HbRaceDetector>(T, "HB", Path);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Graph slot exhaustion: recoverable, surfaced through the governor
+//===----------------------------------------------------------------------===//
+
+TEST(GraphFullTest, AllocReturnsBottomInsteadOfAborting) {
+  HbGraph G;
+  for (uint32_t I = 0; I < Step::MaxSlots; ++I)
+    ASSERT_FALSE(G.allocNode(0, NoLabel, true).isBottom()) << "slot " << I;
+  EXPECT_FALSE(G.graphFull());
+  Step S = G.allocNode(0, NoLabel, true);
+  EXPECT_TRUE(S.isBottom()) << "alloc past the slot space must fail softly";
+  EXPECT_TRUE(G.graphFull());
+  G.clear();
+  EXPECT_FALSE(G.graphFull());
+  EXPECT_FALSE(G.allocNode(0, NoLabel, true).isBottom());
+}
+
+TEST(GraphFullTest, VelodromeSurvivesSlotExhaustion) {
+  // 65536 simultaneously open transactions pin every slot; the checker
+  // must keep accepting events (dropping precision) instead of dying.
+  SymbolTable Syms;
+  Label L = Syms.Labels.intern("m");
+  Velodrome Velo;
+  Velo.beginAnalysis(Syms);
+  uint32_t N = static_cast<uint32_t>(Step::MaxSlots) + 1;
+  for (uint32_t T = 0; T < N; ++T)
+    Velo.onEvent(Event::begin(T, L));
+  EXPECT_TRUE(Velo.graphExhausted());
+  for (uint32_t T = 0; T < N; ++T)
+    Velo.onEvent(Event::end(T));
+  Velo.endAnalysis();
+}
+
+TEST(GraphFullTest, FailProbeDegradesTheGovernor) {
+  SymbolTable Syms;
+  Syms.Vars.intern("x");
+  Velodrome Velo;
+  AeroDrome Aero;
+  GovernorLimits Limits; // no caps: only the fail probe can trip
+  bool Fail = false;
+  GovernedAnalysis Gov(
+      Velo, &Aero, Limits, nullptr,
+      [&Fail]() -> std::string { return Fail ? "primary wedged" : ""; });
+  Gov.beginAnalysis(Syms);
+  Gov.onEvent(Event::read(0, 0));
+  EXPECT_EQ(Gov.state(), GovernorState::Normal);
+  Fail = true;
+  Gov.onEvent(Event::read(0, 0));
+  EXPECT_EQ(Gov.state(), GovernorState::Degraded);
+  EXPECT_EQ(Gov.breachReason(), "primary wedged");
+  Gov.endAnalysis();
+  EXPECT_EQ(Gov.verdict(), GovernorVerdict::Serializable)
+      << "fallback carries the verdict after degradation";
+}
+
+//===----------------------------------------------------------------------===//
+// Wrapper snapshot guards
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotGuardTest, SanitizerModeMismatchIsRejected) {
+  TraceSanitizer Lenient(SanitizeMode::Lenient);
+  SnapshotWriter W;
+  Lenient.serialize(W);
+  TraceSanitizer Strict(SanitizeMode::Strict);
+  SnapshotReader R(W.payload());
+  EXPECT_FALSE(Strict.deserialize(R))
+      << "resuming under a different sanitize mode must be refused";
+  TraceSanitizer Lenient2(SanitizeMode::Lenient);
+  SnapshotReader R2(W.payload());
+  EXPECT_TRUE(Lenient2.deserialize(R2));
+}
+
+TEST(SnapshotGuardTest, GovernorFallbackConfigMismatchIsRejected) {
+  SymbolTable Syms;
+  Velodrome Velo;
+  AeroDrome Aero;
+  GovernorLimits Limits;
+  GovernedAnalysis WithFallback(Velo, &Aero, Limits);
+  WithFallback.beginAnalysis(Syms);
+  SnapshotWriter W;
+  WithFallback.serialize(W);
+
+  Velodrome Velo2;
+  GovernedAnalysis NoFallback(Velo2, nullptr, Limits);
+  NoFallback.beginAnalysis(Syms);
+  SnapshotReader R(W.payload());
+  EXPECT_FALSE(NoFallback.deserialize(R))
+      << "snapshot with a fallback cannot restore into a config without";
+}
+
+TEST(SnapshotGuardTest, GovernorCarriesElapsedBudgetAcrossRestore) {
+  SymbolTable Syms;
+  Velodrome Velo;
+  GovernorLimits Limits;
+  Limits.DeadlineMillis = 1; // will already be spent in the snapshot
+  Limits.CheckIntervalEvents = 1;
+  GovernedAnalysis Gov(Velo, nullptr, Limits);
+  Gov.beginAnalysis(Syms);
+  SnapshotWriter W;
+  Gov.serialize(W);
+
+  // Hand-edit the elapsed-time field is overkill; instead restore and
+  // observe that Delivered and state survive (the deadline semantics are
+  // covered by GovernorTest; here we pin the snapshot fields).
+  Velodrome Velo2;
+  GovernedAnalysis Gov2(Velo2, nullptr, Limits);
+  Gov2.beginAnalysis(Syms);
+  SnapshotReader R(W.payload());
+  ASSERT_TRUE(Gov2.deserialize(R));
+  EXPECT_EQ(Gov2.state(), Gov.state());
+  EXPECT_EQ(Gov2.eventsDelivered(), Gov.eventsDelivered());
+}
+
+TEST(SnapshotGuardTest, RecorderFlushesSymbolsEagerly) {
+  SymbolTable Syms;
+  VarId X = Syms.Vars.intern("shared.counter");
+  TraceRecorder Rec;
+  Rec.beginAnalysis(Syms);
+  Rec.onEvent(Event::read(0, X));
+  // No endAnalysis: a crash-time trace must still carry its symbols.
+  ASSERT_GE(Rec.trace().symbols().Vars.size(), 1u);
+  EXPECT_EQ(Rec.trace().symbols().varName(X), "shared.counter");
+}
+
+} // namespace
+} // namespace velo

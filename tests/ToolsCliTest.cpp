@@ -9,9 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #ifndef VELO_CHECK_BIN
@@ -35,6 +38,35 @@ int runCmd(const std::string &Cmd) {
   if (Status < 0)
     return -1;
   return WEXITSTATUS(Status);
+}
+
+/// popen a fully redirected command line and capture what it prints.
+/// Returns the exit status, or 128+signal when the command died on one.
+int runCmdCapture(const std::string &CmdLine, std::string &Out) {
+  Out.clear();
+  FILE *P = popen(CmdLine.c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  int Status = pclose(P);
+  if (Status < 0)
+    return -1;
+  if (WIFSIGNALED(Status))
+    return 128 + WTERMSIG(Status);
+  return WEXITSTATUS(Status);
+}
+
+/// Capture stdout only (stderr discarded) — verdict/warning comparisons.
+int runCmdStdout(const std::string &Cmd, std::string &Out) {
+  return runCmdCapture(Cmd + " 2>/dev/null", Out);
+}
+
+/// Capture stdout and stderr merged — diagnostics checks.
+int runCmdAll(const std::string &Cmd, std::string &Out) {
+  return runCmdCapture(Cmd + " 2>&1", Out);
 }
 
 std::string dataFile(const char *Name) {
@@ -157,6 +189,152 @@ TEST(CheckCliTest, ResourceExhaustionExitsThree) {
                    " --quiet --backend=velodrome --max-events=6 " +
                    dataFile("rmw_violation.trace")),
             1);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash resilience: checkpoint/resume, supervision, crash diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(CrashCliTest, CheckpointFlagValidationExitsTwo) {
+  std::string T = dataFile("rmw_violation.trace");
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --supervise " + T), 2)
+      << "--supervise requires --checkpoint";
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --witness --checkpoint=/tmp/velo_cli_bad.snap " + T),
+            2)
+      << "--witness buffers the trace; checkpointing is a contradiction";
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --witness --resume=/tmp/velo_cli_bad.snap " + T),
+            2);
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --checkpoint=/tmp/velo_cli_bad.snap "
+                   "--checkpoint-every=0 " +
+                   T),
+            2);
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --resume=/nonexistent.snap " + T),
+            2)
+      << "a missing snapshot is an input error, not a crash";
+}
+
+/// Kill-resume determinism for every golden trace: a run SIGKILLed at an
+/// arbitrary point and resumed from its last checkpoint must produce the
+/// byte-identical report and verdict of an uninterrupted run.
+TEST(CrashCliTest, KillResumeMatchesStraightRunOnEveryGoldenTrace) {
+  for (const char *F :
+       {"flag_handoff.trace", "forkjoin_clean.trace", "intro_cycle.trace",
+        "lock_cycle.trace", "rmw_violation.trace", "set_add.trace"}) {
+    std::string T = dataFile(F);
+    std::string Straight;
+    int StraightCode = runCmdStdout(std::string(VELO_CHECK_BIN) + " " + T,
+                                    Straight);
+    ASSERT_TRUE(StraightCode == 0 || StraightCode == 1) << F;
+
+    std::string Ckpt = ::testing::TempDir() + "/velo_cli_kill_" + F +
+                       ".snap";
+    std::remove(Ckpt.c_str());
+    std::string Ignored;
+    int CrashCode = runCmdStdout(
+        std::string(VELO_CHECK_BIN) + " --checkpoint=" + Ckpt +
+            " --checkpoint-every=1 --crash-at=3 " + T,
+        Ignored);
+    ASSERT_EQ(CrashCode, 128 + SIGKILL) << F << ": worker must die on KILL";
+
+    std::string Resumed;
+    int ResumedCode = runCmdStdout(
+        std::string(VELO_CHECK_BIN) + " --resume=" + Ckpt + " " + T,
+        Resumed);
+    EXPECT_EQ(ResumedCode, StraightCode) << F;
+    EXPECT_EQ(Resumed, Straight)
+        << F << ": resumed report must be byte-identical";
+    std::remove(Ckpt.c_str());
+  }
+}
+
+TEST(CrashCliTest, SupervisedRunRecoversFromRepeatedCrashes) {
+  // Record a trace big enough for several checkpoint windows.
+  std::string T = ::testing::TempDir() + "/velo_cli_sup.trace";
+  int RunCode = runCmd(std::string(VELO_RUN_BIN) +
+                       " multiset --seed=3 --record=" + T);
+  ASSERT_TRUE(RunCode == 0 || RunCode == 1);
+
+  std::string Straight;
+  int StraightCode =
+      runCmdStdout(std::string(VELO_CHECK_BIN) + " " + T, Straight);
+
+  // The worker dies every 400 events but each incarnation passes its last
+  // checkpoint, so the supervisor keeps restarting it to completion.
+  std::string Ckpt = ::testing::TempDir() + "/velo_cli_sup.snap";
+  std::remove(Ckpt.c_str());
+  std::string Supervised;
+  int SupCode = runCmdStdout(std::string(VELO_CHECK_BIN) + " --supervise " +
+                                 "--checkpoint=" + Ckpt +
+                                 " --checkpoint-every=100 --crash-at=400 " +
+                                 T,
+                             Supervised);
+  EXPECT_EQ(SupCode, StraightCode);
+  EXPECT_EQ(Supervised, Straight)
+      << "supervised recovery must not change the report";
+  std::remove(Ckpt.c_str());
+  std::remove(T.c_str());
+}
+
+TEST(CrashCliTest, SupervisedGivesUpWithCrashBundleExitFour) {
+  std::string T = dataFile("set_add.trace");
+  std::string Ckpt = ::testing::TempDir() + "/velo_cli_bundle.snap";
+  std::string Bundle = Ckpt + ".crash";
+  std::remove(Ckpt.c_str());
+  std::filesystem::remove_all(Bundle);
+
+  // The checkpoint interval is past the crash point, so no checkpoint is
+  // ever written and every restart dies in the same event window.
+  std::string Out;
+  int Code = runCmdAll(std::string(VELO_CHECK_BIN) + " --supervise " +
+                           "--checkpoint=" + Ckpt +
+                           " --checkpoint-every=100000 --crash-at=3 " +
+                           "--max-crashes=3 " + T,
+                       Out);
+  EXPECT_EQ(Code, 4) << Out;
+  EXPECT_NE(Out.find("crashed: see bundle"), std::string::npos) << Out;
+  EXPECT_TRUE(std::filesystem::exists(Bundle + "/info.txt"));
+  EXPECT_TRUE(std::filesystem::exists(Bundle + "/window.trace"));
+  std::ifstream Info(Bundle + "/info.txt");
+  std::string InfoText((std::istreambuf_iterator<char>(Info)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(InfoText.find("signal: 9"), std::string::npos) << InfoText;
+  EXPECT_NE(InfoText.find("consecutive-crashes: 3"), std::string::npos);
+  std::filesystem::remove_all(Bundle);
+  std::remove(Ckpt.c_str());
+}
+
+TEST(CrashCliTest, FatalSignalDumpsLastEventContext) {
+  // Non-supervised run dying on a catchable signal: the in-process handler
+  // prints the last-events ring to stderr and still dies with the real
+  // signal.
+  std::string Out;
+  int Code = runCmdAll(std::string(VELO_CHECK_BIN) +
+                           " --crash-at=4 --crash-signal=6 " +
+                           dataFile("set_add.trace"),
+                       Out);
+  EXPECT_EQ(Code, 128 + SIGABRT);
+  EXPECT_NE(Out.find("fatal signal 6"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("delivered events"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("event 4"), std::string::npos)
+      << "the ring must contain the event at the crash point: " << Out;
+}
+
+TEST(RunCliTest, GovernorFlagsGateTheLivePath) {
+  // Exhausting the event budget mid-run leaves the verdict unknown.
+  EXPECT_EQ(runCmd(std::string(VELO_RUN_BIN) +
+                   " multiset --seed=3 --max-events=50"),
+            3);
+  // Degradation to the vector-clock spare keeps the violation verdict.
+  EXPECT_EQ(runCmd(std::string(VELO_RUN_BIN) +
+                   " multiset --seed=3 --max-live-nodes=2"),
+            1);
+  EXPECT_EQ(runCmd(std::string(VELO_RUN_BIN) +
+                   " multiset --max-events=abc"),
+            2);
 }
 
 TEST(FuzzCliTest, BoundedSmokeRunPasses) {

@@ -18,17 +18,33 @@
 //     --max-memory-mb=N    estimated-memory cap           (0 = unlimited)
 //     --deadline-ms=N      wall-clock budget              (0 = unlimited)
 //
+//   Crash resilience (docs/OPERATIONS.md):
+//     --checkpoint=<file>    write atomic snapshots of the analysis state
+//     --checkpoint-every=N   events between snapshots     (default 4096)
+//     --resume=<file>        continue a run from a snapshot; the verdict
+//                            and warnings are identical to an uninterrupted
+//                            run over the same trace
+//     --supervise            fork the analysis into a worker, restart it
+//                            from the last checkpoint when a signal kills
+//                            it (requires --checkpoint)
+//     --max-crashes=K        consecutive crashes in the same event window
+//                            before giving up with a bundle (default 3)
+//     --crash-at=N           test hook: die after N events this process
+//     --crash-signal=S       test hook: signal to die with (default KILL)
+//
 // The trace is streamed: events reach the back-ends as they are parsed, so
 // memory stays constant in the trace length (the file is buffered only for
 // --witness, whose serializability oracle needs random access).
 //
 // Exit status: 0 serializable, 1 atomicity violation, 2 usage/input error,
-// 3 resource-limited (budget exhausted before a verdict was reached).
-// docs/INGESTION.md specifies the full contract.
+// 3 resource-limited (budget exhausted before a verdict was reached),
+// 4 crashed repeatedly under --supervise (see the crash bundle).
+// docs/INGESTION.md and docs/OPERATIONS.md specify the full contract.
 //
 //===----------------------------------------------------------------------===//
 
 #include "aero/AeroDrome.h"
+#include "analysis/CrashDump.h"
 #include "analysis/Governor.h"
 #include "atomizer/Atomizer.h"
 #include "core/BasicVelodrome.h"
@@ -41,11 +57,15 @@
 #include "oracle/SerializabilityOracle.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace velo;
 
@@ -66,8 +86,11 @@ void usage() {
       "  --max-events=N --max-live-nodes=N --max-memory-mb=N\n"
       "  --deadline-ms=N      resource governor caps (0 = unlimited;\n"
       "                       see docs/INGESTION.md)\n"
+      "  --checkpoint=<file> --checkpoint-every=N --resume=<file>\n"
+      "  --supervise --max-crashes=K   crash resilience\n"
+      "                       (see docs/OPERATIONS.md)\n"
       "exit: 0 serializable, 1 violation, 2 usage/input error,\n"
-      "      3 resource-limited\n");
+      "      3 resource-limited, 4 crashed under --supervise\n");
 }
 
 /// Parse a full decimal uint64 ("--max-events="). Rejects empty strings,
@@ -86,6 +109,12 @@ bool parseU64(const char *S, uint64_t &Out) {
 
 struct Options {
   std::string BackendSel = "all", TraceFile, DotFile;
+  std::string CheckpointFile, ResumeFile;
+  uint64_t CheckpointEvery = 4096;
+  uint64_t MaxCrashes = 3;
+  uint64_t CrashAt = 0;  ///< test hook: die after N events this process
+  uint64_t CrashSignal = SIGKILL;
+  bool Supervise = false;
   bool Witness = false, NoMerge = false, Stats = false, Quiet = false;
   SanitizeMode Mode = SanitizeMode::Strict;
   GovernorLimits Limits;
@@ -116,6 +145,24 @@ int parseArgs(int argc, char **argv, Options &O) {
       O.Mode = SanitizeMode::Lenient;
     } else if (Arg == "--strict") {
       O.Mode = SanitizeMode::Strict;
+    } else if (Arg.rfind("--checkpoint=", 0) == 0) {
+      O.CheckpointFile = Arg.substr(13);
+    } else if (Arg.rfind("--resume=", 0) == 0) {
+      O.ResumeFile = Arg.substr(9);
+    } else if (Arg == "--supervise") {
+      O.Supervise = true;
+    } else if (Arg.rfind("--checkpoint-every=", 0) == 0) {
+      U64Target = &O.CheckpointEvery;
+      U64Prefix = 19;
+    } else if (Arg.rfind("--max-crashes=", 0) == 0) {
+      U64Target = &O.MaxCrashes;
+      U64Prefix = 14;
+    } else if (Arg.rfind("--crash-at=", 0) == 0) {
+      U64Target = &O.CrashAt;
+      U64Prefix = 11;
+    } else if (Arg.rfind("--crash-signal=", 0) == 0) {
+      U64Target = &O.CrashSignal;
+      U64Prefix = 15;
     } else if (Arg.rfind("--max-events=", 0) == 0) {
       U64Target = &O.Limits.MaxEvents;
       U64Prefix = 13;
@@ -155,20 +202,136 @@ int parseArgs(int argc, char **argv, Options &O) {
     usage();
     return 2;
   }
+  if (O.Witness && (!O.CheckpointFile.empty() || !O.ResumeFile.empty())) {
+    std::fprintf(stderr, "error: --witness buffers the whole trace and is "
+                         "incompatible with --checkpoint/--resume\n");
+    return 2;
+  }
+  if (O.Supervise && O.CheckpointFile.empty()) {
+    std::fprintf(stderr,
+                 "error: --supervise requires --checkpoint (the restart "
+                 "point after a crash)\n");
+    return 2;
+  }
+  if (O.CheckpointEvery == 0 || O.MaxCrashes == 0) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-every and --max-crashes must be > 0\n");
+    return 2;
+  }
+  if (O.CrashSignal == 0 || O.CrashSignal >= 32) {
+    std::fprintf(stderr, "error: --crash-signal must be in [1, 31]\n");
+    return 2;
+  }
   return 0;
 }
 
-} // namespace
+//===----------------------------------------------------------------------===//
+// Checkpoint layout (inside the versioned Snapshot container)
+//===----------------------------------------------------------------------===//
+//
+//   str  trace path (diagnostic)        u8   sanitize mode
+//   str  backend selection              u64 x4 + u32 governor limits
+//   bool no-merge
+//   u64  byte offset | u64 line | u64 events seen | u32 threads seen
+//   blob symbols | blob sanitizer
+//   u64  N; N x (str backend name + blob backend state)
+//
+// The configuration fields make the snapshot authoritative on resume: a
+// resumed run always re-creates the exact pipeline that wrote it, which is
+// what makes verdict/warning identity with a straight-through run hold.
+// The stream position fields come first after the config so the supervisor
+// can peek progress without decoding backend state.
 
-int main(int argc, char **argv) {
-  Options O;
-  switch (parseArgs(argc, argv, O)) {
-  case -1:
-    return 0;
-  case 2:
-    return 2;
-  default:
-    break;
+struct ResumeState {
+  SnapshotReader R; ///< positioned at the symbols blob after loadHeader
+  std::string TracePath, BackendSel;
+  bool NoMerge = false;
+  SanitizeMode Mode = SanitizeMode::Strict;
+  GovernorLimits Limits;
+  uint64_t ByteOffset = 0, LineNo = 0, EventsSeen = 0;
+  uint32_t ThreadsSeen = 0;
+};
+
+bool loadHeader(const std::string &Path, ResumeState &RS,
+                std::string &ErrorOut) {
+  if (!SnapshotReader::readFile(Path, RS.R, ErrorOut))
+    return false;
+  RS.TracePath = RS.R.str();
+  RS.BackendSel = RS.R.str();
+  RS.NoMerge = RS.R.boolean();
+  RS.Mode = RS.R.u8() ? SanitizeMode::Lenient : SanitizeMode::Strict;
+  RS.Limits.MaxEvents = RS.R.u64();
+  RS.Limits.MaxLiveNodes = RS.R.u64();
+  RS.Limits.MaxMemoryBytes = RS.R.u64();
+  RS.Limits.DeadlineMillis = RS.R.u64();
+  RS.Limits.CheckIntervalEvents = RS.R.u32();
+  RS.ByteOffset = RS.R.u64();
+  RS.LineNo = RS.R.u64();
+  RS.EventsSeen = RS.R.u64();
+  RS.ThreadsSeen = RS.R.u32();
+  if (RS.R.failed()) {
+    ErrorOut = "truncated snapshot header";
+    return false;
+  }
+  return true;
+}
+
+bool writeCheckpoint(const Options &O, uint64_t ByteOffset, uint64_t LineNo,
+                     uint64_t EventsSeen, uint32_t ThreadsSeen,
+                     const SymbolTable &Syms, const TraceSanitizer &San,
+                     const std::vector<Backend *> &Delivery,
+                     std::string &ErrorOut) {
+  SnapshotWriter W;
+  W.str(O.TraceFile);
+  W.str(O.BackendSel);
+  W.boolean(O.NoMerge);
+  W.u8(O.Mode == SanitizeMode::Lenient ? 1 : 0);
+  W.u64(O.Limits.MaxEvents);
+  W.u64(O.Limits.MaxLiveNodes);
+  W.u64(O.Limits.MaxMemoryBytes);
+  W.u64(O.Limits.DeadlineMillis);
+  W.u32(O.Limits.CheckIntervalEvents);
+  W.u64(ByteOffset);
+  W.u64(LineNo);
+  W.u64(EventsSeen);
+  W.u32(ThreadsSeen);
+  SnapshotWriter SymsBlob;
+  serializeSymbols(SymsBlob, Syms);
+  W.blob(SymsBlob);
+  SnapshotWriter SanBlob;
+  San.serialize(SanBlob);
+  W.blob(SanBlob);
+  W.u64(Delivery.size());
+  for (const Backend *B : Delivery) {
+    W.str(B->name());
+    SnapshotWriter BB;
+    B->serialize(BB);
+    W.blob(BB);
+  }
+  return W.writeFile(O.CheckpointFile, ErrorOut);
+}
+
+//===----------------------------------------------------------------------===//
+// One analysis run (fresh or resumed). Under --supervise this is the
+// worker; otherwise it is the whole program.
+//===----------------------------------------------------------------------===//
+
+int runAnalysis(Options O) {
+  ResumeState RS;
+  bool Resuming = !O.ResumeFile.empty();
+  if (Resuming) {
+    std::string Error;
+    if (!loadHeader(O.ResumeFile, RS, Error)) {
+      std::fprintf(stderr, "error: cannot resume from %s: %s\n",
+                   O.ResumeFile.c_str(), Error.c_str());
+      return 2;
+    }
+    // The snapshot is authoritative for the analysis configuration; the
+    // presentation flags (--quiet, --stats, --dot) stay as given.
+    O.BackendSel = RS.BackendSel;
+    O.NoMerge = RS.NoMerge;
+    O.Mode = RS.Mode;
+    O.Limits = RS.Limits;
   }
 
   bool RunVelo = O.BackendSel == "velodrome" || O.BackendSel == "all";
@@ -217,15 +380,24 @@ int main(int argc, char **argv) {
   Backend *Fallback =
       RunAero && Primary != &Aero ? static_cast<Backend *>(&Aero) : nullptr;
   GovernedAnalysis::Probe Probe;
-  if (Primary == &Velo)
+  GovernedAnalysis::FailProbe FailProbe;
+  if (Primary == &Velo) {
     Probe = [&Velo](uint64_t &Nodes, uint64_t &Bytes) {
       Nodes = Velo.graph().nodesAlive();
       // Rough per-node footprint: slot bookkeeping + edges + ancestor set.
       Bytes = Nodes * 256;
     };
+    // Slot-space exhaustion used to abort the process; it now reports
+    // through the governor as a degradation cause.
+    FailProbe = [&Velo]() -> std::string {
+      return Velo.graphExhausted() ? "happens-before graph node slot space "
+                                     "exhausted"
+                                   : "";
+    };
+  }
   bool Governed = Primary != nullptr && O.Limits.any();
   GovernedAnalysis Gov(Governed ? *Primary : Velo, Fallback, O.Limits,
-                       std::move(Probe));
+                       std::move(Probe), std::move(FailProbe));
 
   // Delivery list: the governor stands in for its primary and fallback.
   std::vector<Backend *> Delivery;
@@ -235,15 +407,25 @@ int main(int argc, char **argv) {
     if (!Governed || (B != Primary && B != Fallback))
       Delivery.push_back(B);
 
+  // Fatal-signal diagnostics: every delivered event lands in the crash
+  // ring; with a checkpoint configured the handler also writes the dump to
+  // a file the supervisor folds into its crash bundle.
+  std::string DumpPath =
+      O.CheckpointFile.empty() ? std::string() : O.CheckpointFile +
+                                                     ".lastevents";
+  crashdump::installHandlers(DumpPath.empty() ? nullptr : DumpPath.c_str());
+
   SymbolTable StreamSyms;
   Trace Buffered; // only filled on the --witness path
   TraceSanitizer San(O.Mode);
   uint64_t EventsSeen = 0;
   uint32_t ThreadsSeen = 0;
+  uint64_t EventsAtStart = 0; // resumed offset, for the --crash-at hook
   std::vector<Event> Scratch;
 
-  auto Deliver = [&](const Event &E) {
+  auto Deliver = [&](const Event &E, uint64_t Line) {
     ++EventsSeen;
+    crashdump::noteEvent(E, EventsSeen, Line);
     if (E.Thread >= ThreadsSeen)
       ThreadsSeen = E.Thread + 1;
     if ((E.Kind == Op::Fork || E.Kind == Op::Join) &&
@@ -264,6 +446,11 @@ int main(int argc, char **argv) {
                        "(Velodrome(basic), no GC) after the cap breach\n");
           break;
         }
+    if (O.CrashAt != 0 && EventsSeen - EventsAtStart >= O.CrashAt) {
+      // Test hook: simulate an analysis crash at a deterministic point.
+      std::fflush(nullptr);
+      ::raise(static_cast<int>(O.CrashSignal));
+    }
   };
 
   if (O.Witness) {
@@ -289,7 +476,7 @@ int main(int argc, char **argv) {
     for (Backend *B : Delivery)
       B->beginAnalysis(Buffered.symbols());
     for (const Event &E : Buffered) {
-      Deliver(E);
+      Deliver(E, 0);
       if (Governed && Gov.state() == GovernorState::Exhausted)
         break;
     }
@@ -297,7 +484,7 @@ int main(int argc, char **argv) {
       B->endAnalysis();
   } else {
     // Default path: stream the file through sanitizer and back-ends in
-    // constant memory.
+    // constant memory, snapshotting at line boundaries when asked to.
     errno = 0;
     std::ifstream In(O.TraceFile);
     if (!In) {
@@ -307,8 +494,74 @@ int main(int argc, char **argv) {
       return 2;
     }
     TraceStream TS(In, StreamSyms);
+
+    if (Resuming) {
+      // Restore order matters: symbols first (backends keep a reference to
+      // the table from beginAnalysis), then backend state, then the stream
+      // position.
+      SnapshotReader SymsBlob = RS.R.blob();
+      if (!deserializeSymbols(SymsBlob, StreamSyms)) {
+        std::fprintf(stderr, "error: cannot resume from %s: corrupt symbol "
+                             "table\n",
+                     O.ResumeFile.c_str());
+        return 2;
+      }
+    }
     for (Backend *B : Delivery)
       B->beginAnalysis(StreamSyms);
+    if (Resuming) {
+      SnapshotReader SanBlob = RS.R.blob();
+      if (!San.deserialize(SanBlob)) {
+        std::fprintf(stderr,
+                     "error: cannot resume from %s: sanitizer state does "
+                     "not match this configuration\n",
+                     O.ResumeFile.c_str());
+        return 2;
+      }
+      uint64_t NumSaved = RS.R.u64();
+      // The snapshot lists the backends that were still live when it was
+      // written (the reference checker is dropped after a cap breach), so
+      // delivery membership is restored by name.
+      std::vector<Backend *> Restored;
+      for (uint64_t I = 0; I < NumSaved; ++I) {
+        std::string Name = RS.R.str();
+        SnapshotReader Blob = RS.R.blob();
+        Backend *Found = nullptr;
+        for (Backend *B : Delivery)
+          if (Name == B->name())
+            Found = B;
+        if (!Found || !Found->deserialize(Blob)) {
+          std::fprintf(stderr,
+                       "error: cannot resume from %s: backend '%s' state "
+                       "cannot be restored\n",
+                       O.ResumeFile.c_str(), Name.c_str());
+          return 2;
+        }
+        Restored.push_back(Found);
+      }
+      if (RS.R.failed()) {
+        std::fprintf(stderr, "error: cannot resume from %s: truncated "
+                             "snapshot\n",
+                     O.ResumeFile.c_str());
+        return 2;
+      }
+      Delivery = std::move(Restored);
+      EventsSeen = RS.EventsSeen;
+      ThreadsSeen = RS.ThreadsSeen;
+      EventsAtStart = EventsSeen;
+      In.clear();
+      In.seekg(static_cast<std::streamoff>(RS.ByteOffset));
+      if (!In) {
+        std::fprintf(stderr,
+                     "error: cannot resume from %s: trace %s is shorter "
+                     "than the recorded offset\n",
+                     O.ResumeFile.c_str(), O.TraceFile.c_str());
+        return 2;
+      }
+      TS.resumeAt(RS.LineNo, RS.EventsSeen);
+    }
+
+    uint64_t NextCkpt = EventsSeen + O.CheckpointEvery;
     Event E;
     bool Stopped = false;
     while (!Stopped && TS.next(E)) {
@@ -320,11 +573,28 @@ int main(int argc, char **argv) {
         return 2;
       }
       for (const Event &Out : Scratch) {
-        Deliver(Out);
+        Deliver(Out, TS.lineNo());
         if (Governed && Gov.state() == GovernorState::Exhausted) {
           Stopped = true;
           break;
         }
+      }
+      if (!O.CheckpointFile.empty() && !Stopped && EventsSeen >= NextCkpt) {
+        // The line just processed is fully delivered, so tellg() is a
+        // clean resume boundary. (At EOF on a file without a trailing
+        // newline tellg() fails; the run is about to finish anyway.)
+        auto Off = In.tellg();
+        if (Off != std::ifstream::pos_type(-1)) {
+          std::string Error;
+          if (!writeCheckpoint(O, static_cast<uint64_t>(Off), TS.lineNo(),
+                               EventsSeen, ThreadsSeen, StreamSyms, San,
+                               Delivery, Error)) {
+            std::fprintf(stderr, "error: cannot write checkpoint %s: %s\n",
+                         O.CheckpointFile.c_str(), Error.c_str());
+            return 2;
+          }
+        }
+        NextCkpt = EventsSeen + O.CheckpointEvery;
       }
     }
     if (TS.failed()) {
@@ -337,7 +607,7 @@ int main(int argc, char **argv) {
     San.finish(Scratch);
     for (const Event &Out : Scratch)
       if (!Stopped)
-        Deliver(Out);
+        Deliver(Out, 0);
     for (Backend *B : Delivery)
       B->endAnalysis();
     if (San.repairs().total() != 0)
@@ -419,4 +689,147 @@ int main(int argc, char **argv) {
   std::printf("verdict: %s\n",
               Violation ? "NOT conflict-serializable" : "serializable");
   return Violation ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Supervision: fork the analysis, restart from the last checkpoint on
+// signal death, give up with a crash bundle when it stops making progress.
+//===----------------------------------------------------------------------===//
+
+/// Progress marker of the last checkpoint: events seen and trace line.
+/// Zeros when no checkpoint exists yet (crash before the first snapshot).
+void peekCheckpoint(const std::string &Path, uint64_t &EventsOut,
+                    uint64_t &LineOut) {
+  EventsOut = 0;
+  LineOut = 0;
+  ResumeState RS;
+  std::string Error;
+  if (loadHeader(Path, RS, Error)) {
+    EventsOut = RS.EventsSeen;
+    LineOut = RS.LineNo;
+  }
+}
+
+/// Write "<checkpoint>.crash/" with the post-mortem: info.txt (what
+/// happened), last-events.txt (the in-process handler's ring dump, when
+/// the signal was catchable), window.trace (the trace lines the crashing
+/// window was replaying).
+std::string writeCrashBundle(const Options &O, int Sig, uint64_t CkptEvents,
+                             uint64_t CkptLine, uint64_t Crashes) {
+  std::string Dir = O.CheckpointFile + ".crash";
+  ::mkdir(Dir.c_str(), 0755);
+  {
+    std::ofstream Info(Dir + "/info.txt");
+    Info << "signal: " << Sig << "\n"
+         << "trace: " << O.TraceFile << "\n"
+         << "checkpoint: " << O.CheckpointFile << "\n"
+         << "events-at-last-checkpoint: " << CkptEvents << "\n"
+         << "line-at-last-checkpoint: " << CkptLine << "\n"
+         << "consecutive-crashes: " << Crashes << "\n";
+  }
+  {
+    std::ifstream LastEvents(O.CheckpointFile + ".lastevents");
+    if (LastEvents) {
+      std::ofstream Out(Dir + "/last-events.txt");
+      Out << LastEvents.rdbuf();
+    }
+  }
+  {
+    std::ifstream TraceIn(O.TraceFile);
+    std::ofstream Out(Dir + "/window.trace");
+    uint64_t First = CkptLine + 1;
+    Out << "# trace lines from " << First
+        << " (first line after the last checkpoint) onward\n";
+    std::string Line;
+    uint64_t N = 0;
+    while (std::getline(TraceIn, Line)) {
+      ++N;
+      if (N < First)
+        continue;
+      Out << Line << "\n";
+      if (N >= First + 199)
+        break;
+    }
+  }
+  return Dir;
+}
+
+int runSupervised(const Options &O) {
+  uint64_t LastWindowEvents = ~0ull; // sentinel: no crash observed yet
+  uint64_t SameWindow = 0;
+  for (;;) {
+    Options Worker = O;
+    Worker.Supervise = false;
+    struct stat St;
+    if (::stat(O.CheckpointFile.c_str(), &St) == 0)
+      Worker.ResumeFile = O.CheckpointFile;
+    std::fflush(nullptr);
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      std::perror("velodrome-check: fork");
+      return 2;
+    }
+    if (Pid == 0) {
+      int Rc = runAnalysis(std::move(Worker));
+      // _Exit skips atexit/static destructors (this is a fork, the parent
+      // owns them) but also stdio flushing — do that explicitly.
+      std::fflush(nullptr);
+      std::_Exit(Rc);
+    }
+    int Status = 0;
+    if (::waitpid(Pid, &Status, 0) < 0) {
+      std::perror("velodrome-check: waitpid");
+      return 2;
+    }
+    if (WIFEXITED(Status))
+      return WEXITSTATUS(Status);
+    int Sig = WIFSIGNALED(Status) ? WTERMSIG(Status) : 0;
+    uint64_t CkptEvents = 0, CkptLine = 0;
+    peekCheckpoint(O.CheckpointFile, CkptEvents, CkptLine);
+    if (CkptEvents == LastWindowEvents) {
+      ++SameWindow;
+    } else {
+      SameWindow = 1;
+      LastWindowEvents = CkptEvents;
+    }
+    std::fprintf(stderr,
+                 "supervisor: worker killed by signal %d; last checkpoint "
+                 "at event %llu (crash %llu of %llu in this window)\n",
+                 Sig, static_cast<unsigned long long>(CkptEvents),
+                 static_cast<unsigned long long>(SameWindow),
+                 static_cast<unsigned long long>(O.MaxCrashes));
+    if (SameWindow >= O.MaxCrashes) {
+      std::string Bundle =
+          writeCrashBundle(O, Sig, CkptEvents, CkptLine, SameWindow);
+      std::fprintf(stderr,
+                   "supervisor: no progress after %llu crashes; "
+                   "crashed: see bundle %s\n",
+                   static_cast<unsigned long long>(SameWindow),
+                   Bundle.c_str());
+      return 4;
+    }
+    // Exponential backoff before the restart; a transient cause (memory
+    // pressure, a flaky disk) gets room to clear.
+    unsigned BackoffMs = 50u << (SameWindow - 1);
+    if (BackoffMs > 2000)
+      BackoffMs = 2000;
+    ::usleep(BackoffMs * 1000);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O;
+  switch (parseArgs(argc, argv, O)) {
+  case -1:
+    return 0;
+  case 2:
+    return 2;
+  default:
+    break;
+  }
+  if (O.Supervise)
+    return runSupervised(O);
+  return runAnalysis(std::move(O));
 }

@@ -13,7 +13,10 @@
 //      repairs and is an identity on events);
 //   5. every back-end runs the repaired trace without crashing, and the
 //      three verdict checkers (Velodrome, BasicVelodrome, AeroDrome) agree;
-//   6. the resource governor degrades/stops cleanly under tiny caps.
+//   6. the resource governor degrades/stops cleanly under tiny caps;
+//   7. snapshot/restore round-trips: freezing any back-end at a checkpoint
+//      boundary and restoring into a fresh instance converges to a final
+//      state byte-identical to the uninterrupted run.
 //
 // Failing inputs are written to --save for triage and check-in under
 // tests/data/fuzz/ as regression seeds. Fully deterministic for a given
@@ -188,7 +191,62 @@ bool sameEvents(const Trace &A, const Trace &B) {
 struct FuzzStats {
   uint64_t ParsedOk = 0, ParseRejected = 0, StrictOk = 0, Repaired = 0;
   uint64_t RepairEvents = 0, Violations = 0, Serializable = 0;
+  uint64_t Snapshots = 0;
 };
+
+/// Check 7 helper: replay T straight through one instance of BackendT, then
+/// for a few split points replay the prefix, serialize, restore into a
+/// fresh instance, replay the suffix, and require the final serialized
+/// state to be byte-identical to the straight run's.
+template <typename BackendT>
+bool snapshotRoundTrips(const Trace &T, const char *Name, FuzzStats &Stats,
+                        std::string &WhyOut) {
+  BackendT Full;
+  Full.beginAnalysis(T.symbols());
+  for (size_t I = 0; I < T.size(); ++I)
+    Full.onEvent(T[I]);
+  Full.endAnalysis();
+  SnapshotWriter WFull;
+  Full.serialize(WFull);
+
+  const size_t Splits[] = {0, T.size() / 2, T.size()};
+  for (size_t Split : Splits) {
+    BackendT Prefix;
+    Prefix.beginAnalysis(T.symbols());
+    for (size_t I = 0; I < Split; ++I)
+      Prefix.onEvent(T[I]);
+    SnapshotWriter W;
+    Prefix.serialize(W);
+
+    BackendT Restored;
+    Restored.beginAnalysis(T.symbols());
+    SnapshotReader R(W.payload());
+    if (!Restored.deserialize(R)) {
+      WhyOut = std::string(Name) + ": deserialize failed at split " +
+               std::to_string(Split);
+      return false;
+    }
+    for (size_t I = Split; I < T.size(); ++I)
+      Restored.onEvent(T[I]);
+    Restored.endAnalysis();
+
+    SnapshotWriter WRestored;
+    Restored.serialize(WRestored);
+    if (WRestored.payload() != WFull.payload()) {
+      WhyOut = std::string(Name) + ": restored state diverges from the "
+               "straight run after a snapshot at event " +
+               std::to_string(Split);
+      return false;
+    }
+    if (Restored.sawViolation() != Full.sawViolation()) {
+      WhyOut = std::string(Name) + ": restored verdict differs at split " +
+               std::to_string(Split);
+      return false;
+    }
+    ++Stats.Snapshots;
+  }
+  return true;
+}
 
 /// Run every ingestion check on one mutant. Returns false with WhyOut set on
 /// the first property violation.
@@ -299,6 +357,33 @@ bool checkMutant(const std::string &Text, FuzzStats &Stats,
     WhyOut = "governed analysis reported a violation the full run did not";
     return false;
   }
+
+  // 7. Snapshot/restore round-trips for every back-end, plus the symbol
+  // table itself.
+  {
+    SnapshotWriter SymsW;
+    serializeSymbols(SymsW, Repaired.symbols());
+    SnapshotReader SymsR(SymsW.payload());
+    SymbolTable SymsBack;
+    SnapshotWriter SymsAgain;
+    if (!deserializeSymbols(SymsR, SymsBack)) {
+      WhyOut = "symbol table deserialize failed";
+      return false;
+    }
+    serializeSymbols(SymsAgain, SymsBack);
+    if (SymsAgain.payload() != SymsW.payload()) {
+      WhyOut = "symbol table snapshot round-trip is not byte-stable";
+      return false;
+    }
+  }
+  if (!snapshotRoundTrips<Velodrome>(Repaired, "Velodrome", Stats, WhyOut) ||
+      !snapshotRoundTrips<BasicVelodrome>(Repaired, "BasicVelodrome", Stats,
+                                          WhyOut) ||
+      !snapshotRoundTrips<AeroDrome>(Repaired, "AeroDrome", Stats, WhyOut) ||
+      !snapshotRoundTrips<Atomizer>(Repaired, "Atomizer", Stats, WhyOut) ||
+      !snapshotRoundTrips<Eraser>(Repaired, "Eraser", Stats, WhyOut) ||
+      !snapshotRoundTrips<HbRaceDetector>(Repaired, "HB", Stats, WhyOut))
+    return false;
   return true;
 }
 
@@ -414,14 +499,16 @@ int main(int argc, char **argv) {
   }
 
   std::printf("parsed=%llu rejected=%llu strict-ok=%llu repaired=%llu "
-              "(%llu repairs) violations=%llu serializable=%llu\n",
+              "(%llu repairs) violations=%llu serializable=%llu "
+              "snapshots=%llu\n",
               static_cast<unsigned long long>(Stats.ParsedOk),
               static_cast<unsigned long long>(Stats.ParseRejected),
               static_cast<unsigned long long>(Stats.StrictOk),
               static_cast<unsigned long long>(Stats.Repaired),
               static_cast<unsigned long long>(Stats.RepairEvents),
               static_cast<unsigned long long>(Stats.Violations),
-              static_cast<unsigned long long>(Stats.Serializable));
+              static_cast<unsigned long long>(Stats.Serializable),
+              static_cast<unsigned long long>(Stats.Snapshots));
   if (Failures != 0) {
     std::fprintf(stderr, "velodrome-fuzz: %llu failure(s)\n",
                  static_cast<unsigned long long>(Failures));

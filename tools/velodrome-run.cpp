@@ -15,12 +15,23 @@
 //     --adversarial        Atomizer-guided scheduling
 //     --policy=<all|writes|reads|spare-main>  stall policy  (default all)
 //     --exclude-known      don't check ground-truth non-atomic methods
+//     --max-events=N       stop the analysis after N events (0 = unlimited)
+//     --max-live-nodes=N   graph node cap, fall back to the vector-clock
+//                          checker on breach               (default 60000)
+//     --max-memory-mb=N    estimated-memory cap            (0 = unlimited)
+//     --deadline-ms=N      wall-clock budget               (0 = unlimited)
 //
-// Exit status: 0 no violation, 1 violation observed, 2 usage error.
+// Live monitoring runs under the same resource governor as the offline
+// checker: a cap breach degrades to the vector-clock hot spare instead of
+// aborting, and an exhausted budget yields verdict-unknown.
+//
+// Exit status: 0 no violation, 1 violation observed, 2 usage error,
+// 3 resource-limited (budget exhausted before a verdict was reached).
 //
 //===----------------------------------------------------------------------===//
 
 #include "aero/AeroDrome.h"
+#include "analysis/Governor.h"
 #include "analysis/SanitizerGate.h"
 #include "analysis/TraceRecorder.h"
 #include "atomizer/Atomizer.h"
@@ -44,7 +55,9 @@ void usage() {
                "  --list  --seed=N  --scale=N  --record=FILE\n"
                "  --backend=velodrome|aero|both\n"
                "  --disable=SITE  --adversarial  --policy=POLICY\n"
-               "  --exclude-known\n");
+               "  --exclude-known\n"
+               "  --max-events=N  --max-live-nodes=N  --max-memory-mb=N\n"
+               "  --deadline-ms=N      resource governor caps\n");
 }
 
 /// Parse a full decimal uint64 ("--seed="). Rejects empty strings, trailing
@@ -96,9 +109,15 @@ int main(int argc, char **argv) {
   bool Adversarial = false, ExcludeKnown = false;
   StallPolicy Policy = StallPolicy::AllOps;
   std::vector<std::string> Disabled;
+  GovernorLimits Limits;
+  // Same default as velodrome-check: runaway executions degrade to the
+  // vector-clock spare before the graph's 16-bit slot space is at risk.
+  Limits.MaxLiveNodes = 60000;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
+    uint64_t *U64Target = nullptr;
+    size_t U64Prefix = 0;
     if (Arg == "--list") {
       listWorkloads();
       return 0;
@@ -152,6 +171,18 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--exclude-known") {
       ExcludeKnown = true;
+    } else if (Arg.rfind("--max-events=", 0) == 0) {
+      U64Target = &Limits.MaxEvents;
+      U64Prefix = 13;
+    } else if (Arg.rfind("--max-live-nodes=", 0) == 0) {
+      U64Target = &Limits.MaxLiveNodes;
+      U64Prefix = 17;
+    } else if (Arg.rfind("--max-memory-mb=", 0) == 0) {
+      U64Target = &Limits.MaxMemoryBytes;
+      U64Prefix = 16;
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      U64Target = &Limits.DeadlineMillis;
+      U64Prefix = 14;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -164,6 +195,15 @@ int main(int argc, char **argv) {
     } else {
       usage();
       return 2;
+    }
+    if (U64Target) {
+      if (!parseU64(Arg.c_str() + U64Prefix, *U64Target)) {
+        std::fprintf(stderr, "invalid value in '%s'\n", Arg.c_str());
+        usage();
+        return 2;
+      }
+      if (U64Target == &Limits.MaxMemoryBytes)
+        *U64Target *= 1024 * 1024;
     }
   }
   if (Name.empty()) {
@@ -192,11 +232,41 @@ int main(int argc, char **argv) {
   AeroDrome Aero;
   Atomizer Atom;
   TraceRecorder Rec;
+
+  // The live path runs under the same resource governor as the offline
+  // checker: the graph checker as primary, the vector-clock checker as its
+  // lockstep hot spare (fed from the start even when not selected for
+  // reporting, so a mid-run degradation loses no verdict coverage).
+  Backend *Primary = RunVelo   ? static_cast<Backend *>(&Velo)
+                     : RunAero ? static_cast<Backend *>(&Aero)
+                               : nullptr;
+  Backend *Fallback = RunVelo ? static_cast<Backend *>(&Aero) : nullptr;
+  GovernedAnalysis::Probe Probe;
+  GovernedAnalysis::FailProbe FailProbe;
+  if (Primary == &Velo) {
+    Probe = [&Velo](uint64_t &Nodes, uint64_t &Bytes) {
+      Nodes = Velo.graph().nodesAlive();
+      Bytes = Nodes * 256;
+    };
+    FailProbe = [&Velo]() -> std::string {
+      return Velo.graphExhausted() ? "happens-before graph node slot space "
+                                     "exhausted"
+                                   : "";
+    };
+  }
+  bool Governed = Primary != nullptr && Limits.any();
+  GovernedAnalysis Gov(Governed ? *Primary : Velo, Fallback, Limits,
+                       std::move(Probe), std::move(FailProbe));
+
   std::vector<Backend *> Backends;
-  if (RunVelo)
-    Backends.push_back(&Velo);
-  if (RunAero)
-    Backends.push_back(&Aero);
+  if (Governed) {
+    Backends.push_back(&Gov);
+  } else {
+    if (RunVelo)
+      Backends.push_back(&Velo);
+    if (RunAero)
+      Backends.push_back(&Aero);
+  }
   Backends.push_back(&Atom);
   if (!RecordFile.empty())
     Backends.push_back(&Rec);
@@ -242,7 +312,10 @@ int main(int argc, char **argv) {
                       : RT.symbols().labelName(V.Method).c_str(),
                   V.Witness);
   }
-  if (RunVelo && RunAero && Velo.sawViolation() != Aero.sawViolation())
+  // A degraded run legitimately stops feeding the graph checker early, so
+  // the cross-check only applies while both saw the whole stream.
+  if (RunVelo && RunAero && (!Governed || Gov.state() == GovernorState::Normal)
+      && Velo.sawViolation() != Aero.sawViolation())
     std::fprintf(stderr,
                  "warning: backend verdicts disagree "
                  "(Velodrome=%d AeroDrome=%d)\n",
@@ -258,6 +331,22 @@ int main(int argc, char **argv) {
     }
     std::printf("trace written to %s (%zu events)\n", RecordFile.c_str(),
                 Rec.trace().size());
+  }
+  if (Governed) {
+    if (Gov.state() != GovernorState::Normal)
+      std::fprintf(stderr, "governor: %s%s\n", Gov.breachReason().c_str(),
+                   Gov.state() == GovernorState::Degraded
+                       ? "; fell back to the vector-clock checker"
+                       : "; analysis stopped");
+    switch (Gov.verdict()) {
+    case GovernorVerdict::Violation:
+      return 1;
+    case GovernorVerdict::Unknown:
+      std::printf("verdict: resource-limited: verdict unknown\n");
+      return 3;
+    case GovernorVerdict::Serializable:
+      return 0;
+    }
   }
   bool Violation =
       (RunVelo && Velo.sawViolation()) || (RunAero && Aero.sawViolation());
