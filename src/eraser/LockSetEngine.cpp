@@ -3,13 +3,14 @@
 #include "eraser/LockSetEngine.h"
 
 #include <algorithm>
-#include <vector>
 
 namespace velo {
 
 bool LockSetEngine::accessIsUnprotected(Tid T, VarId X, bool IsWrite) {
+  if (X >= Vars.size())
+    Vars.resize(X + 1);
   VarInfo &V = Vars[X];
-  const std::set<LockId> &Locks = Held[T];
+  const std::set<LockId> &Locks = heldOf(T);
 
   auto Intersect = [&]() {
     std::set<LockId> Out;
@@ -58,26 +59,33 @@ bool LockSetEngine::accessIsUnprotected(Tid T, VarId X, bool IsWrite) {
 }
 
 void LockSetEngine::serialize(SnapshotWriter &W) const {
-  std::vector<Tid> Tids;
-  for (const auto &KV : Held)
-    Tids.push_back(KV.first);
-  std::sort(Tids.begin(), Tids.end());
-  W.u64(Tids.size());
-  for (Tid T : Tids) {
-    const std::set<LockId> &Locks = Held.at(T);
+  // Vector slots stand in for absent map entries: skip the defaults
+  // (empty held sets, Virgin variables) so the payload only carries
+  // entities the engine has actually observed.
+  uint64_t NumThreads = 0;
+  for (const std::set<LockId> &Locks : Held)
+    if (!Locks.empty())
+      ++NumThreads;
+  W.u64(NumThreads);
+  for (Tid T = 0; T < Held.size(); ++T) {
+    const std::set<LockId> &Locks = Held[T];
+    if (Locks.empty())
+      continue;
     W.u32(T);
     W.u64(Locks.size());
     for (LockId M : Locks)
       W.u32(M);
   }
 
-  std::vector<VarId> VarIds;
-  for (const auto &KV : Vars)
-    VarIds.push_back(KV.first);
-  std::sort(VarIds.begin(), VarIds.end());
-  W.u64(VarIds.size());
-  for (VarId X : VarIds) {
-    const VarInfo &V = Vars.at(X);
+  uint64_t NumVars = 0;
+  for (const VarInfo &V : Vars)
+    if (V.State != VarState::Virgin)
+      ++NumVars;
+  W.u64(NumVars);
+  for (VarId X = 0; X < Vars.size(); ++X) {
+    const VarInfo &V = Vars[X];
+    if (V.State == VarState::Virgin)
+      continue;
     W.u32(X);
     W.u8(static_cast<uint8_t>(V.State));
     W.u32(V.Owner);
@@ -93,7 +101,7 @@ bool LockSetEngine::deserialize(SnapshotReader &R) {
   uint64_t NumThreads = R.u64();
   for (uint64_t I = 0; I < NumThreads && !R.failed(); ++I) {
     Tid T = R.u32();
-    std::set<LockId> &Locks = Held[T];
+    std::set<LockId> &Locks = heldOf(T);
     uint64_t N = R.u64();
     for (uint64_t J = 0; J < N && !R.failed(); ++J)
       Locks.insert(R.u32());
@@ -101,6 +109,10 @@ bool LockSetEngine::deserialize(SnapshotReader &R) {
   uint64_t NumVars = R.u64();
   for (uint64_t I = 0; I < NumVars && !R.failed(); ++I) {
     VarId X = R.u32();
+    if (R.failed())
+      break;
+    if (X >= Vars.size())
+      Vars.resize(X + 1);
     VarInfo &V = Vars[X];
     V.State = static_cast<VarState>(R.u8());
     V.Owner = R.u32();

@@ -27,7 +27,7 @@
 #include "events/Event.h"
 
 #include <set>
-#include <unordered_map>
+#include <vector>
 
 namespace velo {
 
@@ -39,8 +39,8 @@ public:
     Vars.clear();
   }
 
-  void onAcquire(Tid T, LockId M) { Held[T].insert(M); }
-  void onRelease(Tid T, LockId M) { Held[T].erase(M); }
+  void onAcquire(Tid T, LockId M) { heldOf(T).insert(M); }
+  void onRelease(Tid T, LockId M) { heldOf(T).erase(M); }
 
   /// Record an access and report whether it is *unprotected* (the candidate
   /// lockset is empty while the variable is shared between threads). The
@@ -51,20 +51,43 @@ public:
   /// Has variable X entered the SharedModified state with an empty
   /// candidate lockset at some point (a reportable Eraser race)?
   bool isRacyVar(VarId X) const {
-    auto It = Vars.find(X);
-    return It != Vars.end() && It->second.RacySharedModified;
+    return X < Vars.size() && Vars[X].RacySharedModified;
   }
 
   /// Has variable X been observed by more than one thread (left the
   /// Virgin/Exclusive states)?
   bool isSharedVar(VarId X) const {
-    auto It = Vars.find(X);
-    return It != Vars.end() && (It->second.State == VarState::Shared ||
-                                It->second.State == VarState::SharedModified);
+    return X < Vars.size() && (Vars[X].State == VarState::Shared ||
+                               Vars[X].State == VarState::SharedModified);
   }
 
-  const std::set<LockId> &heldLocks(Tid T) {
-    return Held[T];
+  const std::set<LockId> &heldLocks(Tid T) { return heldOf(T); }
+
+  /// Surviving candidate guard locks for X — the locks held on *every*
+  /// access since X became shared (empty for Virgin/Exclusive variables,
+  /// whose candidate set was never initialized).
+  std::set<LockId> candidateLocks(VarId X) const {
+    if (X >= Vars.size() || (Vars[X].State != VarState::Shared &&
+                             Vars[X].State != VarState::SharedModified))
+      return {};
+    return Vars[X].Candidate;
+  }
+
+  /// Human-readable name of X's state ("virgin" when never accessed).
+  const char *stateName(VarId X) const {
+    if (X >= Vars.size())
+      return "virgin";
+    switch (Vars[X].State) {
+    case VarState::Virgin:
+      return "virgin";
+    case VarState::Exclusive:
+      return "exclusive";
+    case VarState::Shared:
+      return "shared";
+    case VarState::SharedModified:
+      return "shared-modified";
+    }
+    return "virgin";
   }
 
   /// Checkpoint the full lockset state (held locks, per-variable state
@@ -82,8 +105,17 @@ private:
     bool RacySharedModified = false;
   };
 
-  std::unordered_map<Tid, std::set<LockId>> Held;
-  std::unordered_map<VarId, VarInfo> Vars;
+  std::set<LockId> &heldOf(Tid T) {
+    if (T >= Held.size())
+      Held.resize(T + 1);
+    return Held[T];
+  }
+
+  // Thread and variable ids are dense interner ids, so the hot per-access
+  // path indexes flat vectors instead of hashing (Virgin slots stand in
+  // for absent entries and are skipped when serializing).
+  std::vector<std::set<LockId>> Held;
+  std::vector<VarInfo> Vars;
 };
 
 } // namespace velo

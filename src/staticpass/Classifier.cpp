@@ -1,0 +1,65 @@
+//===- staticpass/Classifier.cpp - Whole-trace fact gathering -------------===//
+
+#include "staticpass/Classifier.h"
+
+namespace velo {
+
+void TraceClassifier::onEvent(const Event &E) {
+  ++Facts.Events;
+  switch (E.Kind) {
+  case Op::Acquire:
+    Facts.Locks.onAcquire(E.Thread, E.lock());
+    return;
+  case Op::Release:
+    Facts.Locks.onRelease(E.Thread, E.lock());
+    return;
+  case Op::Begin:
+    if (E.Thread >= TxnDepth.size())
+      TxnDepth.resize(E.Thread + 1, 0);
+    ++TxnDepth[E.Thread];
+    return;
+  case Op::End:
+    if (E.Thread < TxnDepth.size() && TxnDepth[E.Thread] > 0)
+      --TxnDepth[E.Thread];
+    return;
+  case Op::Fork:
+  case Op::Join:
+    return;
+  case Op::Read:
+  case Op::Write: {
+    ++Facts.Accesses;
+    bool IsWrite = E.Kind == Op::Write;
+    VarId X = E.var();
+    if (X >= Facts.Vars.size())
+      Facts.Vars.resize(X + 1);
+    VarFacts &F = Facts.Vars[X];
+    bool FirstAccess = !F.Seen;
+    if (FirstAccess) {
+      F.Seen = true;
+      F.FirstThread = E.Thread;
+      ++Facts.SeenVars;
+    }
+    if (E.Thread != F.FirstThread)
+      F.Multi = true;
+    if (!F.Multi)
+      ++F.PrefixAccesses;
+    if (IsWrite)
+      ++F.Writes;
+    else
+      ++F.Reads;
+    if (E.Thread < TxnDepth.size() && TxnDepth[E.Thread] > 0)
+      F.HasInTxnAccess = true;
+    // While a variable is single-threaded its engine state is Exclusive
+    // with Owner == accessor, and the engine returns false without
+    // touching any state — so those calls are skipped wholesale. Only the
+    // first access (Virgin -> Exclusive) and everything after a second
+    // thread shows up must be fed.
+    if (F.Multi || FirstAccess)
+      if (Facts.Locks.accessIsUnprotected(E.Thread, X, IsWrite))
+        F.EverUnprotected = true;
+    return;
+  }
+  }
+}
+
+} // namespace velo

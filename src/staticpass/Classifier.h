@@ -1,0 +1,67 @@
+//===- staticpass/Classifier.h - Whole-trace fact gathering -----*- C++ -*-===//
+//
+// Pass A of the two-pass static pipeline: a single linear sweep over the
+// trace that gathers, per variable, the whole-trace facts every reduction
+// pass classifies on — accessor threads, read/write counts, whether any
+// access happens inside a transaction, and whether any access ever runs
+// with an empty candidate lockset (the offline Eraser fixpoint, reusing
+// LockSetEngine so the protection bits match the dynamic back-ends
+// exactly). The classifier keeps no per-event state, so it streams in
+// constant memory per variable and composes with TraceStream.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_STATICPASS_CLASSIFIER_H
+#define VELO_STATICPASS_CLASSIFIER_H
+
+#include "eraser/LockSetEngine.h"
+#include "events/Event.h"
+
+#include <vector>
+
+namespace velo {
+
+/// Whole-trace facts about one variable.
+struct VarFacts {
+  Tid FirstThread = 0;
+  bool Seen = false;           // variable was accessed at all
+  bool Multi = false;          // accessed by more than one thread
+  bool HasInTxnAccess = false; // some access occurs inside a transaction
+  bool EverUnprotected = false; // some access ran with empty candidate set
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  /// Accesses before the first second-thread access (the whole count when
+  /// !Multi). A large prefix on a Multi var marks late publication — lint
+  /// surfaces it, but the filter never drops on it (see docs/STATIC.md).
+  uint64_t PrefixAccesses = 0;
+};
+
+/// Everything the passes need, produced by one sweep.
+struct AnalysisFacts {
+  /// Indexed by VarId (dense interner ids); slots with !Seen are
+  /// variables the trace never accessed.
+  std::vector<VarFacts> Vars;
+  uint64_t SeenVars = 0;
+  uint64_t Events = 0;
+  uint64_t Accesses = 0;
+  /// Final state of the offline lockset fixpoint; the lint pass reads the
+  /// surviving candidate guard sets out of it.
+  LockSetEngine Locks;
+};
+
+/// Streaming fact gatherer.
+class TraceClassifier {
+public:
+  void onEvent(const Event &E);
+
+  const AnalysisFacts &facts() const { return Facts; }
+  AnalysisFacts takeFacts() { return std::move(Facts); }
+
+private:
+  AnalysisFacts Facts;
+  std::vector<uint32_t> TxnDepth; // indexed by Tid
+};
+
+} // namespace velo
+
+#endif // VELO_STATICPASS_CLASSIFIER_H

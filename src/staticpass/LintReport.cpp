@@ -1,0 +1,46 @@
+//===- staticpass/LintReport.cpp - Lock-discipline lint -------------------===//
+
+#include "staticpass/LintReport.h"
+
+namespace velo {
+
+std::string LintReport::render() const {
+  std::string S;
+  S += "lock-discipline lint: " + std::to_string(TotalVars) +
+       " variable(s), " + std::to_string(SharedVars) + " shared, " +
+       std::to_string(InconsistentVars) + " inconsistently guarded, " +
+       std::to_string(RacyVars) + " racy\n";
+  for (const LintVar &V : Vars) {
+    S += "  " + V.Name + ": " + V.State;
+    if (V.ThreadLocal)
+      S += " (thread-local to T" + std::to_string(V.FirstThread) + ")";
+    if (V.ReadOnly)
+      S += " (read-only)";
+    if (V.State == "shared" || V.State == "shared-modified") {
+      if (V.Guards.empty()) {
+        S += ", no consistent guard";
+      } else {
+        S += ", guarded by {";
+        for (size_t I = 0; I < V.Guards.size(); ++I) {
+          if (I)
+            S += ", ";
+          S += V.Guards[I];
+        }
+        S += "}";
+      }
+    }
+    if (V.Racy)
+      S += " [RACY]";
+    else if (V.Inconsistent)
+      S += " [inconsistent]";
+    S += ", " + std::to_string(V.Reads) + " rd / " +
+         std::to_string(V.Writes) + " wr";
+    if (!V.ThreadLocal && V.PrefixAccesses > 0)
+      S += " (" + std::to_string(V.PrefixAccesses) +
+           " single-threaded before publication)";
+    S += "\n";
+  }
+  return S;
+}
+
+} // namespace velo

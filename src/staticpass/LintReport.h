@@ -1,0 +1,52 @@
+//===- staticpass/LintReport.h - Lock-discipline lint -----------*- C++ -*-===//
+//
+// The structured product of the lockset pass: per variable, its final
+// Eraser state, the surviving candidate guard locks, and the reduction-
+// relevant classification facts. Rendered as text by velodrome-analyze
+// and consumed programmatically by tests.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_STATICPASS_LINTREPORT_H
+#define VELO_STATICPASS_LINTREPORT_H
+
+#include "events/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace velo {
+
+struct LintVar {
+  VarId Var = 0;
+  std::string Name;
+  std::string State;                  // final Eraser lockset state
+  std::vector<std::string> Guards;    // surviving candidate guard locks
+  bool Inconsistent = false;          // some access ran unprotected
+  bool Racy = false;                  // write-shared with empty lockset
+  bool ThreadLocal = false;
+  bool ReadOnly = false;
+  bool HasInTxnAccess = false;
+  Tid FirstThread = 0;
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t PrefixAccesses = 0;
+};
+
+struct LintReport {
+  std::vector<LintVar> Vars; // sorted by variable id
+  uint64_t TotalVars = 0;
+  uint64_t SharedVars = 0;       // accessed by more than one thread
+  uint64_t ThreadLocalVars = 0;
+  uint64_t ReadOnlyVars = 0;
+  uint64_t InconsistentVars = 0; // some access unprotected
+  uint64_t RacyVars = 0;         // reportable Eraser race
+
+  /// Multi-line human-readable report, one block per variable.
+  std::string render() const;
+};
+
+} // namespace velo
+
+#endif // VELO_STATICPASS_LINTREPORT_H

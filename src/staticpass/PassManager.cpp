@@ -1,0 +1,91 @@
+//===- staticpass/PassManager.cpp - Static pass orchestration -------------===//
+
+#include "staticpass/PassManager.h"
+
+#include <algorithm>
+
+namespace velo {
+
+std::array<PassInfo, NumPasses> PassManager::registry() {
+  std::array<PassInfo, NumPasses> R;
+  for (unsigned I = 0; I < NumPasses; ++I) {
+    PassId P = static_cast<PassId>(I);
+    R[I] = PassInfo{P, passName(P), passSummary(P)};
+  }
+  return R;
+}
+
+ReductionPlan PassManager::plan(const AnalysisFacts &Facts) const {
+  ReductionPlan Plan;
+  Plan.Mask = Enabled;
+
+  if (!Facts.Vars.empty()) {
+    Plan.Class.assign(Facts.Vars.size(),
+                      static_cast<uint8_t>(VarClass::Shared));
+    Plan.InTxn.assign(Facts.Vars.size(), 1);
+  }
+
+  for (VarId X = 0; X < Facts.Vars.size(); ++X) {
+    const VarFacts &F = Facts.Vars[X];
+    if (!F.Seen)
+      continue;
+    VarClass C = VarClass::Shared;
+    // ReadOnly wins over ThreadLocal for single-thread zero-write
+    // variables: its drop rule is unconditional, the escape run rule is
+    // not. Both require that no access ever ran unprotected, keeping the
+    // dropped events exact no-ops on the Atomizer's mover classification.
+    if (Enabled.has(PassId::ReadOnly) && F.Writes == 0 && !F.EverUnprotected)
+      C = VarClass::ReadOnly;
+    else if (Enabled.has(PassId::Escape) && !F.Multi)
+      C = VarClass::ThreadLocal;
+    Plan.Class[X] = static_cast<uint8_t>(C);
+    Plan.InTxn[X] = F.HasInTxnAccess ? 1 : 0;
+  }
+  return Plan;
+}
+
+LintReport PassManager::lint(const AnalysisFacts &Facts,
+                             const SymbolTable &Syms) const {
+  LintReport Report;
+  Report.TotalVars = Facts.SeenVars;
+
+  for (VarId X = 0; X < Facts.Vars.size(); ++X) {
+    const VarFacts &F = Facts.Vars[X];
+    if (!F.Seen)
+      continue;
+    LintVar V;
+    V.Var = X;
+    V.Name = Syms.varName(X);
+    V.State = Facts.Locks.stateName(X);
+    for (LockId M : Facts.Locks.candidateLocks(X))
+      V.Guards.push_back(Syms.lockName(M));
+    std::sort(V.Guards.begin(), V.Guards.end());
+    V.Inconsistent = F.EverUnprotected;
+    V.Racy = Facts.Locks.isRacyVar(X);
+    V.ThreadLocal = !F.Multi;
+    V.ReadOnly = F.Writes == 0;
+    V.HasInTxnAccess = F.HasInTxnAccess;
+    V.FirstThread = F.FirstThread;
+    V.Reads = F.Reads;
+    V.Writes = F.Writes;
+    V.PrefixAccesses = F.PrefixAccesses;
+
+    if (F.Multi)
+      ++Report.SharedVars;
+    else
+      ++Report.ThreadLocalVars;
+    if (V.ReadOnly)
+      ++Report.ReadOnlyVars;
+    if (V.Inconsistent)
+      ++Report.InconsistentVars;
+    if (V.Racy)
+      ++Report.RacyVars;
+    Report.Vars.push_back(std::move(V));
+  }
+
+  std::sort(Report.Vars.begin(), Report.Vars.end(),
+            [](const LintVar &A, const LintVar &B) { return A.Var < B.Var; });
+  return Report;
+}
+
+} // namespace velo

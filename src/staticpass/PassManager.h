@@ -1,0 +1,51 @@
+//===- staticpass/PassManager.h - Static pass orchestration -----*- C++ -*-===//
+//
+// Drives the static passes over the facts gathered by TraceClassifier.
+// The classification passes (escape, readonly) assign each variable a
+// VarClass in the ReductionPlan; the redundant pass is purely online (its
+// run rule needs no whole-trace facts) and contributes only its mask bit;
+// the lockset pass reads the offline Eraser fixpoint back out of the
+// classifier's engine as a structured lint report.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_STATICPASS_PASSMANAGER_H
+#define VELO_STATICPASS_PASSMANAGER_H
+
+#include "staticpass/Classifier.h"
+#include "staticpass/LintReport.h"
+#include "staticpass/ReductionPlan.h"
+
+#include <array>
+
+namespace velo {
+
+struct PassInfo {
+  PassId Id;
+  const char *Name;
+  const char *Summary;
+};
+
+class PassManager {
+public:
+  explicit PassManager(PassMask Enabled) : Enabled(Enabled) {}
+
+  /// The fixed pass registry, in pipeline order.
+  static std::array<PassInfo, NumPasses> registry();
+
+  PassMask enabled() const { return Enabled; }
+
+  /// Run the classification passes, producing the plan the online
+  /// ReductionFilter enforces.
+  ReductionPlan plan(const AnalysisFacts &Facts) const;
+
+  /// Run the lockset pass: structured lock-discipline lint.
+  LintReport lint(const AnalysisFacts &Facts, const SymbolTable &Syms) const;
+
+private:
+  PassMask Enabled;
+};
+
+} // namespace velo
+
+#endif // VELO_STATICPASS_PASSMANAGER_H

@@ -1,0 +1,91 @@
+//===- staticpass/PassSpec.cpp - Static pass selection --------------------===//
+
+#include "staticpass/PassSpec.h"
+
+namespace velo {
+
+const char *passName(PassId P) {
+  switch (P) {
+  case PassId::Escape:
+    return "escape";
+  case PassId::ReadOnly:
+    return "readonly";
+  case PassId::Redundant:
+    return "redundant";
+  case PassId::Lockset:
+    return "lockset";
+  }
+  return "?";
+}
+
+const char *passSummary(PassId P) {
+  switch (P) {
+  case PassId::Escape:
+    return "drop accesses to thread-local variables";
+  case PassId::ReadOnly:
+    return "drop accesses to never-written variables";
+  case PassId::Redundant:
+    return "collapse repeated in-transaction accesses";
+  case PassId::Lockset:
+    return "infer lock discipline (lint report, drops nothing)";
+  }
+  return "?";
+}
+
+bool parsePassSpec(const std::string &Spec, PassMask &Out,
+                   std::string &ErrorOut) {
+  if (Spec == "all") {
+    Out = PassMask::all();
+    return true;
+  }
+  if (Spec == "none") {
+    Out = PassMask::none();
+    return true;
+  }
+  PassMask M;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Name = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    bool Known = false;
+    for (unsigned I = 0; I < NumPasses; ++I) {
+      PassId P = static_cast<PassId>(I);
+      if (Name == passName(P)) {
+        M.set(P);
+        Known = true;
+        break;
+      }
+    }
+    if (!Known) {
+      ErrorOut = "unknown reduction pass '" + Name +
+                 "' (expected all, none, or a comma list of escape, "
+                 "readonly, redundant, lockset)";
+      return false;
+    }
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  Out = M;
+  return true;
+}
+
+std::string passSpecString(PassMask M) {
+  if (M == PassMask::all())
+    return "all";
+  if (!M.any())
+    return "none";
+  std::string S;
+  for (unsigned I = 0; I < NumPasses; ++I) {
+    PassId P = static_cast<PassId>(I);
+    if (!M.has(P))
+      continue;
+    if (!S.empty())
+      S += ',';
+    S += passName(P);
+  }
+  return S;
+}
+
+} // namespace velo

@@ -1,0 +1,73 @@
+//===- staticpass/PassSpec.h - Static pass selection ------------*- C++ -*-===//
+//
+// Names and bitmask selection for the static trace-analysis passes. The
+// pipeline has four passes (Section 5.2 of the paper motivates the first
+// two as the "thread-local" and "read-only" filters that make Velodrome
+// practical; redundant-access elimination follows from the observation
+// that within one transaction only the first read and first write of a
+// variable can contribute new happens-before edges):
+//
+//   escape     thread-local variable elimination
+//   readonly   never-written variable elimination
+//   redundant  in-transaction repeated-access collapsing
+//   lockset    lock-discipline inference (lint only; drops nothing)
+//
+// A PassMask selects which passes run; "--reduce=all" enables everything,
+// "--reduce=escape,redundant" a subset.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_STATICPASS_PASSSPEC_H
+#define VELO_STATICPASS_PASSSPEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace velo {
+
+/// The static passes, in pipeline order.
+enum class PassId : uint8_t {
+  Escape = 0,
+  ReadOnly = 1,
+  Redundant = 2,
+  Lockset = 3,
+};
+
+inline constexpr unsigned NumPasses = 4;
+
+/// Canonical lower-case name used in --reduce specs and stats lines.
+const char *passName(PassId P);
+
+/// One-line human description for help text and reports.
+const char *passSummary(PassId P);
+
+/// Bitmask over PassId.
+struct PassMask {
+  uint8_t Bits = 0;
+
+  static PassMask all() { return PassMask{(1u << NumPasses) - 1}; }
+  static PassMask none() { return PassMask{0}; }
+
+  bool has(PassId P) const {
+    return (Bits & (1u << static_cast<unsigned>(P))) != 0;
+  }
+  void set(PassId P) { Bits |= 1u << static_cast<unsigned>(P); }
+  bool any() const { return Bits != 0; }
+
+  bool operator==(const PassMask &O) const { return Bits == O.Bits; }
+  bool operator!=(const PassMask &O) const { return Bits != O.Bits; }
+};
+
+/// Parse a --reduce spec: "all", "none", or a comma-separated list of pass
+/// names. Returns false with ErrorOut set on an unknown name or empty list
+/// element.
+bool parsePassSpec(const std::string &Spec, PassMask &Out,
+                   std::string &ErrorOut);
+
+/// Canonical spelling of a mask ("all", "none", or a comma list), stable
+/// across runs so it can be embedded in checkpoints and compared.
+std::string passSpecString(PassMask M);
+
+} // namespace velo
+
+#endif // VELO_STATICPASS_PASSSPEC_H

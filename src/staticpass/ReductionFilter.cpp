@@ -1,0 +1,179 @@
+//===- staticpass/ReductionFilter.cpp - Sound online event filter ---------===//
+
+#include "staticpass/ReductionFilter.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace velo {
+
+std::string PassStats::summary() const {
+  std::string S;
+  for (unsigned I = 0; I < NumPasses; ++I) {
+    PassId P = static_cast<PassId>(I);
+    if (P == PassId::Lockset)
+      continue;
+    S += std::string(passName(P)) + "=" + std::to_string(Dropped[I]) + " ";
+  }
+  S += "dropped=" + std::to_string(droppedTotal()) + "/" +
+       std::to_string(Input);
+  return S;
+}
+
+void PassStats::serialize(SnapshotWriter &W) const {
+  W.u64(Input);
+  W.u64(Kept);
+  for (uint64_t D : Dropped)
+    W.u64(D);
+}
+
+bool PassStats::deserialize(SnapshotReader &R) {
+  Input = R.u64();
+  Kept = R.u64();
+  for (uint64_t &D : Dropped)
+    D = R.u64();
+  return !R.failed();
+}
+
+bool ReductionFilter::keep(const Event &E) {
+  ++Stats.Input;
+  if (E.Thread >= Threads.size())
+    Threads.resize(E.Thread + 1);
+  ThreadState &TS = Threads[E.Thread];
+  bool FirstOfThread = !TS.SawAny;
+  TS.SawAny = true;
+
+  if (E.Kind == Op::Acquire)
+    Sim.onAcquire(E.Thread, E.lock());
+  else if (E.Kind == Op::Release)
+    Sim.onRelease(E.Thread, E.lock());
+
+  if (!E.isAccess()) {
+    // Sync and transaction-marker events are never dropped; they carry
+    // the happens-before structure every back-end keys on.
+    ++TS.KeptSeq;
+    ++Stats.Kept;
+    return true;
+  }
+
+  // Hot path: always-drop classes never consult the engine or the run
+  // table — an Eraser variable's state depends only on accesses to that
+  // variable, and for these classes it is never read (docs/STATIC.md,
+  // "engine exactness").
+  VarId X = E.var();
+  VarClass C = Plan.classOf(X);
+  bool RunVar = C == VarClass::Shared ||
+                (C == VarClass::ThreadLocal && Plan.hasInTxn(X));
+  if (!RunVar) {
+    if (!FirstOfThread) {
+      ++Stats.Dropped[static_cast<unsigned>(
+          C == VarClass::ReadOnly ? PassId::ReadOnly : PassId::Escape)];
+      return false;
+    }
+    ++TS.KeptSeq;
+    ++Stats.Kept;
+    return true;
+  }
+
+  bool IsWrite = E.Kind == Op::Write;
+  bool Unprotected = Sim.accessIsUnprotected(E.Thread, X, IsWrite);
+  if (X >= Runs.size())
+    Runs.resize(X + 1);
+  VarRun &Run = Runs[X];
+
+  if (!FirstOfThread) {
+    bool RunRule =
+        (C == VarClass::ThreadLocal && Plan.Mask.has(PassId::Escape)) ||
+        (C == VarClass::Shared && Plan.Mask.has(PassId::Redundant));
+    if (RunRule && runLive(Run, TS, E.Thread) && !Unprotected &&
+        !Run.LastKeptUnprotected && (!IsWrite || Run.HasKeptWrite)) {
+      ++Stats.Dropped[static_cast<unsigned>(
+          C == VarClass::ThreadLocal ? PassId::Escape : PassId::Redundant)];
+      return false;
+    }
+  }
+
+  // Kept access: start or extend this variable's run.
+  if (!runLive(Run, TS, E.Thread)) {
+    Run = VarRun{};
+    Run.Thread = E.Thread;
+    Run.Live = true;
+    Run.KeptSeqAtStart = TS.KeptSeq;
+  }
+  ++Run.KeptAccesses;
+  Run.HasKeptWrite = Run.HasKeptWrite || IsWrite;
+  Run.LastKeptUnprotected = Unprotected;
+  ++TS.KeptSeq;
+  ++Stats.Kept;
+  return true;
+}
+
+void ReductionFilter::serialize(SnapshotWriter &W) const {
+  Plan.serialize(W);
+  Stats.serialize(W);
+  Sim.serialize(W);
+
+  uint64_t NumThreads = 0;
+  for (const ThreadState &TS : Threads)
+    if (TS.SawAny)
+      ++NumThreads;
+  W.u64(NumThreads);
+  for (Tid T = 0; T < Threads.size(); ++T) {
+    const ThreadState &TS = Threads[T];
+    if (!TS.SawAny)
+      continue;
+    W.u32(T);
+    W.u64(TS.KeptSeq);
+    W.boolean(TS.SawAny);
+  }
+
+  uint64_t NumRuns = 0;
+  for (const VarRun &Run : Runs)
+    if (Run.KeptAccesses != 0)
+      ++NumRuns;
+  W.u64(NumRuns);
+  for (VarId X = 0; X < Runs.size(); ++X) {
+    const VarRun &Run = Runs[X];
+    if (Run.KeptAccesses == 0)
+      continue;
+    W.u32(X);
+    W.u32(Run.Thread);
+    W.boolean(Run.Live);
+    W.u64(Run.KeptSeqAtStart);
+    W.u64(Run.KeptAccesses);
+    W.boolean(Run.HasKeptWrite);
+    W.boolean(Run.LastKeptUnprotected);
+  }
+}
+
+bool ReductionFilter::deserialize(SnapshotReader &R) {
+  Threads.clear();
+  Runs.clear();
+  if (!Plan.deserialize(R) || !Stats.deserialize(R) || !Sim.deserialize(R))
+    return false;
+  uint64_t NumThreads = R.u64();
+  for (uint64_t I = 0; I < NumThreads && !R.failed(); ++I) {
+    Tid T = R.u32();
+    if (T >= Threads.size())
+      Threads.resize(T + 1);
+    ThreadState &TS = Threads[T];
+    TS.KeptSeq = R.u64();
+    TS.SawAny = R.boolean();
+  }
+  uint64_t NumVars = R.u64();
+  for (uint64_t I = 0; I < NumVars && !R.failed(); ++I) {
+    VarId X = R.u32();
+    if (X >= Runs.size())
+      Runs.resize(X + 1);
+    VarRun &Run = Runs[X];
+    Run.Thread = R.u32();
+    Run.Live = R.boolean();
+    Run.KeptSeqAtStart = R.u64();
+    Run.KeptAccesses = R.u64();
+    Run.HasKeptWrite = R.boolean();
+    Run.LastKeptUnprotected = R.boolean();
+  }
+  return !R.failed();
+}
+
+} // namespace velo

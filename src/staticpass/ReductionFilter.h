@@ -1,0 +1,129 @@
+//===- staticpass/ReductionFilter.h - Sound online event filter -*- C++ -*-===//
+//
+// Pass B of the static pipeline: an online automaton that decides, per
+// event, whether the event can be withheld from every dynamic back-end
+// without changing any verdict or warning byte. The rules (soundness
+// arguments in docs/STATIC.md):
+//
+//   Rule 0  a thread's first event is always kept. This pins fork/join
+//           step publication (Velodrome active-transaction merges,
+//           AeroDrome's deferred PendingParent join) to the same event in
+//           reduced and unreduced runs.
+//
+//   Rule 1  ReadOnly variables (never written, never unprotected): every
+//           access is dropped. No writer means no happens-before edges, no
+//           Eraser SharedModified state, no HB write clock, and no
+//           Atomizer non-mover.
+//
+//   Rule 2  ThreadLocal variables with no in-transaction access: every
+//           access is dropped. Outside transactions a same-thread access
+//           merges into the thread's current unary step, a no-op.
+//
+//   Rule 3  run-covered repeats (ThreadLocal-with-transactions under the
+//           escape pass, Shared under the redundant pass). A *run* for
+//           variable x is a maximal sequence of KEPT x-accesses by one
+//           thread with no other KEPT event of that thread and no KEPT
+//           foreign x-access in between. An access is droppable iff the
+//           run is live (so a kept *cover* access is adjacent in the kept
+//           stream), a write has a kept write in the run, and both the
+//           event and the cover ran lock-protected. Dropped events never
+//           extend or reset runs — they are exact no-ops on every
+//           back-end, which is also what makes reduction idempotent.
+//
+// Protection bits come from the filter's own LockSetEngine. The engine is
+// fed every lock operation and every access to a *run-rule* variable
+// (kept and dropped), so its per-variable bits track the unreduced
+// back-ends' engines exactly where they are consulted. Accesses to
+// always-drop classes (ReadOnly, ThreadLocal-without-transactions) skip
+// the engine entirely: an Eraser variable's state depends only on
+// accesses to that same variable, and those classes' drop decisions never
+// read it — this is the hot path that makes reduction cheaper than the
+// analysis it saves.
+//
+// The filter serializes its full state (plan, run table, engine, stats)
+// into checkpoints, so a resumed run filters identically.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_STATICPASS_REDUCTIONFILTER_H
+#define VELO_STATICPASS_REDUCTIONFILTER_H
+
+#include "eraser/LockSetEngine.h"
+#include "staticpass/ReductionPlan.h"
+
+#include <string>
+#include <vector>
+
+namespace velo {
+
+/// Per-pass reduction effectiveness counters.
+struct PassStats {
+  uint64_t Input = 0;
+  uint64_t Kept = 0;
+  uint64_t Dropped[NumPasses] = {0, 0, 0, 0}; // Lockset drops nothing
+
+  uint64_t droppedTotal() const {
+    uint64_t N = 0;
+    for (uint64_t D : Dropped)
+      N += D;
+    return N;
+  }
+
+  /// "escape=12 readonly=30 redundant=7 dropped=49/100" for stats lines.
+  std::string summary() const;
+
+  void serialize(SnapshotWriter &W) const;
+  bool deserialize(SnapshotReader &R);
+};
+
+/// Online keep/drop decision procedure over a ReductionPlan.
+class ReductionFilter {
+public:
+  ReductionFilter() = default;
+  explicit ReductionFilter(ReductionPlan P) : Plan(std::move(P)) {}
+
+  /// Decide event E and update all filter state. Returns true when E must
+  /// be delivered to the back-ends.
+  bool keep(const Event &E);
+
+  const ReductionPlan &plan() const { return Plan; }
+  const PassStats &stats() const { return Stats; }
+
+  void serialize(SnapshotWriter &W) const;
+  bool deserialize(SnapshotReader &R);
+
+private:
+  struct ThreadState {
+    uint64_t KeptSeq = 0; // number of kept events of this thread
+    bool SawAny = false;
+  };
+
+  /// Live run for one variable. Valid while the owning thread has kept
+  /// nothing but this run's accesses since the run began and no foreign
+  /// access to the variable was kept.
+  struct VarRun {
+    Tid Thread = 0;
+    bool Live = false;
+    uint64_t KeptSeqAtStart = 0;
+    uint64_t KeptAccesses = 0;
+    bool HasKeptWrite = false;
+    bool LastKeptUnprotected = false;
+  };
+
+  bool runLive(const VarRun &Run, const ThreadState &TS, Tid T) const {
+    return Run.Live && Run.Thread == T &&
+           TS.KeptSeq == Run.KeptSeqAtStart + Run.KeptAccesses;
+  }
+
+  // Dense ids index flat vectors; default-valued slots stand in for
+  // absent entries and are skipped when serializing.
+  ReductionPlan Plan;
+  PassStats Stats;
+  LockSetEngine Sim;
+  std::vector<ThreadState> Threads; // indexed by Tid
+  std::vector<VarRun> Runs;         // indexed by VarId
+};
+
+} // namespace velo
+
+#endif // VELO_STATICPASS_REDUCTIONFILTER_H

@@ -1,0 +1,30 @@
+//===- staticpass/ReductionPlan.cpp - Per-variable drop plan --------------===//
+
+#include "staticpass/ReductionPlan.h"
+
+namespace velo {
+
+void ReductionPlan::serialize(SnapshotWriter &W) const {
+  W.u8(Mask.Bits);
+  W.u64(Class.size());
+  for (uint8_t C : Class)
+    W.u8(C);
+  W.u64(InTxn.size());
+  for (uint8_t B : InTxn)
+    W.u8(B);
+}
+
+bool ReductionPlan::deserialize(SnapshotReader &R) {
+  Mask.Bits = R.u8();
+  Class.clear();
+  InTxn.clear();
+  uint64_t N = R.u64();
+  for (uint64_t I = 0; I < N && !R.failed(); ++I)
+    Class.push_back(R.u8());
+  uint64_t M = R.u64();
+  for (uint64_t I = 0; I < M && !R.failed(); ++I)
+    InTxn.push_back(R.u8());
+  return !R.failed();
+}
+
+} // namespace velo

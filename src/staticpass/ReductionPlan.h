@@ -1,0 +1,55 @@
+//===- staticpass/ReductionPlan.h - Per-variable drop plan ------*- C++ -*-===//
+//
+// The product of the classification passes: a per-variable class that the
+// online ReductionFilter enforces during replay (pass B). Classes encode
+// how aggressively a variable's accesses may be dropped without changing
+// any back-end's verdict or warning bytes:
+//
+//   ReadOnly     never written and never unprotected — every access after
+//                the owning thread's first event can go
+//   ThreadLocal  a single accessor thread; with no in-transaction access
+//                every non-first access can go, otherwise only run-covered
+//                repeats (see ReductionFilter.h)
+//   Shared       multi-thread — only the redundant pass applies, via the
+//                same run-covered rule
+//
+// The plan serializes into checkpoints so --resume can skip pass A.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_STATICPASS_REDUCTIONPLAN_H
+#define VELO_STATICPASS_REDUCTIONPLAN_H
+
+#include "analysis/Snapshot.h"
+#include "events/Event.h"
+#include "staticpass/PassSpec.h"
+
+#include <vector>
+
+namespace velo {
+
+enum class VarClass : uint8_t { Shared = 0, ThreadLocal = 1, ReadOnly = 2 };
+
+/// Dense per-variable classification (indexed by VarId). Variables beyond
+/// the table — impossible after a whole-trace sweep, but defended against —
+/// default to the conservative Shared-with-transactions class.
+struct ReductionPlan {
+  PassMask Mask;
+  std::vector<uint8_t> Class;
+  std::vector<uint8_t> InTxn;
+
+  VarClass classOf(VarId X) const {
+    return X < Class.size() ? static_cast<VarClass>(Class[X])
+                            : VarClass::Shared;
+  }
+  bool hasInTxn(VarId X) const {
+    return X < InTxn.size() ? InTxn[X] != 0 : true;
+  }
+
+  void serialize(SnapshotWriter &W) const;
+  bool deserialize(SnapshotReader &R);
+};
+
+} // namespace velo
+
+#endif // VELO_STATICPASS_REDUCTIONPLAN_H

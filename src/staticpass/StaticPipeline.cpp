@@ -1,0 +1,31 @@
+//===- staticpass/StaticPipeline.cpp - Whole-trace convenience API --------===//
+
+#include "staticpass/StaticPipeline.h"
+
+namespace velo {
+
+AnalysisFacts classifyTrace(const Trace &T) {
+  TraceClassifier C;
+  for (const Event &E : T)
+    C.onEvent(E);
+  return C.takeFacts();
+}
+
+ReductionPlan planTrace(const Trace &T, PassMask Mask) {
+  return PassManager(Mask).plan(classifyTrace(T));
+}
+
+Trace reduceTrace(const Trace &T, const ReductionPlan &Plan,
+                  PassStats *StatsOut) {
+  ReductionFilter Filter(Plan);
+  Trace Out;
+  Out.symbols() = T.symbols();
+  for (const Event &E : T)
+    if (Filter.keep(E))
+      Out.push(E);
+  if (StatsOut)
+    *StatsOut = Filter.stats();
+  return Out;
+}
+
+} // namespace velo

@@ -1,0 +1,161 @@
+//===- tests/LockSetEngineTest.cpp - Eraser lockset engine tests ----------===//
+//
+// Standalone tests for the shared Eraser state machine (Savage et al.
+// 1997) that the Eraser back-end, the Atomizer's mover classification,
+// and the static lockset pass all reuse: candidate-set refinement order,
+// release-then-reacquire behavior, first-access initialization, the
+// reporting accessors, and snapshot round-trips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eraser/LockSetEngine.h"
+
+#include <gtest/gtest.h>
+
+namespace velo {
+namespace {
+
+TEST(LockSetEngineTest, FirstAccessInitializesExclusive) {
+  LockSetEngine E;
+  EXPECT_STREQ(E.stateName(0), "virgin");
+  // The first access claims the variable for its thread regardless of the
+  // locks held — Virgin -> Exclusive never reports.
+  EXPECT_FALSE(E.accessIsUnprotected(0, 0, /*IsWrite=*/true));
+  EXPECT_STREQ(E.stateName(0), "exclusive");
+  EXPECT_FALSE(E.isSharedVar(0));
+  EXPECT_TRUE(E.candidateLocks(0).empty())
+      << "candidate set is not initialized until the variable is shared";
+
+  // Same-owner accesses stay Exclusive and never report, even unguarded.
+  EXPECT_FALSE(E.accessIsUnprotected(0, 0, false));
+  EXPECT_FALSE(E.accessIsUnprotected(0, 0, true));
+  EXPECT_STREQ(E.stateName(0), "exclusive");
+}
+
+TEST(LockSetEngineTest, CandidateInitializedFromFirstSharingAccess) {
+  LockSetEngine E;
+  E.onAcquire(0, 1);
+  EXPECT_FALSE(E.accessIsUnprotected(0, 0, true)); // Exclusive(T0)
+  // T1 shares the variable while holding locks {1, 2}: the candidate set
+  // starts as the *sharing* accessor's held set, not the owner's.
+  E.onAcquire(1, 1);
+  E.onAcquire(1, 2);
+  EXPECT_FALSE(E.accessIsUnprotected(1, 0, false));
+  EXPECT_STREQ(E.stateName(0), "shared");
+  EXPECT_TRUE(E.isSharedVar(0));
+  EXPECT_EQ(E.candidateLocks(0), (std::set<LockId>{1, 2}));
+}
+
+TEST(LockSetEngineTest, RefinementIntersectsInAccessOrder) {
+  LockSetEngine E;
+  E.onAcquire(0, 1);
+  E.onAcquire(0, 2);
+  EXPECT_FALSE(E.accessIsUnprotected(0, 0, true));
+  E.onAcquire(1, 1);
+  E.onAcquire(1, 2);
+  EXPECT_FALSE(E.accessIsUnprotected(1, 0, false)); // candidate {1,2}
+  // An access under {1} only refines the candidate to the intersection.
+  E.onRelease(1, 2);
+  EXPECT_FALSE(E.accessIsUnprotected(1, 0, false));
+  EXPECT_EQ(E.candidateLocks(0), (std::set<LockId>{1}));
+  // Refinement is monotone: re-adding lock 2 later cannot grow the set.
+  E.onAcquire(1, 2);
+  EXPECT_FALSE(E.accessIsUnprotected(1, 0, false));
+  EXPECT_EQ(E.candidateLocks(0), (std::set<LockId>{1}));
+}
+
+TEST(LockSetEngineTest, ReleaseThenReacquireStillProtects) {
+  LockSetEngine E;
+  // The discipline is "hold the lock *during* each access" — releasing
+  // between accesses is fine as long as it is re-held at access time.
+  for (int Round = 0; Round < 3; ++Round) {
+    Tid T = Round % 2;
+    E.onAcquire(T, 9);
+    EXPECT_FALSE(E.accessIsUnprotected(T, 5, true)) << "round " << Round;
+    E.onRelease(T, 9);
+  }
+  EXPECT_STREQ(E.stateName(5), "shared-modified");
+  EXPECT_EQ(E.candidateLocks(5), (std::set<LockId>{9}));
+  EXPECT_FALSE(E.isRacyVar(5));
+
+  // One access while the guard is temporarily released empties the
+  // candidate set — and that verdict is sticky.
+  EXPECT_TRUE(E.accessIsUnprotected(1, 5, true));
+  EXPECT_TRUE(E.isRacyVar(5));
+  EXPECT_TRUE(E.candidateLocks(5).empty());
+  E.onAcquire(1, 9);
+  EXPECT_TRUE(E.accessIsUnprotected(1, 5, true))
+      << "an empty candidate set never recovers";
+  EXPECT_TRUE(E.isRacyVar(5));
+}
+
+TEST(LockSetEngineTest, UnguardedFirstSharingIsSuspiciousButNotRacy) {
+  LockSetEngine E;
+  EXPECT_FALSE(E.accessIsUnprotected(0, 0, false));
+  // A read-shared variable with an empty candidate set is reported as
+  // unprotected (the Atomizer treats it as a non-mover) but is not an
+  // Eraser race until it is written.
+  EXPECT_TRUE(E.accessIsUnprotected(1, 0, false));
+  EXPECT_STREQ(E.stateName(0), "shared");
+  EXPECT_FALSE(E.isRacyVar(0));
+  // The write in Shared state with an empty candidate is the race.
+  EXPECT_TRUE(E.accessIsUnprotected(1, 0, true));
+  EXPECT_STREQ(E.stateName(0), "shared-modified");
+  EXPECT_TRUE(E.isRacyVar(0));
+}
+
+TEST(LockSetEngineTest, SharedReadsDoNotEscalateToRace) {
+  LockSetEngine E;
+  E.onAcquire(0, 1);
+  EXPECT_FALSE(E.accessIsUnprotected(0, 3, false));
+  E.onAcquire(1, 1);
+  EXPECT_FALSE(E.accessIsUnprotected(1, 3, false));
+  for (int I = 0; I < 4; ++I)
+    EXPECT_FALSE(E.accessIsUnprotected(I % 2, 3, false));
+  EXPECT_STREQ(E.stateName(3), "shared");
+  EXPECT_FALSE(E.isRacyVar(3));
+}
+
+TEST(LockSetEngineTest, HeldLocksTrackAcquireRelease) {
+  LockSetEngine E;
+  E.onAcquire(2, 7);
+  E.onAcquire(2, 8);
+  EXPECT_EQ(E.heldLocks(2), (std::set<LockId>{7, 8}));
+  E.onRelease(2, 7);
+  EXPECT_EQ(E.heldLocks(2), (std::set<LockId>{8}));
+  EXPECT_TRUE(E.heldLocks(3).empty());
+}
+
+TEST(LockSetEngineTest, SnapshotRoundTripPreservesBehavior) {
+  LockSetEngine E;
+  E.onAcquire(0, 1);
+  E.onAcquire(0, 2);
+  EXPECT_FALSE(E.accessIsUnprotected(0, 0, true));
+  E.onAcquire(1, 2);
+  EXPECT_FALSE(E.accessIsUnprotected(1, 0, false)); // candidate {2}
+  EXPECT_FALSE(E.accessIsUnprotected(0, 4, false)); // Exclusive(T0)
+  EXPECT_FALSE(E.accessIsUnprotected(1, 6, true)); // Virgin -> Exclusive(T1)
+  EXPECT_TRUE(E.accessIsUnprotected(2, 6, true)) << "T2 holds no locks";
+  SnapshotWriter W;
+  E.serialize(W);
+
+  SnapshotReader R(W.payload());
+  LockSetEngine Back;
+  ASSERT_TRUE(Back.deserialize(R));
+  EXPECT_EQ(Back.heldLocks(0), E.heldLocks(0));
+  EXPECT_EQ(Back.heldLocks(1), E.heldLocks(1));
+  for (VarId X : {0u, 4u, 6u}) {
+    EXPECT_STREQ(Back.stateName(X), E.stateName(X)) << "var " << X;
+    EXPECT_EQ(Back.candidateLocks(X), E.candidateLocks(X)) << "var " << X;
+    EXPECT_EQ(Back.isRacyVar(X), E.isRacyVar(X)) << "var " << X;
+    EXPECT_EQ(Back.isSharedVar(X), E.isSharedVar(X)) << "var " << X;
+  }
+  // Continuing both engines yields identical reports.
+  EXPECT_EQ(Back.accessIsUnprotected(1, 0, true),
+            E.accessIsUnprotected(1, 0, true));
+  EXPECT_EQ(Back.accessIsUnprotected(0, 4, true),
+            E.accessIsUnprotected(0, 4, true));
+}
+
+} // namespace
+} // namespace velo

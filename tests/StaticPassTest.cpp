@@ -1,0 +1,509 @@
+//===- tests/StaticPassTest.cpp - Static reduction pipeline tests ---------===//
+//
+// Unit tests for the static pass pipeline (docs/STATIC.md): pass spec
+// parsing, the whole-trace classifier, per-variable planning, the online
+// reduction filter's keep/drop rules, snapshot round-trips, the lint
+// report, and the end-to-end invariant the whole subsystem exists to
+// uphold — every back-end's verdict and warning list on the reduced trace
+// is identical to the unreduced run, on golden and generated traces alike.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aero/AeroDrome.h"
+#include "atomizer/Atomizer.h"
+#include "core/BasicVelodrome.h"
+#include "core/Velodrome.h"
+#include "eraser/Eraser.h"
+#include "events/TraceGen.h"
+#include "events/TraceText.h"
+#include "hbrace/HbRaceDetector.h"
+#include "staticpass/StaticPipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace velo {
+namespace {
+
+Trace parse(const std::string &Text) {
+  Trace T;
+  std::string Error;
+  EXPECT_TRUE(parseTrace(Text, T, Error)) << Error;
+  return T;
+}
+
+VarId var(const Trace &T, const std::string &Name) {
+  uint32_t Id = 0;
+  EXPECT_TRUE(T.symbols().Vars.lookup(Name, Id)) << "unknown var " << Name;
+  return Id;
+}
+
+/// Per-event keep/drop decisions for T under its own all-pass plan.
+std::vector<bool> decisions(const Trace &T, PassMask Mask = PassMask::all()) {
+  ReductionFilter F(planTrace(T, Mask));
+  std::vector<bool> Out;
+  for (const Event &E : T)
+    Out.push_back(F.keep(E));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass spec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(PassSpecTest, ParsesAllNoneAndLists) {
+  PassMask M;
+  std::string Error;
+  ASSERT_TRUE(parsePassSpec("all", M, Error));
+  EXPECT_EQ(M, PassMask::all());
+  ASSERT_TRUE(parsePassSpec("none", M, Error));
+  EXPECT_EQ(M, PassMask::none());
+
+  ASSERT_TRUE(parsePassSpec("escape", M, Error));
+  EXPECT_TRUE(M.has(PassId::Escape));
+  EXPECT_FALSE(M.has(PassId::ReadOnly));
+  EXPECT_FALSE(M.has(PassId::Redundant));
+  EXPECT_FALSE(M.has(PassId::Lockset));
+
+  ASSERT_TRUE(parsePassSpec("redundant,lockset", M, Error));
+  EXPECT_FALSE(M.has(PassId::Escape));
+  EXPECT_TRUE(M.has(PassId::Redundant));
+  EXPECT_TRUE(M.has(PassId::Lockset));
+}
+
+TEST(PassSpecTest, RejectsUnknownAndEmptyNames) {
+  PassMask M;
+  std::string Error;
+  EXPECT_FALSE(parsePassSpec("bogus", M, Error));
+  EXPECT_NE(Error.find("unknown reduction pass 'bogus'"), std::string::npos);
+  EXPECT_FALSE(parsePassSpec("escape,,redundant", M, Error));
+  EXPECT_FALSE(parsePassSpec("", M, Error));
+}
+
+TEST(PassSpecTest, CanonicalStringRoundTripsEveryMask) {
+  for (uint8_t Bits = 0; Bits < (1u << NumPasses); ++Bits) {
+    PassMask M{Bits};
+    PassMask Back;
+    std::string Error;
+    ASSERT_TRUE(parsePassSpec(passSpecString(M), Back, Error))
+        << passSpecString(M) << ": " << Error;
+    EXPECT_EQ(Back, M) << passSpecString(M);
+  }
+  EXPECT_EQ(passSpecString(PassMask::all()), "all");
+  EXPECT_EQ(passSpecString(PassMask::none()), "none");
+}
+
+//===----------------------------------------------------------------------===//
+// Classifier
+//===----------------------------------------------------------------------===//
+
+TEST(ClassifierTest, GathersPerVariableFacts) {
+  Trace T = parse("T0 wr x\n"
+                  "T0 begin A\n"
+                  "T0 rd y\n"
+                  "T0 end\n"
+                  "T1 rd x\n"
+                  "T0 acq l\n"
+                  "T0 wr g\n"
+                  "T0 rel l\n"
+                  "T1 acq l\n"
+                  "T1 wr g\n"
+                  "T1 rel l\n");
+  AnalysisFacts F = classifyTrace(T);
+  EXPECT_EQ(F.Events, T.size());
+  EXPECT_EQ(F.Accesses, 5u);
+  ASSERT_EQ(F.SeenVars, 3u);
+
+  const VarFacts &X = F.Vars.at(var(T, "x"));
+  EXPECT_EQ(X.FirstThread, 0u);
+  EXPECT_TRUE(X.Multi);
+  EXPECT_FALSE(X.HasInTxnAccess);
+  // T1's read shares x with an empty candidate lockset.
+  EXPECT_TRUE(X.EverUnprotected);
+  EXPECT_EQ(X.Reads, 1u);
+  EXPECT_EQ(X.Writes, 1u);
+  EXPECT_EQ(X.PrefixAccesses, 1u) << "prefix stops at the second thread";
+
+  const VarFacts &Y = F.Vars.at(var(T, "y"));
+  EXPECT_FALSE(Y.Multi);
+  EXPECT_TRUE(Y.HasInTxnAccess);
+  EXPECT_EQ(Y.Reads, 1u);
+  EXPECT_EQ(Y.Writes, 0u);
+
+  const VarFacts &G = F.Vars.at(var(T, "g"));
+  EXPECT_TRUE(G.Multi);
+  EXPECT_FALSE(G.EverUnprotected) << "every sharing access held l";
+  EXPECT_EQ(G.Writes, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Planning
+//===----------------------------------------------------------------------===//
+
+TEST(PassManagerTest, ClassifiesVariables) {
+  Trace T = parse("T0 wr t\n"
+                  "T0 rd t\n"
+                  "T0 acq l\n"
+                  "T0 rd r\n"
+                  "T0 rel l\n"
+                  "T1 acq l\n"
+                  "T1 rd r\n"
+                  "T1 rel l\n"
+                  "T0 rd u\n"
+                  "T1 rd u\n"
+                  "T0 wr s\n"
+                  "T1 wr s\n");
+  ReductionPlan P = planTrace(T, PassMask::all());
+  EXPECT_EQ(P.classOf(var(T, "t")), VarClass::ThreadLocal);
+  EXPECT_EQ(P.classOf(var(T, "r")), VarClass::ReadOnly)
+      << "guarded multi-thread read-only";
+  EXPECT_EQ(P.classOf(var(T, "u")), VarClass::Shared)
+      << "unguarded sharing makes the reads Atomizer non-movers";
+  EXPECT_EQ(P.classOf(var(T, "s")), VarClass::Shared);
+  EXPECT_FALSE(P.hasInTxn(var(T, "t")));
+}
+
+TEST(PassManagerTest, ReadOnlyWinsForSingleThreadZeroWriteVars) {
+  Trace T = parse("T0 rd t\nT0 rd t\n");
+  ReductionPlan P = planTrace(T, PassMask::all());
+  EXPECT_EQ(P.classOf(var(T, "t")), VarClass::ReadOnly);
+}
+
+TEST(PassManagerTest, MaskGatesClasses) {
+  Trace T = parse("T0 wr t\n"
+                  "T0 acq l\n"
+                  "T0 rd r\n"
+                  "T0 rel l\n"
+                  "T1 acq l\n"
+                  "T1 rd r\n"
+                  "T1 rel l\n");
+  PassMask EscapeOnly;
+  EscapeOnly.set(PassId::Escape);
+  ReductionPlan P1 = planTrace(T, EscapeOnly);
+  EXPECT_EQ(P1.classOf(var(T, "t")), VarClass::ThreadLocal);
+  EXPECT_EQ(P1.classOf(var(T, "r")), VarClass::Shared);
+
+  PassMask ReadOnlyOnly;
+  ReadOnlyOnly.set(PassId::ReadOnly);
+  ReductionPlan P2 = planTrace(T, ReadOnlyOnly);
+  EXPECT_EQ(P2.classOf(var(T, "t")), VarClass::Shared);
+  EXPECT_EQ(P2.classOf(var(T, "r")), VarClass::ReadOnly);
+
+  ReductionPlan P3 = planTrace(T, PassMask::none());
+  EXPECT_EQ(P3.classOf(var(T, "t")), VarClass::Shared);
+  EXPECT_EQ(P3.classOf(var(T, "r")), VarClass::Shared);
+}
+
+TEST(PassManagerTest, DefaultsBeyondTableAreConservative) {
+  ReductionPlan P;
+  EXPECT_EQ(P.classOf(7), VarClass::Shared);
+  EXPECT_TRUE(P.hasInTxn(7));
+}
+
+//===----------------------------------------------------------------------===//
+// Reduction filter rules
+//===----------------------------------------------------------------------===//
+
+TEST(ReductionFilterTest, FirstEventOfThreadAlwaysKept) {
+  Trace T = parse("T0 wr t\nT0 wr t\nT0 wr t\n");
+  EXPECT_EQ(decisions(T), (std::vector<bool>{true, false, false}));
+  ReductionFilter F(planTrace(T, PassMask::all()));
+  for (const Event &E : T)
+    F.keep(E);
+  EXPECT_EQ(F.stats().Dropped[static_cast<unsigned>(PassId::Escape)], 2u);
+  EXPECT_EQ(F.stats().Kept, 1u);
+}
+
+TEST(ReductionFilterTest, ReadOnlyVarsDropAllButThreadFirst) {
+  Trace T = parse("T0 rd r\nT0 rd r\nT0 wr x\nT0 rd r\n");
+  // r is ReadOnly and x is ThreadLocal without transactions: only the
+  // thread's very first event survives.
+  EXPECT_EQ(decisions(T), (std::vector<bool>{true, false, false, false}));
+  ReductionFilter F(planTrace(T, PassMask::all()));
+  for (const Event &E : T)
+    F.keep(E);
+  EXPECT_EQ(F.stats().Dropped[static_cast<unsigned>(PassId::ReadOnly)], 2u);
+  EXPECT_EQ(F.stats().Dropped[static_cast<unsigned>(PassId::Escape)], 1u);
+}
+
+TEST(ReductionFilterTest, SyncEventsAreNeverDropped) {
+  Trace T = parse("T0 acq l\nT0 rel l\nT0 acq l\nT0 rel l\n"
+                  "T0 begin A\nT0 end\n");
+  EXPECT_EQ(decisions(T),
+            (std::vector<bool>{true, true, true, true, true, true}));
+}
+
+TEST(ReductionFilterTest, RunCoversRepeatedSharedAccesses) {
+  Trace T = parse("T0 acq l\n"
+                  "T0 wr s\n"
+                  "T0 wr s\n"
+                  "T0 rel l\n"
+                  "T1 acq l\n"
+                  "T1 wr s\n"
+                  "T1 rel l\n");
+  // The second T0 write is run-covered by the first; T1's write starts a
+  // fresh run (different thread).
+  EXPECT_EQ(decisions(T),
+            (std::vector<bool>{true, true, false, true, true, true, true}));
+  ReductionFilter F(planTrace(T, PassMask::all()));
+  for (const Event &E : T)
+    F.keep(E);
+  EXPECT_EQ(F.stats().Dropped[static_cast<unsigned>(PassId::Redundant)], 1u);
+}
+
+TEST(ReductionFilterTest, InterveningKeptEventBreaksTheRun) {
+  Trace T = parse("T0 acq l\n"
+                  "T0 wr s\n"
+                  "T0 acq m\n"
+                  "T0 wr s\n"
+                  "T0 rel m\n"
+                  "T0 rel l\n"
+                  "T1 acq l\n"
+                  "T1 rd s\n"
+                  "T1 rel l\n");
+  // The acq m between the two writes is kept, so the second write is no
+  // longer adjacent to its would-be cover and must be kept.
+  EXPECT_EQ(decisions(T), (std::vector<bool>{true, true, true, true, true,
+                                             true, true, true, true}));
+}
+
+TEST(ReductionFilterTest, WriteNeedsAKeptWriteInTheRun) {
+  Trace T = parse("T0 begin A\n"
+                  "T0 rd t\n"
+                  "T0 wr t\n"
+                  "T0 wr t\n"
+                  "T0 rd t\n"
+                  "T0 end\n");
+  // t is thread-local with in-transaction accesses, so only run-covered
+  // repeats drop: the first write upgrades the read-only run and is kept;
+  // the second write and trailing read are covered.
+  EXPECT_EQ(decisions(T),
+            (std::vector<bool>{true, true, true, false, false, true}));
+}
+
+TEST(ReductionFilterTest, UnprotectedAccessesAreNeverDropped) {
+  Trace T = parse("T0 wr s\nT1 wr s\nT1 wr s\nT1 wr s\n");
+  // s becomes shared-modified with an empty lockset: every access runs
+  // unprotected and the run rule must refuse to drop any of them.
+  ReductionFilter F(planTrace(T, PassMask::all()));
+  uint64_t Kept = 0;
+  for (const Event &E : T)
+    Kept += F.keep(E) ? 1 : 0;
+  EXPECT_EQ(Kept, T.size());
+  EXPECT_EQ(F.stats().droppedTotal(), 0u);
+}
+
+TEST(ReductionFilterTest, DroppedEventsDoNotExtendRuns) {
+  // Idempotence at the unit level: filtering an already-filtered stream
+  // drops nothing more.
+  Trace T = parse("T0 begin A\n"
+                  "T0 wr t\n"
+                  "T0 wr t\n"
+                  "T0 wr t\n"
+                  "T0 end\n");
+  ReductionPlan Plan = planTrace(T, PassMask::all());
+  PassStats S1;
+  Trace Once = reduceTrace(T, Plan, &S1);
+  EXPECT_GT(S1.droppedTotal(), 0u);
+  PassStats S2;
+  Trace Twice = reduceTrace(Once, planTrace(Once, PassMask::all()), &S2);
+  EXPECT_EQ(S2.droppedTotal(), 0u);
+  EXPECT_EQ(printTrace(Twice), printTrace(Once));
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(StaticPassSnapshotTest, PlanRoundTrips) {
+  Trace T = parse("T0 wr t\nT0 rd r\nT1 rd r\nT0 wr s\nT1 wr s\n");
+  ReductionPlan P = planTrace(T, PassMask::all());
+  SnapshotWriter W;
+  P.serialize(W);
+  SnapshotReader R(W.payload());
+  ReductionPlan Back;
+  ASSERT_TRUE(Back.deserialize(R));
+  EXPECT_EQ(Back.Mask, P.Mask);
+  EXPECT_EQ(Back.Class, P.Class);
+  EXPECT_EQ(Back.InTxn, P.InTxn);
+}
+
+TEST(StaticPassSnapshotTest, FilterRoundTripsMidTrace) {
+  Trace T = generateRandomTrace(7, TraceGenOptions{});
+  ReductionPlan Plan = planTrace(T, PassMask::all());
+
+  ReductionFilter Full(Plan);
+  ReductionFilter Front(Plan);
+  size_t Half = T.size() / 2;
+  std::vector<bool> Expect;
+  for (size_t I = 0; I < T.size(); ++I)
+    Expect.push_back(Full.keep(T[I]));
+  for (size_t I = 0; I < Half; ++I)
+    Front.keep(T[I]);
+
+  SnapshotWriter W;
+  Front.serialize(W);
+  SnapshotReader R(W.payload());
+  ReductionFilter Resumed;
+  ASSERT_TRUE(Resumed.deserialize(R));
+
+  for (size_t I = Half; I < T.size(); ++I)
+    EXPECT_EQ(Resumed.keep(T[I]), Expect[I]) << "event " << I;
+  EXPECT_EQ(Resumed.stats().Kept, Full.stats().Kept);
+  EXPECT_EQ(Resumed.stats().droppedTotal(), Full.stats().droppedTotal());
+}
+
+//===----------------------------------------------------------------------===//
+// Lint report
+//===----------------------------------------------------------------------===//
+
+TEST(LintReportTest, ReportsGuardsRacesAndClasses) {
+  Trace T = parse("T0 acq l\n"
+                  "T0 wr g\n"
+                  "T0 rel l\n"
+                  "T1 acq l\n"
+                  "T1 wr g\n"
+                  "T1 rel l\n"
+                  "T0 wr r\n"
+                  "T1 wr r\n"
+                  "T0 wr t\n"
+                  "T0 rd c\n"
+                  "T1 rd c\n");
+  AnalysisFacts F = classifyTrace(T);
+  LintReport Report = PassManager(PassMask::all()).lint(F, T.symbols());
+
+  EXPECT_EQ(Report.TotalVars, 4u);
+  EXPECT_EQ(Report.SharedVars, 3u);
+  EXPECT_EQ(Report.ThreadLocalVars, 1u);
+  EXPECT_EQ(Report.RacyVars, 1u);
+
+  auto Find = [&](const std::string &Name) -> const LintVar & {
+    for (const LintVar &V : Report.Vars)
+      if (V.Name == Name)
+        return V;
+    static LintVar Missing;
+    ADD_FAILURE() << "variable " << Name << " missing from lint";
+    return Missing;
+  };
+
+  const LintVar &G = Find("g");
+  EXPECT_EQ(G.State, "shared-modified");
+  ASSERT_EQ(G.Guards.size(), 1u);
+  EXPECT_EQ(G.Guards[0], "l");
+  EXPECT_FALSE(G.Racy);
+  EXPECT_FALSE(G.Inconsistent);
+
+  const LintVar &Racy = Find("r");
+  EXPECT_TRUE(Racy.Racy);
+  EXPECT_TRUE(Racy.Inconsistent);
+  EXPECT_TRUE(Racy.Guards.empty());
+
+  const LintVar &Local = Find("t");
+  EXPECT_TRUE(Local.ThreadLocal);
+  EXPECT_FALSE(Local.Racy);
+
+  const LintVar &ReadOnly = Find("c");
+  EXPECT_TRUE(ReadOnly.ReadOnly);
+  EXPECT_FALSE(ReadOnly.Racy);
+
+  std::string Text = Report.render();
+  EXPECT_NE(Text.find("guarded by {l}"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("[RACY]"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("lock-discipline lint: 4 variable(s)"),
+            std::string::npos)
+      << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end invariance: verdicts and warnings survive reduction
+//===----------------------------------------------------------------------===//
+
+/// Replay T through all six back-ends and through the reduced form of T;
+/// assert byte-identical verdicts and warning messages, plus idempotence.
+void expectReductionInvariant(const Trace &T, const std::string &What) {
+  ReductionPlan Plan = planTrace(T, PassMask::all());
+  PassStats Stats;
+  Trace Reduced = reduceTrace(T, Plan, &Stats);
+  ASSERT_EQ(Stats.Input, T.size());
+  ASSERT_EQ(Stats.Kept + Stats.droppedTotal(), Stats.Input);
+
+  Velodrome Velo, RVelo;
+  BasicVelodrome Basic, RBasic;
+  AeroDrome Aero, RAero;
+  Atomizer Atom, RAtom;
+  Eraser Race, RRace;
+  HbRaceDetector Hb, RHb;
+  replayAll(T, {&Velo, &Basic, &Aero, &Atom, &Race, &Hb});
+  replayAll(Reduced, {&RVelo, &RBasic, &RAero, &RAtom, &RRace, &RHb});
+
+  const Backend *Full[] = {&Velo, &Basic, &Aero, &Atom, &Race, &Hb};
+  const Backend *Red[] = {&RVelo, &RBasic, &RAero, &RAtom, &RRace, &RHb};
+  for (size_t I = 0; I < 6; ++I) {
+    EXPECT_EQ(Full[I]->sawViolation(), Red[I]->sawViolation())
+        << What << ": " << Full[I]->name() << " verdict changed";
+    const std::vector<Warning> &FW = Full[I]->warnings();
+    const std::vector<Warning> &RW = Red[I]->warnings();
+    ASSERT_EQ(FW.size(), RW.size())
+        << What << ": " << Full[I]->name() << " warning count changed";
+    for (size_t J = 0; J < FW.size(); ++J)
+      EXPECT_EQ(FW[J].Message, RW[J].Message)
+          << What << ": " << Full[I]->name() << " warning " << J;
+  }
+
+  PassStats Again;
+  Trace Twice = reduceTrace(Reduced, planTrace(Reduced, PassMask::all()),
+                            &Again);
+  EXPECT_EQ(Again.droppedTotal(), 0u) << What << ": reduction not idempotent";
+  EXPECT_EQ(printTrace(Twice), printTrace(Reduced)) << What;
+}
+
+TEST(StaticReductionTest, GoldenTracesAreInvariant) {
+  const char *Files[] = {"flag_handoff.trace", "forkjoin_clean.trace",
+                         "intro_cycle.trace",  "lock_cycle.trace",
+                         "rmw_violation.trace", "set_add.trace"};
+  for (const char *File : Files) {
+    Trace T;
+    std::string Error;
+    ASSERT_EQ(readTraceFileStatus(std::string(VELO_TEST_DATA_DIR) + "/" +
+                                      File,
+                                  T, Error),
+              TraceReadStatus::Ok)
+        << Error;
+    expectReductionInvariant(T, File);
+  }
+}
+
+TEST(StaticReductionTest, GeneratedTracesAreInvariant) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    TraceGenOptions Opts;
+    Opts.Steps = 120;
+    Opts.GuardedAccessPct = (Seed % 3) * 40; // 0, 40, 80
+    Opts.UseForkJoin = Seed % 2 == 0;
+    Trace T = generateRandomTrace(Seed, Opts);
+    expectReductionInvariant(T, "seed " + std::to_string(Seed));
+  }
+}
+
+TEST(StaticReductionTest, ThreadLocalHeavyTraceActuallyShrinks) {
+  std::string Text;
+  for (int I = 0; I < 50; ++I)
+    Text += "T0 wr a\nT1 wr b\nT0 rd c\n";
+  Text += "T0 wr s\nT1 rd s\n";
+  Trace T = parse(Text);
+  PassStats Stats;
+  Trace Reduced = reduceTrace(T, planTrace(T, PassMask::all()), &Stats);
+  EXPECT_LT(Reduced.size(), T.size())
+      << "expected the passes to drop at least one event: "
+      << Stats.summary();
+  EXPECT_EQ(Reduced.size() + Stats.droppedTotal(), T.size());
+}
+
+TEST(StaticReductionTest, ReducedTraceKeepsSymbolTable) {
+  Trace T = parse("T0 wr alpha\nT0 wr alpha\nT0 acq beta\nT0 rel beta\n");
+  Trace Reduced = reduceTrace(T, planTrace(T, PassMask::all()));
+  EXPECT_EQ(Reduced.symbols().Vars.size(), T.symbols().Vars.size());
+  EXPECT_EQ(Reduced.symbols().varName(var(T, "alpha")), "alpha");
+  EXPECT_EQ(Reduced.symbols().lockName(0), "beta");
+}
+
+} // namespace
+} // namespace velo

@@ -26,6 +26,9 @@
 #ifndef VELO_FUZZ_BIN
 #define VELO_FUZZ_BIN "velodrome-fuzz"
 #endif
+#ifndef VELO_ANALYZE_BIN
+#define VELO_ANALYZE_BIN "velodrome-analyze"
+#endif
 #ifndef VELO_TEST_DATA_DIR
 #define VELO_TEST_DATA_DIR "tests/data"
 #endif
@@ -403,6 +406,146 @@ TEST(RunCliTest, BackendSelectionWorks) {
   }
   EXPECT_EQ(runCmd(std::string(VELO_RUN_BIN) +
                    " multiset --backend=bogus"),
+            2);
+}
+
+//===----------------------------------------------------------------------===//
+// Static reduction: --reduce on check/run, the velodrome-analyze report
+//===----------------------------------------------------------------------===//
+
+/// Everything after the first line — the header's delivered-event count
+/// legitimately differs under reduction, the verdict and warnings must not.
+std::string withoutHeader(const std::string &Out) {
+  size_t NL = Out.find('\n');
+  return NL == std::string::npos ? std::string() : Out.substr(NL + 1);
+}
+
+TEST(ReduceCliTest, CheckReportMatchesPlainOnEveryGoldenTrace) {
+  for (const char *F :
+       {"flag_handoff.trace", "forkjoin_clean.trace", "intro_cycle.trace",
+        "lock_cycle.trace", "rmw_violation.trace", "set_add.trace"}) {
+    std::string T = dataFile(F);
+    std::string Plain, Reduced;
+    int PlainCode =
+        runCmdStdout(std::string(VELO_CHECK_BIN) + " " + T, Plain);
+    int ReducedCode = runCmdStdout(
+        std::string(VELO_CHECK_BIN) + " --reduce=all " + T, Reduced);
+    EXPECT_EQ(ReducedCode, PlainCode) << F;
+    EXPECT_EQ(withoutHeader(Reduced), withoutHeader(Plain))
+        << F << ": reduced report must be byte-identical below the header";
+  }
+}
+
+TEST(ReduceCliTest, CheckFlagValidationExitsTwo) {
+  std::string T = dataFile("rmw_violation.trace");
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --reduce=bogus " + T), 2);
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --reduce=all --witness " +
+                   T),
+            2)
+      << "--witness replays the full trace";
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --reduce=all --no-merge " +
+                   T),
+            2)
+      << "per-op unary nodes make collapsed repeats observable";
+}
+
+TEST(ReduceCliTest, StatsReportPerPassCounters) {
+  std::string Out;
+  int Code = runCmdStdout(std::string(VELO_CHECK_BIN) +
+                              " --stats --reduce=all " +
+                              dataFile("set_add.trace"),
+                          Out);
+  EXPECT_EQ(Code, 1);
+  EXPECT_NE(Out.find("[reduce]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("escape="), std::string::npos) << Out;
+  EXPECT_NE(Out.find("dropped="), std::string::npos) << Out;
+}
+
+TEST(ReduceCliTest, KillResumeUnderReductionMatchesStraightRun) {
+  for (const char *F : {"rmw_violation.trace", "flag_handoff.trace"}) {
+    std::string T = dataFile(F);
+    std::string Straight;
+    int StraightCode = runCmdStdout(
+        std::string(VELO_CHECK_BIN) + " --reduce=all " + T, Straight);
+    ASSERT_TRUE(StraightCode == 0 || StraightCode == 1) << F;
+
+    std::string Ckpt = ::testing::TempDir() + "/velo_cli_reduce_" + F +
+                       ".snap";
+    std::remove(Ckpt.c_str());
+    std::string Ignored;
+    int CrashCode = runCmdStdout(
+        std::string(VELO_CHECK_BIN) + " --reduce=all --checkpoint=" + Ckpt +
+            " --checkpoint-every=1 --crash-at=3 " + T,
+        Ignored);
+    ASSERT_EQ(CrashCode, 128 + SIGKILL) << F;
+
+    // The snapshot carries the reduce spec and filter state; the resumed
+    // run must not need (and must not redo) the classification sweep.
+    std::string Resumed;
+    int ResumedCode = runCmdStdout(
+        std::string(VELO_CHECK_BIN) + " --resume=" + Ckpt + " " + T,
+        Resumed);
+    EXPECT_EQ(ResumedCode, StraightCode) << F;
+    EXPECT_EQ(Resumed, Straight) << F;
+    std::remove(Ckpt.c_str());
+  }
+}
+
+TEST(ReduceCliTest, RunDeferredModeKeepsTheVerdict) {
+  int Plain = runCmd(std::string(VELO_RUN_BIN) + " multiset --seed=3");
+  ASSERT_TRUE(Plain == 0 || Plain == 1);
+  EXPECT_EQ(runCmd(std::string(VELO_RUN_BIN) +
+                   " multiset --seed=3 --reduce=all"),
+            Plain);
+  EXPECT_EQ(runCmd(std::string(VELO_RUN_BIN) +
+                   " multiset --seed=3 --reduce=all --adversarial"),
+            2)
+      << "the adversarial scheduler needs the live Atomizer feed";
+}
+
+TEST(AnalyzeCliTest, ReportsLintAndReduction) {
+  std::string Out;
+  int Code = runCmdStdout(std::string(VELO_ANALYZE_BIN) + " " +
+                              dataFile("set_add.trace"),
+                          Out);
+  EXPECT_EQ(Code, 0) << "lint is a report, not a verdict";
+  EXPECT_NE(Out.find("lock-discipline lint:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("passes: all"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("reduction:"), std::string::npos) << Out;
+
+  std::string NoLint;
+  runCmdStdout(std::string(VELO_ANALYZE_BIN) + " --no-lint " +
+                   dataFile("set_add.trace"),
+               NoLint);
+  EXPECT_EQ(NoLint.find("lock-discipline lint:"), std::string::npos);
+}
+
+TEST(AnalyzeCliTest, WrittenReducedTraceKeepsTheCheckVerdict) {
+  std::string Reduced = ::testing::TempDir() + "/velo_cli_reduced.trace";
+  std::remove(Reduced.c_str());
+  for (const char *F : {"rmw_violation.trace", "flag_handoff.trace"}) {
+    std::string T = dataFile(F);
+    int Plain = runCmd(std::string(VELO_CHECK_BIN) + " --quiet " + T);
+    ASSERT_EQ(runCmd(std::string(VELO_ANALYZE_BIN) + " --write-reduced=" +
+                     Reduced + " " + T),
+              0)
+        << F;
+    EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --quiet " + Reduced),
+              Plain)
+        << F << ": the reduced trace must check to the same verdict";
+  }
+  std::remove(Reduced.c_str());
+}
+
+TEST(AnalyzeCliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(runCmd(std::string(VELO_ANALYZE_BIN)), 2) << "no trace file";
+  EXPECT_EQ(runCmd(std::string(VELO_ANALYZE_BIN) + " --reduce=bogus " +
+                   dataFile("set_add.trace")),
+            2);
+  EXPECT_EQ(runCmd(std::string(VELO_ANALYZE_BIN) + " /nonexistent.trace"),
+            2);
+  EXPECT_EQ(runCmd(std::string(VELO_ANALYZE_BIN) + " --bogus " +
+                   dataFile("set_add.trace")),
             2);
 }
 

@@ -1,0 +1,143 @@
+//===- tools/velodrome-analyze.cpp - Static trace analysis CLI ------------===//
+//
+// Report mode for the static pass pipeline (docs/STATIC.md): runs the
+// whole-trace classification sweep and prints the lock-discipline lint
+// plus per-pass reduction statistics, without running any dynamic
+// back-end. Optionally writes the reduced trace for offline use.
+//
+//   velodrome-analyze [options] <trace-file>
+//
+//     --reduce=<spec>        passes to plan with (default all)
+//     --write-reduced=<file> write the reduced trace
+//     --no-lint              suppress the per-variable lint report
+//     --lenient / --strict   sanitize mode (default strict, as in
+//                            velodrome-check)
+//
+// Exit status: 0 analysis completed, 2 usage/input error. The lint is a
+// report, not a verdict — racy variables do not change the exit status.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/TraceSanitizer.h"
+#include "events/TraceText.h"
+#include "staticpass/PassManager.h"
+#include "staticpass/StaticPipeline.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace velo;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: velodrome-analyze [options] <trace-file>\n"
+      "  --reduce=<all|none|escape,readonly,redundant,lockset>\n"
+      "                 passes to plan with (default all)\n"
+      "  --write-reduced=<file>  write the statically reduced trace\n"
+      "  --no-lint      suppress the per-variable lint report\n"
+      "  --lenient      repair ill-formed traces instead of rejecting\n"
+      "exit: 0 analysis completed, 2 usage/input error\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string TraceFile, ReducedFile, ReduceSpec = "all";
+  bool Lint = true;
+  SanitizeMode Mode = SanitizeMode::Strict;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--reduce=", 0) == 0) {
+      ReduceSpec = Arg.substr(9);
+    } else if (Arg.rfind("--write-reduced=", 0) == 0) {
+      ReducedFile = Arg.substr(16);
+    } else if (Arg == "--no-lint") {
+      Lint = false;
+    } else if (Arg == "--lenient") {
+      Mode = SanitizeMode::Lenient;
+    } else if (Arg == "--strict") {
+      Mode = SanitizeMode::Strict;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      usage();
+      return 2;
+    } else if (TraceFile.empty()) {
+      TraceFile = Arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (TraceFile.empty()) {
+    usage();
+    return 2;
+  }
+  PassMask Mask;
+  std::string Error;
+  if (!parsePassSpec(ReduceSpec, Mask, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+
+  Trace Raw;
+  if (readTraceFileStatus(TraceFile, Raw, Error) != TraceReadStatus::Ok) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  Trace T;
+  RepairCounts Repairs;
+  if (!sanitizeTrace(Raw, Mode, T, &Repairs, Error)) {
+    std::fprintf(stderr, "error: %s: trace is not well formed: %s\n",
+                 TraceFile.c_str(), Error.c_str());
+    return 2;
+  }
+  if (Repairs.total() != 0)
+    std::fprintf(stderr, "lenient: repaired %llu event(s): %s\n",
+                 static_cast<unsigned long long>(Repairs.total()),
+                 Repairs.summary().c_str());
+
+  AnalysisFacts Facts = classifyTrace(T);
+  PassManager PM(Mask);
+  ReductionPlan Plan = PM.plan(Facts);
+  PassStats Stats;
+  Trace Reduced = reduceTrace(T, Plan, &Stats);
+
+  std::printf("%s: %llu events, %llu accesses, %llu variables, %u threads\n",
+              TraceFile.c_str(),
+              static_cast<unsigned long long>(Facts.Events),
+              static_cast<unsigned long long>(Facts.Accesses),
+              static_cast<unsigned long long>(Facts.SeenVars), T.numThreads());
+  std::printf("passes: %s\n", passSpecString(Mask).c_str());
+
+  if (Lint && Mask.has(PassId::Lockset))
+    std::printf("%s", PM.lint(Facts, T.symbols()).render().c_str());
+
+  for (const PassInfo &P : PassManager::registry()) {
+    if (P.Id == PassId::Lockset)
+      continue;
+    std::printf("[%s] %s: %llu event(s) dropped\n", P.Name, P.Summary,
+                static_cast<unsigned long long>(
+                    Stats.Dropped[static_cast<unsigned>(P.Id)]));
+  }
+  std::printf("reduction: %s (%.1f%%)\n", Stats.summary().c_str(),
+              Stats.Input ? 100.0 * static_cast<double>(Stats.droppedTotal())
+                                / static_cast<double>(Stats.Input)
+                          : 0.0);
+
+  if (!ReducedFile.empty()) {
+    if (!writeTraceFile(Reduced, ReducedFile)) {
+      std::fprintf(stderr, "error: cannot write %s\n", ReducedFile.c_str());
+      return 2;
+    }
+    std::printf("reduced trace (%zu events) written to %s\n", Reduced.size(),
+                ReducedFile.c_str());
+  }
+  return 0;
+}

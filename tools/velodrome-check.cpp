@@ -9,7 +9,12 @@
 //     --dot=<file>     write the first violation's error graph as dot
 //     --witness        print a serial witness when the trace is serializable
 //     --no-merge       run Velodrome with the naive [INS OUTSIDE] rule
-//     --stats          print happens-before graph statistics
+//     --reduce=<spec>  statically reduce the trace before analysis; spec is
+//                      all, none, or a comma list of escape, readonly,
+//                      redundant, lockset (docs/STATIC.md). Verdict and
+//                      warnings are identical to the unreduced run.
+//     --stats          print happens-before graph statistics (and per-pass
+//                      reduction counts under --reduce)
 //     --quiet          verdict only
 //     --lenient        repair ill-formed traces instead of rejecting them
 //     --max-events=N       stop after N events            (0 = unlimited)
@@ -55,6 +60,8 @@
 #include "events/TraceText.h"
 #include "hbrace/HbRaceDetector.h"
 #include "oracle/SerializabilityOracle.h"
+#include "staticpass/PassManager.h"
+#include "staticpass/ReductionFilter.h"
 
 #include <cerrno>
 #include <csignal>
@@ -80,6 +87,9 @@ void usage() {
       "  --dot=<file>   write the first violation's error graph\n"
       "  --witness      print a serial witness when serializable\n"
       "  --no-merge     disable the merge optimization\n"
+      "  --reduce=<all|none|escape,readonly,redundant,lockset>\n"
+      "                 sound static reduction before analysis\n"
+      "                 (see docs/STATIC.md)\n"
       "  --stats        print happens-before graph statistics\n"
       "  --quiet        verdict only\n"
       "  --lenient      repair ill-formed traces instead of rejecting\n"
@@ -109,6 +119,7 @@ bool parseU64(const char *S, uint64_t &Out) {
 
 struct Options {
   std::string BackendSel = "all", TraceFile, DotFile;
+  std::string ReduceSpec; ///< empty = reduction off
   std::string CheckpointFile, ResumeFile;
   uint64_t CheckpointEvery = 4096;
   uint64_t MaxCrashes = 3;
@@ -137,6 +148,8 @@ int parseArgs(int argc, char **argv, Options &O) {
       O.Witness = true;
     } else if (Arg == "--no-merge") {
       O.NoMerge = true;
+    } else if (Arg.rfind("--reduce=", 0) == 0) {
+      O.ReduceSpec = Arg.substr(9);
     } else if (Arg == "--stats") {
       O.Stats = true;
     } else if (Arg == "--quiet") {
@@ -207,6 +220,28 @@ int parseArgs(int argc, char **argv, Options &O) {
                          "incompatible with --checkpoint/--resume\n");
     return 2;
   }
+  if (!O.ReduceSpec.empty()) {
+    PassMask M;
+    std::string Error;
+    if (!parsePassSpec(O.ReduceSpec, M, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    if (O.Witness) {
+      std::fprintf(stderr, "error: --witness replays the full trace and is "
+                           "incompatible with --reduce\n");
+      return 2;
+    }
+    if (O.NoMerge) {
+      // Without merging every outside-transaction operation gets its own
+      // graph node, so collapsed repeats change the naive mode's cycle
+      // shapes (and its warning text). Reduction is only exact against the
+      // paper's real algorithm.
+      std::fprintf(stderr,
+                   "error: --reduce is incompatible with --no-merge\n");
+      return 2;
+    }
+  }
   if (O.Supervise && O.CheckpointFile.empty()) {
     std::fprintf(stderr,
                  "error: --supervise requires --checkpoint (the restart "
@@ -231,9 +266,9 @@ int parseArgs(int argc, char **argv, Options &O) {
 //
 //   str  trace path (diagnostic)        u8   sanitize mode
 //   str  backend selection              u64 x4 + u32 governor limits
-//   bool no-merge
+//   bool no-merge                       str  reduce spec ("" = off)
 //   u64  byte offset | u64 line | u64 events seen | u32 threads seen
-//   blob symbols | blob sanitizer
+//   blob symbols | blob sanitizer | blob reduction filter (empty = off)
 //   u64  N; N x (str backend name + blob backend state)
 //
 // The configuration fields make the snapshot authoritative on resume: a
@@ -244,7 +279,7 @@ int parseArgs(int argc, char **argv, Options &O) {
 
 struct ResumeState {
   SnapshotReader R; ///< positioned at the symbols blob after loadHeader
-  std::string TracePath, BackendSel;
+  std::string TracePath, BackendSel, ReduceSpec;
   bool NoMerge = false;
   SanitizeMode Mode = SanitizeMode::Strict;
   GovernorLimits Limits;
@@ -259,6 +294,7 @@ bool loadHeader(const std::string &Path, ResumeState &RS,
   RS.TracePath = RS.R.str();
   RS.BackendSel = RS.R.str();
   RS.NoMerge = RS.R.boolean();
+  RS.ReduceSpec = RS.R.str();
   RS.Mode = RS.R.u8() ? SanitizeMode::Lenient : SanitizeMode::Strict;
   RS.Limits.MaxEvents = RS.R.u64();
   RS.Limits.MaxLiveNodes = RS.R.u64();
@@ -279,12 +315,14 @@ bool loadHeader(const std::string &Path, ResumeState &RS,
 bool writeCheckpoint(const Options &O, uint64_t ByteOffset, uint64_t LineNo,
                      uint64_t EventsSeen, uint32_t ThreadsSeen,
                      const SymbolTable &Syms, const TraceSanitizer &San,
+                     const ReductionFilter *Filter,
                      const std::vector<Backend *> &Delivery,
                      std::string &ErrorOut) {
   SnapshotWriter W;
   W.str(O.TraceFile);
   W.str(O.BackendSel);
   W.boolean(O.NoMerge);
+  W.str(O.ReduceSpec);
   W.u8(O.Mode == SanitizeMode::Lenient ? 1 : 0);
   W.u64(O.Limits.MaxEvents);
   W.u64(O.Limits.MaxLiveNodes);
@@ -301,6 +339,10 @@ bool writeCheckpoint(const Options &O, uint64_t ByteOffset, uint64_t LineNo,
   SnapshotWriter SanBlob;
   San.serialize(SanBlob);
   W.blob(SanBlob);
+  SnapshotWriter FilterBlob;
+  if (Filter)
+    Filter->serialize(FilterBlob);
+  W.blob(FilterBlob);
   W.u64(Delivery.size());
   for (const Backend *B : Delivery) {
     W.str(B->name());
@@ -330,8 +372,19 @@ int runAnalysis(Options O) {
     // presentation flags (--quiet, --stats, --dot) stay as given.
     O.BackendSel = RS.BackendSel;
     O.NoMerge = RS.NoMerge;
+    O.ReduceSpec = RS.ReduceSpec;
     O.Mode = RS.Mode;
     O.Limits = RS.Limits;
+  }
+
+  bool Reducing = !O.ReduceSpec.empty();
+  PassMask ReduceMask;
+  if (Reducing) {
+    std::string Error;
+    if (!parsePassSpec(O.ReduceSpec, ReduceMask, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
   }
 
   bool RunVelo = O.BackendSel == "velodrome" || O.BackendSel == "all";
@@ -414,6 +467,50 @@ int runAnalysis(Options O) {
       O.CheckpointFile.empty() ? std::string() : O.CheckpointFile +
                                                      ".lastevents";
   crashdump::installHandlers(DumpPath.empty() ? nullptr : DumpPath.c_str());
+
+  // Pass A of the static pipeline: stream the (sanitized) trace once with
+  // no back-ends attached and classify every variable; pass B below then
+  // filters on replay. Both passes parse the same bytes with fresh symbol
+  // tables, so variable ids line up. A resumed run restores the filter
+  // from the snapshot instead and skips this sweep.
+  ReductionFilter Filter;
+  if (Reducing && !Resuming) {
+    errno = 0;
+    std::ifstream ClsIn(O.TraceFile);
+    if (!ClsIn) {
+      int Err = errno;
+      std::fprintf(stderr, "error: cannot open %s: %s\n", O.TraceFile.c_str(),
+                   Err != 0 ? std::strerror(Err) : "open failed");
+      return 2;
+    }
+    SymbolTable ClsSyms;
+    TraceStream ClsTS(ClsIn, ClsSyms);
+    TraceSanitizer ClsSan(O.Mode);
+    TraceClassifier Classifier;
+    std::vector<Event> ClsScratch;
+    Event ClsE;
+    while (ClsTS.next(ClsE)) {
+      ClsScratch.clear();
+      if (!ClsSan.push(ClsE, ClsScratch, ClsTS.lineNo())) {
+        std::fprintf(stderr, "error: %s: trace is not well formed: %s\n",
+                     O.TraceFile.c_str(), ClsSan.error().c_str());
+        return 2;
+      }
+      for (const Event &Out : ClsScratch)
+        Classifier.onEvent(Out);
+    }
+    if (ClsTS.failed()) {
+      std::fprintf(stderr, "error: %s:%s\n", O.TraceFile.c_str(),
+                   ClsTS.error().c_str() + 5);
+      return 2;
+    }
+    ClsScratch.clear();
+    ClsSan.finish(ClsScratch);
+    for (const Event &Out : ClsScratch)
+      Classifier.onEvent(Out);
+    Filter =
+        ReductionFilter(PassManager(ReduceMask).plan(Classifier.facts()));
+  }
 
   SymbolTable StreamSyms;
   Trace Buffered; // only filled on the --witness path
@@ -518,6 +615,14 @@ int runAnalysis(Options O) {
                      O.ResumeFile.c_str());
         return 2;
       }
+      SnapshotReader FilterBlob = RS.R.blob();
+      if (Reducing && !Filter.deserialize(FilterBlob)) {
+        std::fprintf(stderr,
+                     "error: cannot resume from %s: reduction filter state "
+                     "cannot be restored\n",
+                     O.ResumeFile.c_str());
+        return 2;
+      }
       uint64_t NumSaved = RS.R.u64();
       // The snapshot lists the backends that were still live when it was
       // written (the reference checker is dropped after a cap breach), so
@@ -573,6 +678,8 @@ int runAnalysis(Options O) {
         return 2;
       }
       for (const Event &Out : Scratch) {
+        if (Reducing && !Filter.keep(Out))
+          continue;
         Deliver(Out, TS.lineNo());
         if (Governed && Gov.state() == GovernorState::Exhausted) {
           Stopped = true;
@@ -588,7 +695,8 @@ int runAnalysis(Options O) {
           std::string Error;
           if (!writeCheckpoint(O, static_cast<uint64_t>(Off), TS.lineNo(),
                                EventsSeen, ThreadsSeen, StreamSyms, San,
-                               Delivery, Error)) {
+                               Reducing ? &Filter : nullptr, Delivery,
+                               Error)) {
             std::fprintf(stderr, "error: cannot write checkpoint %s: %s\n",
                          O.CheckpointFile.c_str(), Error.c_str());
             return 2;
@@ -606,7 +714,7 @@ int runAnalysis(Options O) {
     Scratch.clear();
     San.finish(Scratch);
     for (const Event &Out : Scratch)
-      if (!Stopped)
+      if (!Stopped && (!Reducing || Filter.keep(Out)))
         Deliver(Out, 0);
     for (Backend *B : Delivery)
       B->endAnalysis();
@@ -642,6 +750,8 @@ int runAnalysis(Options O) {
                   static_cast<unsigned long long>(
                       Velo.graph().nodesMerged()));
     }
+    if (O.Stats && Reducing)
+      std::printf("[reduce] %s\n", Filter.stats().summary().c_str());
   }
 
   if (!O.DotFile.empty() && RunVelo && !Velo.warnings().empty() &&

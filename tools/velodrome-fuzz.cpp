@@ -16,7 +16,11 @@
 //   6. the resource governor degrades/stops cleanly under tiny caps;
 //   7. snapshot/restore round-trips: freezing any back-end at a checkpoint
 //      boundary and restoring into a fresh instance converges to a final
-//      state byte-identical to the uninterrupted run.
+//      state byte-identical to the uninterrupted run;
+//   8. static reduction invariance: every back-end's verdict and warning
+//      list on the --reduce=all reduced trace is identical to the
+//      unreduced run, and reduction is idempotent (reducing the reduced
+//      trace drops nothing).
 //
 // Failing inputs are written to --save for triage and check-in under
 // tests/data/fuzz/ as regression seeds. Fully deterministic for a given
@@ -40,6 +44,7 @@
 #include "events/TraceSanitizer.h"
 #include "events/TraceText.h"
 #include "hbrace/HbRaceDetector.h"
+#include "staticpass/StaticPipeline.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -191,7 +196,7 @@ bool sameEvents(const Trace &A, const Trace &B) {
 struct FuzzStats {
   uint64_t ParsedOk = 0, ParseRejected = 0, StrictOk = 0, Repaired = 0;
   uint64_t RepairEvents = 0, Violations = 0, Serializable = 0;
-  uint64_t Snapshots = 0;
+  uint64_t Snapshots = 0, ReducedDropped = 0;
 };
 
 /// Check 7 helper: replay T straight through one instance of BackendT, then
@@ -384,6 +389,63 @@ bool checkMutant(const std::string &Text, FuzzStats &Stats,
       !snapshotRoundTrips<Eraser>(Repaired, "Eraser", Stats, WhyOut) ||
       !snapshotRoundTrips<HbRaceDetector>(Repaired, "HB", Stats, WhyOut))
     return false;
+
+  // 8. Static reduction invariance across all six back-ends (against the
+  // check-5 instances), plus idempotence of the reduction itself.
+  {
+    ReductionPlan Plan = planTrace(Repaired, PassMask::all());
+    PassStats RStats;
+    Trace Reduced = reduceTrace(Repaired, Plan, &RStats);
+    Stats.ReducedDropped += RStats.droppedTotal();
+
+    Velodrome RVelo;
+    BasicVelodrome RBasic;
+    AeroDrome RAero;
+    Atomizer RAtom;
+    Eraser RRace;
+    HbRaceDetector RHb;
+    replayAll(Reduced, {&RVelo, &RBasic, &RAero, &RAtom, &RRace, &RHb});
+
+    const Backend *Unreduced[] = {&Velo, &Basic, &Aero, &Atom, &Race, &Hb};
+    const Backend *OnReduced[] = {&RVelo, &RBasic, &RAero,
+                                  &RAtom, &RRace, &RHb};
+    for (size_t I = 0; I < 6; ++I) {
+      const Backend &U = *Unreduced[I];
+      const Backend &Rd = *OnReduced[I];
+      if (U.sawViolation() != Rd.sawViolation()) {
+        WhyOut = std::string(U.name()) +
+                 ": verdict changed under --reduce=all (unreduced=" +
+                 std::to_string(U.sawViolation()) +
+                 " reduced=" + std::to_string(Rd.sawViolation()) + ")";
+        return false;
+      }
+      const std::vector<Warning> &UW = U.warnings();
+      const std::vector<Warning> &RW = Rd.warnings();
+      if (UW.size() != RW.size()) {
+        WhyOut = std::string(U.name()) + ": warning count changed under "
+                 "--reduce=all (" + std::to_string(UW.size()) + " vs " +
+                 std::to_string(RW.size()) + ")";
+        return false;
+      }
+      for (size_t J = 0; J < UW.size(); ++J)
+        if (UW[J].Message != RW[J].Message) {
+          WhyOut = std::string(U.name()) + ": warning " + std::to_string(J) +
+                   " changed under --reduce=all: '" + UW[J].Message +
+                   "' vs '" + RW[J].Message + "'";
+          return false;
+        }
+    }
+
+    ReductionPlan Plan2 = planTrace(Reduced, PassMask::all());
+    PassStats RStats2;
+    Trace Twice2 = reduceTrace(Reduced, Plan2, &RStats2);
+    if (RStats2.droppedTotal() != 0 || !sameEvents(Reduced, Twice2)) {
+      WhyOut = "reduction is not idempotent (" +
+               std::to_string(RStats2.droppedTotal()) +
+               " events dropped on second pass)";
+      return false;
+    }
+  }
   return true;
 }
 
@@ -500,7 +562,7 @@ int main(int argc, char **argv) {
 
   std::printf("parsed=%llu rejected=%llu strict-ok=%llu repaired=%llu "
               "(%llu repairs) violations=%llu serializable=%llu "
-              "snapshots=%llu\n",
+              "snapshots=%llu reduced-dropped=%llu\n",
               static_cast<unsigned long long>(Stats.ParsedOk),
               static_cast<unsigned long long>(Stats.ParseRejected),
               static_cast<unsigned long long>(Stats.StrictOk),
@@ -508,7 +570,8 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Stats.RepairEvents),
               static_cast<unsigned long long>(Stats.Violations),
               static_cast<unsigned long long>(Stats.Serializable),
-              static_cast<unsigned long long>(Stats.Snapshots));
+              static_cast<unsigned long long>(Stats.Snapshots),
+              static_cast<unsigned long long>(Stats.ReducedDropped));
   if (Failures != 0) {
     std::fprintf(stderr, "velodrome-fuzz: %llu failure(s)\n",
                  static_cast<unsigned long long>(Failures));

@@ -15,6 +15,10 @@
 //     --adversarial        Atomizer-guided scheduling
 //     --policy=<all|writes|reads|spare-main>  stall policy  (default all)
 //     --exclude-known      don't check ground-truth non-atomic methods
+//     --reduce=<spec>      record the execution, statically reduce it, and
+//                          run the back-ends on the reduced trace offline
+//                          (docs/STATIC.md); results are identical to live
+//                          monitoring of the same execution
 //     --max-events=N       stop the analysis after N events (0 = unlimited)
 //     --max-live-nodes=N   graph node cap, fall back to the vector-clock
 //                          checker on breach               (default 60000)
@@ -37,6 +41,7 @@
 #include "atomizer/Atomizer.h"
 #include "core/Velodrome.h"
 #include "events/TraceText.h"
+#include "staticpass/StaticPipeline.h"
 #include "workloads/Workload.h"
 
 #include <cerrno>
@@ -55,7 +60,7 @@ void usage() {
                "  --list  --seed=N  --scale=N  --record=FILE\n"
                "  --backend=velodrome|aero|both\n"
                "  --disable=SITE  --adversarial  --policy=POLICY\n"
-               "  --exclude-known\n"
+               "  --exclude-known  --reduce=SPEC\n"
                "  --max-events=N  --max-live-nodes=N  --max-memory-mb=N\n"
                "  --deadline-ms=N      resource governor caps\n");
 }
@@ -102,7 +107,7 @@ void listWorkloads() {
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string Name, RecordFile;
+  std::string Name, RecordFile, ReduceSpec;
   uint64_t Seed = 1;
   int Scale = 1;
   bool RunVelo = true, RunAero = false;
@@ -171,6 +176,8 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--exclude-known") {
       ExcludeKnown = true;
+    } else if (Arg.rfind("--reduce=", 0) == 0) {
+      ReduceSpec = Arg.substr(9);
     } else if (Arg.rfind("--max-events=", 0) == 0) {
       U64Target = &Limits.MaxEvents;
       U64Prefix = 13;
@@ -209,6 +216,22 @@ int main(int argc, char **argv) {
   if (Name.empty()) {
     usage();
     return 2;
+  }
+  bool Reducing = !ReduceSpec.empty();
+  PassMask ReduceMask;
+  if (Reducing) {
+    std::string Error;
+    if (!parsePassSpec(ReduceSpec, ReduceMask, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    if (Adversarial) {
+      // Adversarial scheduling needs the Atomizer fed live to steer the
+      // scheduler; --reduce defers every back-end to an offline replay.
+      std::fprintf(stderr,
+                   "error: --reduce is incompatible with --adversarial\n");
+      return 2;
+    }
   }
 
   std::unique_ptr<Workload> W = makeWorkload(Name);
@@ -268,14 +291,19 @@ int main(int argc, char **argv) {
       Backends.push_back(&Aero);
   }
   Backends.push_back(&Atom);
-  if (!RecordFile.empty())
-    Backends.push_back(&Rec);
+  // Under --reduce the analyses run offline on the reduced recording, so
+  // the live stream reaches only the recorder.
+  std::vector<Backend *> Live;
+  if (!Reducing)
+    Live = Backends;
+  if (!RecordFile.empty() || Reducing)
+    Live.push_back(&Rec);
   // Defense in depth: the runtime's own stream is well-formed by
   // construction, but every replay path routes through validation before a
   // back-end sees an event — a runtime bug fail-stops with a diagnostic
   // instead of silently corrupting the analyses (and the recorded trace is
   // exactly what the back-ends analyzed).
-  SanitizerGate Gate(Backends, SanitizeMode::Strict);
+  SanitizerGate Gate(Live, SanitizeMode::Strict);
   Runtime RT(Opts, {&Gate});
   if (Adversarial)
     RT.setGuide(&Atom);
@@ -290,6 +318,16 @@ int main(int argc, char **argv) {
                  "analysis results discarded\n",
                  Gate.error().c_str());
     return 2;
+  }
+
+  // Deferred analysis: classify the recording, reduce it, and replay the
+  // kept events through the same back-end pipeline the live path uses.
+  PassStats ReduceStats;
+  Trace Reduced; // backends hold a reference to its symbol table
+  if (Reducing) {
+    ReductionPlan Plan = planTrace(Rec.trace(), ReduceMask);
+    Reduced = reduceTrace(Rec.trace(), Plan, &ReduceStats);
+    replayAll(Reduced, Backends);
   }
 
   std::printf("%s: seed=%llu scale=%d events=%llu\n", W->name(),
@@ -323,6 +361,8 @@ int main(int argc, char **argv) {
   std::printf("[Atomizer]  %zu warning(s)\n", Atom.warnings().size());
   for (const Warning &Warn : Atom.warnings())
     std::printf("  %s\n", Warn.Message.c_str());
+  if (Reducing)
+    std::printf("[reduce]    %s\n", ReduceStats.summary().c_str());
 
   if (!RecordFile.empty()) {
     if (!writeTraceFile(Rec.trace(), RecordFile)) {
