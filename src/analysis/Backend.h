@@ -41,6 +41,14 @@ public:
   /// Called once before any event. Syms outlives the analysis.
   virtual void beginAnalysis(const SymbolTable &Syms) { Symbols = &Syms; }
 
+  /// Repoint name lookups at an equivalent symbol table (same names, same
+  /// ids) without touching any analysis state. The parallel pipeline
+  /// calls this after beginAnalysis/deserialize to hand each back-end its
+  /// worker's private replica, so warnings render names without racing
+  /// the reader thread's interning. Wrappers forward to their wrapped
+  /// back-ends.
+  virtual void rebindSymbols(const SymbolTable &Syms) { Symbols = &Syms; }
+
   /// Called for every monitored operation, in trace order. Back-ends are
   /// driven single-threaded: the runtime serializes event delivery exactly
   /// as RoadRunner presents a linearized event stream.

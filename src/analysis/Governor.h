@@ -86,6 +86,13 @@ public:
   void onEvent(const Event &E) override;
   void endAnalysis() override;
 
+  void rebindSymbols(const SymbolTable &Syms) override {
+    Backend::rebindSymbols(Syms);
+    Primary.rebindSymbols(Syms);
+    if (Fallback)
+      Fallback->rebindSymbols(Syms);
+  }
+
   bool sawViolation() const override {
     return verdict() == GovernorVerdict::Violation;
   }

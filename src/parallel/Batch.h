@@ -1,0 +1,110 @@
+//===- parallel/Batch.h - Pipeline hand-off unit ----------------*- C++ -*-===//
+//
+// The unit of work that flows through the parallel pipeline's rings. A
+// batch is produced by exactly one stage and, once pushed, is never
+// mutated again by the producer — ownership moves with the ring slot.
+// Fan-out shares one immutable batch among all workers via shared_ptr.
+//
+// Two pieces of metadata ride along with the events:
+//
+//  * SymbolDelta — the names the reader interned while parsing this
+//    batch. Worker threads keep a private replica of the symbol table and
+//    apply deltas in batch order, so back-ends never read the reader's
+//    live interner (the one mutable structure the sequential path shares
+//    freely; see docs/PARALLEL.md "Symbol-table ownership").
+//
+//  * CheckpointTicket — when the reader tags a batch as a checkpoint
+//    boundary, every stage and worker deposits its serialized state into
+//    the ticket as the batch passes. The deposits together form a
+//    consistent cut: each participant serializes after consuming exactly
+//    the input prefix the ticket's byte offset describes. No stage ever
+//    stalls for a checkpoint.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_PARALLEL_BATCH_H
+#define VELO_PARALLEL_BATCH_H
+
+#include "events/Event.h"
+#include "events/Trace.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace velo {
+
+/// Names appended to the reader's symbol table while one batch was
+/// parsed, in interning order (ids are dense, so appending the same names
+/// in the same order reproduces the same ids in a replica).
+struct SymbolDelta {
+  std::vector<std::string> Vars, Locks, Labels;
+
+  bool empty() const {
+    return Vars.empty() && Locks.empty() && Labels.empty();
+  }
+
+  /// Append every delta name to Syms (replica catch-up, in batch order).
+  void applyTo(SymbolTable &Syms) const {
+    for (const std::string &N : Vars)
+      Syms.Vars.intern(N);
+    for (const std::string &N : Locks)
+      Syms.Locks.intern(N);
+    for (const std::string &N : Labels)
+      Syms.Labels.intern(N);
+  }
+};
+
+/// One consistent analysis cut, assembled from the deposits of every
+/// pipeline participant at a batch boundary. Handed to the checkpoint
+/// sink once complete.
+struct CheckpointCut {
+  uint64_t ByteOffset = 0; ///< stream position after the batch's last line
+  uint64_t LineNo = 0;     ///< 1-based number of that last line
+  uint64_t EventsSeen = 0; ///< events delivered through this batch
+  uint32_t ThreadsSeen = 0;
+  std::string SymsBlob;    ///< serialized symbol table at the boundary
+  std::string SanBlob;     ///< serialized sanitizer state
+  std::string FilterBlob;  ///< serialized reduction filter ("" when off)
+  /// (backend name, serialized state), in delivery order. An empty state
+  /// blob marks a back-end dropped from delivery before this boundary
+  /// (the governor's post-breach drop); sinks must skip such entries.
+  /// Live back-ends never serialize to zero bytes.
+  std::vector<std::pair<std::string, std::string>> Backends;
+};
+
+/// In-flight checkpoint: participants deposit under the mutex; the one
+/// that makes the final deposit hands the cut to the pipeline (which owns
+/// ordering and the sink call).
+struct CheckpointTicket {
+  CheckpointCut Cut;
+  std::mutex Mu;
+  size_t Remaining = 0; ///< deposits outstanding (set by the reader)
+  uint64_t Seq = 0;     ///< batch sequence number (sink ordering)
+};
+
+/// A batch of events between two pipeline stages.
+struct EventBatch {
+  uint64_t Seq = 0;
+  std::vector<Event> Events;
+  /// 1-based source line of each event (0 for synthesized events).
+  /// Parallel to Events.
+  std::vector<uint32_t> Lines;
+  SymbolDelta Symbols;
+  /// Checkpoint boundary marker; null for ordinary batches.
+  std::shared_ptr<CheckpointTicket> Ticket;
+
+  void add(const Event &E, uint32_t Line) {
+    Events.push_back(E);
+    Lines.push_back(Line);
+  }
+};
+
+using BatchPtr = std::unique_ptr<EventBatch>;
+using SharedBatch = std::shared_ptr<const EventBatch>;
+
+} // namespace velo
+
+#endif // VELO_PARALLEL_BATCH_H

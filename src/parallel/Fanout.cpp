@@ -1,0 +1,68 @@
+//===- parallel/Fanout.cpp - Whole-trace back-end fan-out -----------------===//
+
+#include "parallel/Fanout.h"
+
+namespace velo {
+
+BackendFanout::BackendFanout(unsigned Threads) {
+  if (Threads == 0) {
+    Threads = std::thread::hardware_concurrency();
+    if (Threads == 0)
+      Threads = 1;
+  }
+  Pool.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Pool.emplace_back([this] { workerLoop(); });
+}
+
+BackendFanout::~BackendFanout() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Quit = true;
+    HasWork.notify_all();
+  }
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+void BackendFanout::workerLoop() {
+  for (;;) {
+    const std::function<void()> *Task = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      HasWork.wait(Lock, [&] { return !Queue.empty() || Quit; });
+      if (Queue.empty())
+        return; // Quit, nothing left to run
+      Task = Queue.back();
+      Queue.pop_back();
+    }
+    (*Task)();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (--Outstanding == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+void BackendFanout::run(const std::vector<std::function<void()>> &Tasks) {
+  if (Tasks.empty())
+    return;
+  std::unique_lock<std::mutex> Lock(Mu);
+  Outstanding += Tasks.size();
+  for (const auto &T : Tasks)
+    Queue.push_back(&T);
+  HasWork.notify_all();
+  AllDone.wait(Lock, [&] { return Outstanding == 0; });
+}
+
+void BackendFanout::replayAll(const Trace &T,
+                              const std::vector<Backend *> &Backends) {
+  std::vector<std::function<void()>> Tasks;
+  Tasks.reserve(Backends.size());
+  for (Backend *B : Backends)
+    Tasks.push_back([&T, B] { replay(T, *B); });
+  run(Tasks);
+}
+
+} // namespace velo

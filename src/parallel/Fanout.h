@@ -1,0 +1,69 @@
+//===- parallel/Fanout.h - Whole-trace back-end fan-out ---------*- C++ -*-===//
+//
+// The fuzz harness replays every corpus entry and every mutant through
+// six back-ends, twice (original and reduced). Those replays are
+// independent — back-ends never interact, and a buffered Trace plus its
+// symbol table are read-only during replay — so a persistent worker pool
+// runs them concurrently: one parse, N back-ends in flight. Results are
+// identical to the lockstep replayAll() by construction (each back-end
+// still sees the full event sequence in order, alone on one thread).
+//
+// This is the buffered-trace counterpart of parallel/Pipeline.h, which
+// does the same fan-out for streamed input.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_PARALLEL_FANOUT_H
+#define VELO_PARALLEL_FANOUT_H
+
+#include "analysis/Backend.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace velo {
+
+/// Fixed-size worker pool for independent analysis tasks. Threads are
+/// spawned once and reused across run() calls (the fuzz loop executes
+/// hundreds of thousands of replays; per-call thread creation would
+/// dominate).
+class BackendFanout {
+public:
+  /// Threads = 0 picks hardware_concurrency (at least 1).
+  explicit BackendFanout(unsigned Threads = 0);
+  ~BackendFanout();
+
+  BackendFanout(const BackendFanout &) = delete;
+  BackendFanout &operator=(const BackendFanout &) = delete;
+
+  /// Execute all tasks on the pool and block until every one finished.
+  /// Tasks must be independent (no shared mutable state).
+  void run(const std::vector<std::function<void()>> &Tasks);
+
+  /// Feed T through every back-end concurrently (begin, all events, end —
+  /// each back-end alone on one pool thread). Same observable results as
+  /// the sequential replayAll().
+  void replayAll(const Trace &T, const std::vector<Backend *> &Backends);
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Pool.size());
+  }
+
+private:
+  void workerLoop();
+
+  std::mutex Mu;
+  std::condition_variable HasWork, AllDone;
+  std::vector<const std::function<void()> *> Queue;
+  size_t Outstanding = 0; ///< tasks queued or executing in this run()
+  bool Quit = false;
+  std::vector<std::thread> Pool;
+};
+
+} // namespace velo
+
+#endif // VELO_PARALLEL_FANOUT_H

@@ -549,6 +549,188 @@ TEST(AnalyzeCliTest, UsageErrorsExitTwo) {
             2);
 }
 
+//===----------------------------------------------------------------------===//
+// --parallel: the hard invariant is byte-identity with the sequential
+// loop — stdout, stderr, and exit code — on every golden trace and under
+// every flag combination the mode composes with.
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelCliTest, ByteIdenticalOnEveryGoldenTrace) {
+  for (const char *F :
+       {"flag_handoff.trace", "forkjoin_clean.trace", "intro_cycle.trace",
+        "lock_cycle.trace", "rmw_violation.trace", "set_add.trace"}) {
+    std::string T = dataFile(F);
+    for (const char *Extra :
+         {"", " --reduce=all", " --stats", " --reduce=all --stats",
+          " --lenient", " --quiet"}) {
+      std::string Seq, Par;
+      int SeqCode = runCmdAll(std::string(VELO_CHECK_BIN) + Extra + " " + T,
+                              Seq);
+      // Tiny batches force many hand-offs; the output must not notice.
+      int ParCode = runCmdAll(std::string(VELO_CHECK_BIN) +
+                                  " --parallel --batch-events=7" + Extra +
+                                  " " + T,
+                              Par);
+      EXPECT_EQ(SeqCode, ParCode) << F << Extra;
+      EXPECT_EQ(Seq, Par) << F << Extra << ": parallel output diverged";
+    }
+  }
+}
+
+TEST(ParallelCliTest, CompositionRefusalsExitTwo) {
+  std::string T = dataFile("set_add.trace");
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --parallel --witness " +
+                   T),
+            2)
+      << "--witness buffers the whole trace; nothing to pipeline";
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --parallel --max-events=10 " + T),
+            2)
+      << "explicit caps stop mid-stream; the pipeline stops at batch "
+         "boundaries";
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --parallel --max-live-nodes=64 " + T),
+            2);
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) +
+                   " --parallel --batch-events=0 " + T),
+            2);
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --batch-events=16 " + T),
+            2)
+      << "--batch-events only means something under --parallel";
+
+  // A snapshot written by a capped sequential run must be refused by a
+  // parallel resume: the caps travel in the snapshot.
+  std::string Ckpt = ::testing::TempDir() + "/velo_cli_capped.snap";
+  std::remove(Ckpt.c_str());
+  std::string Ignored;
+  int CrashCode = runCmdStdout(std::string(VELO_CHECK_BIN) +
+                                   " --checkpoint=" + Ckpt +
+                                   " --checkpoint-every=1 --crash-at=3 "
+                                   "--max-events=100000 " +
+                                   T,
+                               Ignored);
+  ASSERT_EQ(CrashCode, 128 + SIGKILL);
+  EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --parallel --resume=" +
+                   Ckpt + " " + T),
+            2)
+      << "capped snapshots resume sequentially only";
+  int SeqResume =
+      runCmd(std::string(VELO_CHECK_BIN) + " --resume=" + Ckpt + " " + T);
+  EXPECT_TRUE(SeqResume == 0 || SeqResume == 1)
+      << "the same snapshot stays resumable on the sequential path";
+  std::remove(Ckpt.c_str());
+}
+
+TEST(ParallelCliTest, KillResumeRoundTripsAcrossModes) {
+  std::string T = dataFile("set_add.trace");
+  std::string Straight;
+  int StraightCode =
+      runCmdStdout(std::string(VELO_CHECK_BIN) + " " + T, Straight);
+  ASSERT_TRUE(StraightCode == 0 || StraightCode == 1);
+
+  // Parallel checkpoint, then resume in both modes.
+  std::string Ckpt = ::testing::TempDir() + "/velo_cli_parkill.snap";
+  std::remove(Ckpt.c_str());
+  std::string Ignored;
+  int CrashCode = runCmdStdout(std::string(VELO_CHECK_BIN) +
+                                   " --parallel --batch-events=2 "
+                                   "--checkpoint=" + Ckpt +
+                                   " --checkpoint-every=1 --crash-at=3 " + T,
+                               Ignored);
+  ASSERT_EQ(CrashCode, 128 + SIGKILL);
+
+  std::string Out;
+  EXPECT_EQ(runCmdStdout(std::string(VELO_CHECK_BIN) +
+                             " --parallel --resume=" + Ckpt + " " + T,
+                         Out),
+            StraightCode);
+  EXPECT_EQ(Out, Straight) << "parallel -> parallel resume";
+  EXPECT_EQ(runCmdStdout(std::string(VELO_CHECK_BIN) + " --resume=" + Ckpt +
+                             " " + T,
+                         Out),
+            StraightCode);
+  EXPECT_EQ(Out, Straight) << "parallel -> sequential resume";
+  std::remove(Ckpt.c_str());
+
+  // Sequential checkpoint, parallel resume.
+  CrashCode = runCmdStdout(std::string(VELO_CHECK_BIN) + " --checkpoint=" +
+                               Ckpt +
+                               " --checkpoint-every=1 --crash-at=3 " + T,
+                           Ignored);
+  ASSERT_EQ(CrashCode, 128 + SIGKILL);
+  EXPECT_EQ(runCmdStdout(std::string(VELO_CHECK_BIN) +
+                             " --parallel --resume=" + Ckpt + " " + T,
+                         Out),
+            StraightCode);
+  EXPECT_EQ(Out, Straight) << "sequential -> parallel resume";
+  std::remove(Ckpt.c_str());
+}
+
+TEST(ParallelCliTest, SupervisedParallelRecovers) {
+  std::string T = ::testing::TempDir() + "/velo_cli_parsup.trace";
+  int RunCode = runCmd(std::string(VELO_RUN_BIN) +
+                       " multiset --seed=3 --record=" + T);
+  ASSERT_TRUE(RunCode == 0 || RunCode == 1);
+
+  std::string Straight;
+  int StraightCode = runCmdStdout(std::string(VELO_CHECK_BIN) +
+                                      " --parallel " + T,
+                                  Straight);
+
+  std::string Ckpt = ::testing::TempDir() + "/velo_cli_parsup.snap";
+  std::remove(Ckpt.c_str());
+  std::string Supervised;
+  int SupCode = runCmdStdout(std::string(VELO_CHECK_BIN) +
+                                 " --parallel --supervise --checkpoint=" +
+                                 Ckpt +
+                                 " --checkpoint-every=100 --crash-at=400 " +
+                                 T,
+                             Supervised);
+  EXPECT_EQ(SupCode, StraightCode);
+  EXPECT_EQ(Supervised, Straight)
+      << "supervised parallel recovery must not change the report";
+  std::remove(Ckpt.c_str());
+  std::remove(T.c_str());
+}
+
+TEST(ParallelCliTest, StallEnvHookKeepsOutputIdentical) {
+  std::string T = dataFile("rmw_violation.trace");
+  std::string Seq;
+  int SeqCode = runCmdAll(std::string(VELO_CHECK_BIN) + " " + T, Seq);
+  for (const char *Stall :
+       {"reader:200", "sanitizer:200", "worker:200", "worker0:200"}) {
+    std::string Par;
+    int ParCode = runCmdAll(std::string("VELO_PIPELINE_STALL=") + Stall +
+                                " " + VELO_CHECK_BIN +
+                                " --parallel --batch-events=2 " + T,
+                            Par);
+    EXPECT_EQ(SeqCode, ParCode) << Stall;
+    EXPECT_EQ(Seq, Par) << Stall;
+  }
+  // A malformed spec warns on stderr but does not change the run.
+  std::string Out;
+  int Code = runCmdAll(std::string("VELO_PIPELINE_STALL=bogus ") +
+                           VELO_CHECK_BIN + " --parallel " + T,
+                       Out);
+  EXPECT_EQ(Code, SeqCode);
+  EXPECT_NE(Out.find("VELO_PIPELINE_STALL"), std::string::npos) << Out;
+}
+
+TEST(FuzzCliTest, ParallelPoolMatchesSequentialReplays) {
+  std::string Seq, Par;
+  int SeqCode = runCmdStdout(std::string(VELO_FUZZ_BIN) +
+                                 " --iters=40 --seed=5 --no-parallel "
+                                 "--save=" + ::testing::TempDir(),
+                             Seq);
+  int ParCode = runCmdStdout(std::string(VELO_FUZZ_BIN) +
+                                 " --iters=40 --seed=5 --parallel=2 "
+                                 "--save=" + ::testing::TempDir(),
+                             Par);
+  EXPECT_EQ(SeqCode, 0);
+  EXPECT_EQ(ParCode, 0);
+  EXPECT_EQ(Seq, Par) << "fan-out must not change any fuzz statistic";
+}
+
 TEST(RunCliTest, PolicyAndCorruptionFlagsParse) {
   EXPECT_EQ(runCmd(std::string(VELO_RUN_BIN) +
                    " raja --adversarial --policy=reads --seed=2"),

@@ -17,6 +17,15 @@
 //                      reduction counts under --reduce)
 //     --quiet          verdict only
 //     --lenient        repair ill-formed traces instead of rejecting them
+//     --parallel[=N]   run parsing, sanitizing, reduction, and the
+//                      back-ends as a multi-threaded pipeline with N
+//                      worker threads (default: one per back-end). The
+//                      report is byte-identical to the sequential run
+//                      (docs/PARALLEL.md). Composes with --reduce,
+//                      --stats, --checkpoint/--resume (snapshots land on
+//                      batch boundaries), and --supervise; incompatible
+//                      with --witness and with explicit resource caps.
+//     --batch-events=N events per pipeline batch          (default 4096)
 //     --max-events=N       stop after N events            (0 = unlimited)
 //     --max-live-nodes=N   graph node cap, fall back to the vector-clock
 //                          checker on breach              (default 60000)
@@ -60,6 +69,7 @@
 #include "events/TraceText.h"
 #include "hbrace/HbRaceDetector.h"
 #include "oracle/SerializabilityOracle.h"
+#include "parallel/Pipeline.h"
 #include "staticpass/PassManager.h"
 #include "staticpass/ReductionFilter.h"
 
@@ -93,6 +103,9 @@ void usage() {
       "  --stats        print happens-before graph statistics\n"
       "  --quiet        verdict only\n"
       "  --lenient      repair ill-formed traces instead of rejecting\n"
+      "  --parallel[=N] multi-threaded pipeline, N back-end workers\n"
+      "                 (byte-identical report; see docs/PARALLEL.md)\n"
+      "  --batch-events=N  events per pipeline batch (default 4096)\n"
       "  --max-events=N --max-live-nodes=N --max-memory-mb=N\n"
       "  --deadline-ms=N      resource governor caps (0 = unlimited;\n"
       "                       see docs/INGESTION.md)\n"
@@ -127,6 +140,11 @@ struct Options {
   uint64_t CrashSignal = SIGKILL;
   bool Supervise = false;
   bool Witness = false, NoMerge = false, Stats = false, Quiet = false;
+  bool Parallel = false;       ///< --parallel given
+  uint64_t ParallelWorkers = 0; ///< 0 = one worker per back-end
+  uint64_t BatchEvents = 4096;
+  bool BatchEventsSet = false;
+  bool ExplicitLimits = false; ///< any resource-cap flag given
   SanitizeMode Mode = SanitizeMode::Strict;
   GovernorLimits Limits;
 };
@@ -164,6 +182,16 @@ int parseArgs(int argc, char **argv, Options &O) {
       O.ResumeFile = Arg.substr(9);
     } else if (Arg == "--supervise") {
       O.Supervise = true;
+    } else if (Arg == "--parallel") {
+      O.Parallel = true;
+    } else if (Arg.rfind("--parallel=", 0) == 0) {
+      O.Parallel = true;
+      U64Target = &O.ParallelWorkers;
+      U64Prefix = 11;
+    } else if (Arg.rfind("--batch-events=", 0) == 0) {
+      U64Target = &O.BatchEvents;
+      U64Prefix = 15;
+      O.BatchEventsSet = true;
     } else if (Arg.rfind("--checkpoint-every=", 0) == 0) {
       U64Target = &O.CheckpointEvery;
       U64Prefix = 19;
@@ -179,15 +207,19 @@ int parseArgs(int argc, char **argv, Options &O) {
     } else if (Arg.rfind("--max-events=", 0) == 0) {
       U64Target = &O.Limits.MaxEvents;
       U64Prefix = 13;
+      O.ExplicitLimits = true;
     } else if (Arg.rfind("--max-live-nodes=", 0) == 0) {
       U64Target = &O.Limits.MaxLiveNodes;
       U64Prefix = 17;
+      O.ExplicitLimits = true;
     } else if (Arg.rfind("--max-memory-mb=", 0) == 0) {
       U64Target = &O.Limits.MaxMemoryBytes;
       U64Prefix = 16;
+      O.ExplicitLimits = true;
     } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
       U64Target = &O.Limits.DeadlineMillis;
       U64Prefix = 14;
+      O.ExplicitLimits = true;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return -1;
@@ -241,6 +273,35 @@ int parseArgs(int argc, char **argv, Options &O) {
                    "error: --reduce is incompatible with --no-merge\n");
       return 2;
     }
+  }
+  if (O.Parallel) {
+    // Composition matrix (docs/PARALLEL.md): --reduce, --stats,
+    // --checkpoint/--resume, and --supervise compose with --parallel;
+    // --witness and explicit resource caps do not.
+    if (O.Witness) {
+      std::fprintf(stderr,
+                   "error: --witness buffers and replays the whole trace "
+                   "serially and is incompatible with --parallel\n");
+      return 2;
+    }
+    if (O.ExplicitLimits) {
+      std::fprintf(stderr,
+                   "error: explicit resource caps (--max-events, "
+                   "--max-live-nodes, --max-memory-mb, --deadline-ms) stop "
+                   "the analysis mid-stream and are incompatible with "
+                   "--parallel (the pipeline only stops at batch "
+                   "boundaries); run sequentially to use them\n");
+      return 2;
+    }
+    if (O.BatchEvents == 0) {
+      std::fprintf(stderr, "error: --batch-events must be > 0\n");
+      return 2;
+    }
+  } else if (O.BatchEventsSet) {
+    std::fprintf(stderr,
+                 "error: --batch-events only applies to the parallel "
+                 "pipeline; add --parallel\n");
+    return 2;
   }
   if (O.Supervise && O.CheckpointFile.empty()) {
     std::fprintf(stderr,
@@ -353,6 +414,48 @@ bool writeCheckpoint(const Options &O, uint64_t ByteOffset, uint64_t LineNo,
   return W.writeFile(O.CheckpointFile, ErrorOut);
 }
 
+/// Parallel-path twin of writeCheckpoint: assembles the snapshot from the
+/// state blobs deposited into a pipeline checkpoint cut. str(blob) and
+/// blob(writer) share one encoding, so the two writers produce
+/// byte-compatible snapshots — sequential and parallel runs can resume
+/// each other's checkpoints. A back-end entry with an empty blob was
+/// dropped from delivery before the boundary (the governor's post-breach
+/// drop) and is omitted, exactly as writeCheckpoint omits it from
+/// Delivery.
+bool writeCheckpointCut(const Options &O, const CheckpointCut &Cut,
+                        std::string &ErrorOut) {
+  SnapshotWriter W;
+  W.str(O.TraceFile);
+  W.str(O.BackendSel);
+  W.boolean(O.NoMerge);
+  W.str(O.ReduceSpec);
+  W.u8(O.Mode == SanitizeMode::Lenient ? 1 : 0);
+  W.u64(O.Limits.MaxEvents);
+  W.u64(O.Limits.MaxLiveNodes);
+  W.u64(O.Limits.MaxMemoryBytes);
+  W.u64(O.Limits.DeadlineMillis);
+  W.u32(O.Limits.CheckIntervalEvents);
+  W.u64(Cut.ByteOffset);
+  W.u64(Cut.LineNo);
+  W.u64(Cut.EventsSeen);
+  W.u32(Cut.ThreadsSeen);
+  W.str(Cut.SymsBlob);
+  W.str(Cut.SanBlob);
+  W.str(Cut.FilterBlob);
+  uint64_t Live = 0;
+  for (const auto &Entry : Cut.Backends)
+    if (!Entry.second.empty())
+      ++Live;
+  W.u64(Live);
+  for (const auto &Entry : Cut.Backends) {
+    if (Entry.second.empty())
+      continue;
+    W.str(Entry.first);
+    W.str(Entry.second);
+  }
+  return W.writeFile(O.CheckpointFile, ErrorOut);
+}
+
 //===----------------------------------------------------------------------===//
 // One analysis run (fresh or resumed). Under --supervise this is the
 // worker; otherwise it is the whole program.
@@ -375,6 +478,19 @@ int runAnalysis(Options O) {
     O.ReduceSpec = RS.ReduceSpec;
     O.Mode = RS.Mode;
     O.Limits = RS.Limits;
+    // The caps travel with the snapshot, so a sequential run's explicit
+    // caps would silently reappear under --parallel here; refuse just as
+    // parseArgs does for caps given on the command line.
+    if (O.Parallel &&
+        (O.Limits.MaxEvents != 0 || O.Limits.MaxMemoryBytes != 0 ||
+         O.Limits.DeadlineMillis != 0 || O.Limits.MaxLiveNodes != 60000)) {
+      std::fprintf(stderr,
+                   "error: %s was written by a run with explicit resource "
+                   "caps, which are incompatible with --parallel; resume "
+                   "it sequentially\n",
+                   O.ResumeFile.c_str());
+      return 2;
+    }
   }
 
   bool Reducing = !O.ReduceSpec.empty();
@@ -666,6 +782,89 @@ int runAnalysis(Options O) {
       TS.resumeAt(RS.LineNo, RS.EventsSeen);
     }
 
+    if (O.Parallel) {
+      // Multi-threaded pipeline (docs/PARALLEL.md): same components, same
+      // event sequence per back-end, so the report below is byte-identical
+      // to the sequential branch.
+      ParallelOptions POpts;
+      POpts.Workers = static_cast<unsigned>(O.ParallelWorkers);
+      POpts.BatchEvents = O.BatchEvents;
+      POpts.NoteCrashEvents = true;
+      POpts.CrashAt = O.CrashAt;
+      POpts.CrashSignal = static_cast<int>(O.CrashSignal);
+      if (Resuming) {
+        POpts.StartLine = RS.LineNo;
+        POpts.StartEvents = RS.EventsSeen;
+        POpts.StartThreads = RS.ThreadsSeen;
+      }
+      if (!O.CheckpointFile.empty()) {
+        POpts.CheckpointEvery = O.CheckpointEvery;
+        POpts.CheckpointSink = [&O](const CheckpointCut &Cut,
+                                    std::string &Error) {
+          return writeCheckpointCut(O, Cut, Error);
+        };
+      }
+      if (Governed) {
+        // The probe runs on the governor's worker; exhaustion stops the
+        // reader at the next batch boundary.
+        POpts.StopProbe = [&Gov] {
+          return Gov.state() == GovernorState::Exhausted;
+        };
+        POpts.StopOwner = &Gov;
+        bool BasicDelivered = false;
+        for (Backend *B : Delivery)
+          BasicDelivered = BasicDelivered || B == &Basic;
+        if (BasicDelivered) {
+          // Pin the reference checker beside the governor so its
+          // post-breach drop lands on the exact event the sequential
+          // loop drops it at.
+          POpts.Colocate.push_back({&Gov, &Basic});
+          Backend *BasicPtr = &Basic;
+          POpts.KeepDelivering = [&Gov, BasicPtr](Backend *B) {
+            if (B != BasicPtr || Gov.state() == GovernorState::Normal)
+              return true;
+            std::fprintf(stderr,
+                         "governor: stopped the reference checker "
+                         "(Velodrome(basic), no GC) after the cap "
+                         "breach\n");
+            return false;
+          };
+        }
+      }
+      if (const char *Spec = std::getenv("VELO_PIPELINE_STALL"))
+        if (!parsePipelineStall(Spec, POpts.Stall))
+          std::fprintf(stderr,
+                       "warning: ignoring malformed VELO_PIPELINE_STALL "
+                       "'%s'\n",
+                       Spec);
+      ParallelPipeline Pipe(In, StreamSyms, San,
+                            Reducing ? &Filter : nullptr, Delivery,
+                            std::move(POpts));
+      PipelineResult PR = Pipe.run();
+      switch (PR.Err) {
+      case PipelineError::Parse:
+        // PR.Detail is "line N: message"; render as "<path>:N: message".
+        std::fprintf(stderr, "error: %s:%s\n", O.TraceFile.c_str(),
+                     PR.Detail.c_str() + 5);
+        return 2;
+      case PipelineError::Sanitize:
+        std::fprintf(stderr, "error: %s: trace is not well formed: %s\n",
+                     O.TraceFile.c_str(), PR.Detail.c_str());
+        return 2;
+      case PipelineError::Checkpoint:
+        std::fprintf(stderr, "error: cannot write checkpoint %s: %s\n",
+                     O.CheckpointFile.c_str(), PR.Detail.c_str());
+        return 2;
+      case PipelineError::None:
+        break;
+      }
+      EventsSeen = PR.EventsSeen;
+      ThreadsSeen = PR.ThreadsSeen;
+      if (San.repairs().total() != 0)
+        std::fprintf(stderr, "lenient: repaired %llu event(s): %s\n",
+                     static_cast<unsigned long long>(San.repairs().total()),
+                     San.repairs().summary().c_str());
+    } else {
     uint64_t NextCkpt = EventsSeen + O.CheckpointEvery;
     Event E;
     bool Stopped = false;
@@ -722,6 +921,7 @@ int runAnalysis(Options O) {
       std::fprintf(stderr, "lenient: repaired %llu event(s): %s\n",
                    static_cast<unsigned long long>(San.repairs().total()),
                    San.repairs().summary().c_str());
+    } // sequential loop
   }
 
   if (Governed && Gov.state() != GovernorState::Normal)

@@ -44,6 +44,7 @@
 #include "events/TraceSanitizer.h"
 #include "events/TraceText.h"
 #include "hbrace/HbRaceDetector.h"
+#include "parallel/Fanout.h"
 #include "staticpass/StaticPipeline.h"
 
 #include <cerrno>
@@ -52,6 +53,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -68,6 +70,9 @@ void usage() {
                "  --seed=N      PRNG seed              (default 1)\n"
                "  --iters=N     mutants to execute     (default 500)\n"
                "  --save=DIR    where to write failing inputs (default .)\n"
+               "  --parallel=N  worker threads for the multi-back-end\n"
+               "                replays (default: hardware threads)\n"
+               "  --no-parallel run every replay sequentially\n"
                "  --verbose     per-iteration progress\n");
 }
 
@@ -254,9 +259,12 @@ bool snapshotRoundTrips(const Trace &T, const char *Name, FuzzStats &Stats,
 }
 
 /// Run every ingestion check on one mutant. Returns false with WhyOut set on
-/// the first property violation.
-bool checkMutant(const std::string &Text, FuzzStats &Stats,
-                 std::string &WhyOut) {
+/// the first property violation. Pool (when non-null) runs the
+/// multi-back-end replays of checks 5 and 8 concurrently — one parse, six
+/// back-ends in flight — with results identical to the sequential
+/// replayAll (parallel/Fanout.h).
+bool checkMutant(const std::string &Text, BackendFanout *Pool,
+                 FuzzStats &Stats, std::string &WhyOut) {
   // 1. Parser must reject cleanly or accept.
   Trace Raw;
   std::string Error;
@@ -335,7 +343,10 @@ bool checkMutant(const std::string &Text, FuzzStats &Stats,
   Atomizer Atom;
   Eraser Race;
   HbRaceDetector Hb;
-  replayAll(Repaired, {&Velo, &Basic, &Aero, &Atom, &Race, &Hb});
+  if (Pool)
+    Pool->replayAll(Repaired, {&Velo, &Basic, &Aero, &Atom, &Race, &Hb});
+  else
+    replayAll(Repaired, {&Velo, &Basic, &Aero, &Atom, &Race, &Hb});
   if (Velo.sawViolation() != Aero.sawViolation() ||
       Velo.sawViolation() != Basic.sawViolation()) {
     WhyOut = "verdicts disagree: Velodrome=" +
@@ -404,7 +415,11 @@ bool checkMutant(const std::string &Text, FuzzStats &Stats,
     Atomizer RAtom;
     Eraser RRace;
     HbRaceDetector RHb;
-    replayAll(Reduced, {&RVelo, &RBasic, &RAero, &RAtom, &RRace, &RHb});
+    if (Pool)
+      Pool->replayAll(Reduced, {&RVelo, &RBasic, &RAero, &RAtom, &RRace,
+                                &RHb});
+    else
+      replayAll(Reduced, {&RVelo, &RBasic, &RAero, &RAtom, &RRace, &RHb});
 
     const Backend *Unreduced[] = {&Velo, &Basic, &Aero, &Atom, &Race, &Hb};
     const Backend *OnReduced[] = {&RVelo, &RBasic, &RAero,
@@ -453,8 +468,8 @@ bool checkMutant(const std::string &Text, FuzzStats &Stats,
 
 int main(int argc, char **argv) {
   std::string CorpusDir = "tests/data/fuzz", SaveDir = ".";
-  uint64_t Seed = 1, Iters = 500;
-  bool Verbose = false;
+  uint64_t Seed = 1, Iters = 500, ParallelThreads = 0;
+  bool Verbose = false, Parallel = true;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -479,6 +494,12 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--iters=", 0) == 0) {
       if (!U64(8, Iters))
         return 2;
+    } else if (Arg.rfind("--parallel=", 0) == 0) {
+      if (!U64(11, ParallelThreads))
+        return 2;
+      Parallel = ParallelThreads != 0;
+    } else if (Arg == "--no-parallel") {
+      Parallel = false;
     } else if (Arg == "--verbose") {
       Verbose = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -518,6 +539,18 @@ int main(int argc, char **argv) {
               Corpus.size(), static_cast<unsigned long long>(Seed),
               static_cast<unsigned long long>(Iters));
 
+  // One persistent pool for the whole run; per-mutant thread creation
+  // would dominate at fuzzing iteration rates.
+  std::unique_ptr<BackendFanout> Pool;
+  if (Parallel)
+    Pool = std::make_unique<BackendFanout>(
+        static_cast<unsigned>(ParallelThreads));
+  if (Verbose)
+    std::printf("  multi-back-end replays: %s\n",
+                Pool ? (std::to_string(Pool->threadCount()) +
+                        " pool thread(s)").c_str()
+                     : "sequential");
+
   Rng R(Seed * 0x9e3779b97f4a7c15ull + 1);
   FuzzStats Stats;
   uint64_t Failures = 0;
@@ -542,7 +575,7 @@ int main(int argc, char **argv) {
                     R);
     }
     std::string Why;
-    if (!checkMutant(Text, Stats, Why)) {
+    if (!checkMutant(Text, Pool.get(), Stats, Why)) {
       ++Failures;
       std::string Path = SaveDir + "/fuzz-fail-" + std::to_string(It) +
                          ".trace";
