@@ -7,11 +7,23 @@
 // work: memory must stay flat in trace length on the streaming path (the
 // whole-file Trace object is only built for --witness).
 //
-//   ingestion_throughput [--events=N] [--seed=N] [--keep]
+// The run also converts the trace to the VELOTRC binary container
+// (docs/INGESTION.md) and compares parse-only throughput — text tokenizer
+// vs mmap'd binary reader over the same event stream. --check turns that
+// comparison into a gate: binary ingest must be at least --min-mult times
+// (default 4x) faster than text, the acceptance bar for the binary wire
+// format.
+//
+//   ingestion_throughput [--events=N] [--seed=N] [--keep] [--check]
+//                        [--min-mult=X]
+//
+// Exit: 0 ok, 1 measurement failed or the --check gate missed, 2 usage.
 //
 //===----------------------------------------------------------------------===//
 
 #include "aero/AeroDrome.h"
+#include "events/BinaryReader.h"
+#include "events/BinaryWriter.h"
 #include "events/TraceGen.h"
 #include "events/TraceSanitizer.h"
 #include "events/TraceStream.h"
@@ -55,11 +67,81 @@ uint64_t writeBigTrace(const std::string &Path, uint64_t NumEvents,
   return Written;
 }
 
+/// Stream the text trace through the binary writer (constant memory).
+bool convertToBinary(const std::string &TextPath, const std::string &BinPath,
+                     uint64_t &EventsOut) {
+  std::ifstream In(TextPath);
+  if (!In)
+    return false;
+  SymbolTable Syms;
+  TraceStream Stream(In, Syms);
+  std::ofstream Out(BinPath, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  BinaryTraceWriter Writer(Out, Syms);
+  Event E;
+  while (Stream.next(E))
+    Writer.add(E);
+  if (Stream.failed() || !Writer.finish())
+    return false;
+  EventsOut = Writer.eventCount();
+  return true;
+}
+
+/// Parse-only drain of the text format: tokenizer + interner, no
+/// sanitizer, no back-end. Returns events/sec (0 on failure).
+double drainTextMevs(const std::string &Path, uint64_t &EventsOut) {
+  std::ifstream In(Path);
+  if (!In)
+    return 0;
+  SymbolTable Syms;
+  TraceStream Stream(In, Syms);
+  Event E;
+  uint64_t N = 0;
+  auto Start = std::chrono::steady_clock::now();
+  while (Stream.next(E))
+    ++N;
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  if (Stream.failed())
+    return 0;
+  EventsOut = N;
+  return N / Secs;
+}
+
+/// Parse-only drain of the mmap'd binary container. Returns events/sec.
+double drainBinaryMevs(const std::string &Path, uint64_t &EventsOut) {
+  SymbolTable Syms;
+  BinaryTraceReader Reader(Syms);
+  std::string Err;
+  if (Reader.open(Path, Err) != TraceReadStatus::Ok)
+    return 0;
+  Event E;
+  uint64_t N = 0;
+  auto Start = std::chrono::steady_clock::now();
+  while (Reader.next(E))
+    ++N;
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  if (Reader.failed())
+    return 0;
+  EventsOut = N;
+  return N / Secs;
+}
+
+long fileSizeKb(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
+  return In ? static_cast<long>(In.tellg()) / 1024 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   uint64_t NumEvents = 10'000'000, Seed = 1;
-  bool Keep = false;
+  bool Keep = false, Check = false;
+  double MinMult = 4.0;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--events=", 0) == 0)
@@ -68,19 +150,43 @@ int main(int argc, char **argv) {
       Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
     else if (Arg == "--keep")
       Keep = true;
+    else if (Arg == "--check")
+      Check = true;
+    else if (Arg.rfind("--min-mult=", 0) == 0)
+      MinMult = std::strtod(Arg.c_str() + 11, nullptr);
     else {
       std::fprintf(stderr,
                    "usage: ingestion_throughput [--events=N] [--seed=N] "
-                   "[--keep]\n");
+                   "[--keep] [--check] [--min-mult=X]\n");
       return 2;
     }
   }
 
   std::string Path = "/tmp/velo_ingestion_bench.trace";
+  std::string BinPath = "/tmp/velo_ingestion_bench.vtrc";
   std::printf("generating ~%llu events to %s...\n",
               static_cast<unsigned long long>(NumEvents), Path.c_str());
   uint64_t Written = writeBigTrace(Path, NumEvents, Seed);
   long RssAfterGen = maxRssKb();
+
+  uint64_t BinEvents = 0;
+  if (!convertToBinary(Path, BinPath, BinEvents) || BinEvents != Written) {
+    std::fprintf(stderr, "binary conversion failed\n");
+    return 1;
+  }
+
+  // Parse-only comparison over identical event streams. Text runs first;
+  // both files are already warm in the page cache from generation and
+  // conversion, so the order does not favor either side.
+  uint64_t TextParsed = 0, BinParsed = 0;
+  double TextEvs = drainTextMevs(Path, TextParsed);
+  double BinEvs = drainBinaryMevs(BinPath, BinParsed);
+  if (TextEvs == 0 || BinEvs == 0 || TextParsed != Written ||
+      BinParsed != Written) {
+    std::fprintf(stderr, "parse-only drain failed or event counts differ\n");
+    return 1;
+  }
+  double Mult = BinEvs / TextEvs;
 
   std::ifstream In(Path);
   if (!In) {
@@ -124,12 +230,30 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Written));
   std::printf("events delivered %llu\n",
               static_cast<unsigned long long>(Delivered));
-  std::printf("ingest time      %.2f s (%.2f Mev/s)\n", Secs,
+  std::printf("file size        text %ld KB, binary %ld KB\n",
+              fileSizeKb(Path), fileSizeKb(BinPath));
+  std::printf("parse-only text  %.2f Mev/s\n", TextEvs / 1e6);
+  std::printf("parse-only vtrc  %.2f Mev/s (%.2fx text)\n", BinEvs / 1e6,
+              Mult);
+  std::printf("ingest time      %.2f s (%.2f Mev/s end-to-end)\n", Secs,
               Delivered / Secs / 1e6);
   std::printf("violation        %s\n", Aero.sawViolation() ? "yes" : "no");
   std::printf("peak RSS         %ld KB (after generation: %ld KB)\n",
               maxRssKb(), RssAfterGen);
-  if (!Keep)
+  if (!Keep) {
     std::remove(Path.c_str());
+    std::remove(BinPath.c_str());
+  }
+  if (Check) {
+    if (Mult < MinMult) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: binary ingest is %.2fx text "
+                   "(required >= %.2fx)\n",
+                   Mult, MinMult);
+      return 1;
+    }
+    std::printf("CHECK OK: binary ingest %.2fx text (>= %.2fx)\n", Mult,
+                MinMult);
+  }
   return 0;
 }

@@ -1,0 +1,128 @@
+//===- events/BinaryFormat.h - VELOTRC wire format --------------*- C++ -*-===//
+//
+// Constants and primitive encoders for the VELOTRC binary trace container
+// (docs/INGESTION.md has the full spec). Layout:
+//
+//   file    := header frame* index-frame trailer
+//   header  := "VELOTRC\n" u32le version=1 u32le reserved=0       (16 bytes)
+//   frame   := u8 kind  u32le payload-len  u64le fnv1a64(payload)
+//              payload                                            (13B + len)
+//   trailer := u64le index-frame-offset  "VELOIDX\n"              (16 bytes)
+//
+// Events-frame payload (kind 1): three symbol blocks (vars, locks,
+// labels), then varint event-count, then the events. A symbol block is
+// `varint base-id, varint count, count x (varint len, bytes)` and must be
+// contiguous with the ids already defined (base-id == ids seen so far).
+// An event is `u8 op, varint tid[, varint target]`; `end` carries no
+// target. The index frame (kind 2) holds, per events frame, `varint
+// file-offset, varint first-event-ordinal, varint event-count`, then the
+// total event count; the trailer points at it so --resume can seek
+// straight to a frame boundary.
+//
+// Varints are the common LEB128-style base-128 little-endian encoding,
+// at most 10 bytes for a u64. Every multi-byte fixed-width integer is
+// little-endian. The checksum is FNV-1a-64, the same function the
+// snapshot container uses (analysis/Snapshot.h) — an independent copy
+// lives here so events/ does not depend on analysis/.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_EVENTS_BINARYFORMAT_H
+#define VELO_EVENTS_BINARYFORMAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace velo {
+namespace binfmt {
+
+/// First 8 bytes of every VELOTRC file. The trailing '\n' catches text-mode
+/// line-ending mangling the same way PNG's magic does.
+inline constexpr char Magic[8] = {'V', 'E', 'L', 'O', 'T', 'R', 'C', '\n'};
+/// Last 8 bytes of every VELOTRC file (after the index-frame offset).
+inline constexpr char TrailerMagic[8] = {'V', 'E', 'L', 'O', 'I', 'D', 'X',
+                                         '\n'};
+inline constexpr uint32_t Version = 1;
+
+inline constexpr size_t HeaderSize = 16;  ///< magic + version + reserved
+inline constexpr size_t FrameHeaderSize = 13; ///< kind + len + checksum
+inline constexpr size_t TrailerSize = 16; ///< index offset + trailer magic
+
+enum FrameKind : uint8_t {
+  EventsFrame = 1,
+  IndexFrame = 2,
+};
+
+/// Largest events-frame payload a reader will accept; bounds a hostile
+/// length field before the checksum is even computed.
+inline constexpr uint64_t MaxFramePayload = 1ull << 30;
+
+/// FNV-1a-64 over Data (same function as analysis/Snapshot.h's
+/// snapshotChecksum, duplicated to keep the layering acyclic).
+inline uint64_t fnv1a64(std::string_view Data) {
+  uint64_t H = 14695981039346656037ull;
+  for (char C : Data) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// Append V as a base-128 varint (7 data bits per byte, high bit = more).
+inline void appendVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out += static_cast<char>((V & 0x7f) | 0x80);
+    V >>= 7;
+  }
+  Out += static_cast<char>(V);
+}
+
+inline void appendU32le(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out += static_cast<char>((V >> (8 * I)) & 0xff);
+}
+
+inline void appendU64le(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out += static_cast<char>((V >> (8 * I)) & 0xff);
+}
+
+/// Decode a varint from Data[*Pos..Size). Returns false on truncation or
+/// an over-long (> 10 byte / > 64 bit) encoding; *Pos is advanced past
+/// the varint on success.
+inline bool readVarint(const uint8_t *Data, size_t Size, size_t &Pos,
+                       uint64_t &Out) {
+  uint64_t V = 0;
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    if (Pos >= Size)
+      return false;
+    uint8_t B = Data[Pos++];
+    V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+    if (Shift == 63 && (B & 0xfe) != 0)
+      return false; // bits beyond 64
+    if ((B & 0x80) == 0) {
+      Out = V;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline uint32_t readU32le(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | static_cast<uint32_t>(P[1]) << 8 |
+         static_cast<uint32_t>(P[2]) << 16 | static_cast<uint32_t>(P[3]) << 24;
+}
+
+inline uint64_t readU64le(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = V << 8 | P[I];
+  return V;
+}
+
+} // namespace binfmt
+} // namespace velo
+
+#endif // VELO_EVENTS_BINARYFORMAT_H

@@ -1,0 +1,108 @@
+//===- events/BinaryReader.h - VELOTRC ingestion ----------------*- C++ -*-===//
+//
+// Zero-copy reader for the VELOTRC binary trace container: the file is
+// mmap'd once and events are decoded straight out of the mapping — no
+// line buffer, no tokenizing, no per-event allocation. Implements
+// TraceSource, so the sequential checker loop and the parallel pipeline
+// ingest binary traces through the same code they use for text.
+//
+// The reader is paranoid by construction: every offset, length, count,
+// id, and checksum is validated before use, so a truncated, bit-flipped,
+// or deliberately hostile file yields a clean ParseError ("line N:
+// message", N = 1-based event ordinal) — never a crash or an oversized
+// allocation. velodrome-fuzz hammers exactly this property.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_EVENTS_BINARYREADER_H
+#define VELO_EVENTS_BINARYREADER_H
+
+#include "events/TraceSource.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace velo {
+
+class BinaryTraceReader : public TraceSource {
+public:
+  explicit BinaryTraceReader(SymbolTable &Syms) : Syms(Syms) {}
+  ~BinaryTraceReader() override;
+
+  BinaryTraceReader(const BinaryTraceReader &) = delete;
+  BinaryTraceReader &operator=(const BinaryTraceReader &) = delete;
+
+  /// mmap Path and validate the container frame structure. Returns
+  /// NotFound/IoError with ErrorOut set when the file cannot be mapped;
+  /// ParseError when the container is malformed (the reader is then in
+  /// the failed() state with the same message, so callers may also just
+  /// stream it through their normal parse-error path); Ok otherwise.
+  TraceReadStatus open(const std::string &Path, std::string &ErrorOut);
+
+  /// Validate an in-memory container (tests, fuzzing). Data must outlive
+  /// the reader. Returns false when malformed (failed() has the message).
+  bool openBuffer(std::string_view Data);
+
+  // TraceSource:
+  bool next(Event &Out) override;
+  bool failed() const override { return Failed; }
+  const std::string &error() const override { return Error; }
+  uint64_t lineNo() const override { return Ordinal; }
+  uint64_t eventCount() const override { return NumEvents; }
+  bool tell(uint64_t &PosOut) override;
+  bool endOfFrame() const override;
+  void resumeCounters(uint64_t Line, uint64_t Events) override;
+  bool seekTo(uint64_t Pos, uint64_t Line, uint64_t Events,
+              std::string &ErrorOut) override;
+
+  /// Total events the index declares (after a successful open).
+  uint64_t totalEvents() const { return TotalEvents; }
+
+private:
+  struct FrameInfo {
+    uint64_t Offset;       ///< file offset of the frame header
+    uint64_t FirstOrdinal; ///< 0-based ordinal of the frame's first event
+    uint64_t Count;
+  };
+
+  /// Record a malformed-container failure at the next event position.
+  bool fail(const std::string &Msg);
+  bool validateContainer();
+  bool loadNextFrame();
+
+  SymbolTable &Syms;
+
+  // Mapping ownership (null when reading a borrowed buffer).
+  void *MapAddr = nullptr;
+  size_t MapLen = 0;
+
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+
+  std::vector<FrameInfo> Frames;
+  uint64_t IdxOff = 0;
+  uint64_t TotalEvents = 0;
+
+  /// Next frame to load; the current frame (if any) is FrameIdx - 1.
+  size_t FrameIdx = 0;
+  /// Decode cursor into the current frame's payload.
+  const uint8_t *Payload = nullptr;
+  size_t PayloadSize = 0;
+  size_t Pos = 0;
+  uint64_t EventsLeftInFrame = 0;
+
+  /// File id -> id in Syms, per symbol kind. File ids are dense in
+  /// first-use order, so these grow append-only as frames define names.
+  std::vector<uint32_t> VarMap, LockMap, LabelMap;
+
+  uint64_t Ordinal = 0;   ///< lineNo(): ordinal of the last event returned
+  uint64_t NumEvents = 0; ///< eventCount()
+  bool Failed = false;
+  std::string Error;
+};
+
+} // namespace velo
+
+#endif // VELO_EVENTS_BINARYREADER_H

@@ -1,0 +1,166 @@
+//===- events/BinaryWriter.cpp - VELOTRC emission -------------------------===//
+
+#include "events/BinaryWriter.h"
+
+#include "events/BinaryFormat.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace velo {
+
+using namespace binfmt;
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream &Out,
+                                     const SymbolTable &Syms,
+                                     size_t FrameEvents)
+    : Out(Out), Syms(Syms), FrameEvents(FrameEvents == 0 ? 1 : FrameEvents) {
+  std::string Header(Magic, sizeof(Magic));
+  appendU32le(Header, Version);
+  appendU32le(Header, 0); // reserved
+  Out.write(Header.data(), static_cast<std::streamsize>(Header.size()));
+  BytesWritten = Header.size();
+}
+
+void BinaryTraceWriter::add(const Event &E) {
+  Pending.push_back(E);
+  ++TotalEvents;
+  if (Pending.size() >= FrameEvents)
+    flushFrame();
+}
+
+void BinaryTraceWriter::writeFrame(uint8_t Kind, const std::string &Payload) {
+  std::string Header;
+  Header += static_cast<char>(Kind);
+  appendU32le(Header, static_cast<uint32_t>(Payload.size()));
+  appendU64le(Header, fnv1a64(Payload));
+  Out.write(Header.data(), static_cast<std::streamsize>(Header.size()));
+  Out.write(Payload.data(), static_cast<std::streamsize>(Payload.size()));
+  BytesWritten += Header.size() + Payload.size();
+}
+
+void BinaryTraceWriter::flushFrame() {
+  if (Pending.empty())
+    return;
+
+  // A frame's symbol blocks define every id its events reference that no
+  // earlier frame has defined. Ids are dense in first-use order (the
+  // interners guarantee it), so each block is the contiguous range from
+  // the high-water mark to the largest id this frame touches.
+  size_t VarsNeed = VarsDone, LocksNeed = LocksDone, LabelsNeed = LabelsDone;
+  for (const Event &E : Pending) {
+    switch (E.Kind) {
+    case Op::Read:
+    case Op::Write:
+      if (E.var() >= VarsNeed)
+        VarsNeed = E.var() + 1;
+      break;
+    case Op::Acquire:
+    case Op::Release:
+      if (E.lock() >= LocksNeed)
+        LocksNeed = E.lock() + 1;
+      break;
+    case Op::Begin:
+      if (E.label() != NoLabel && E.label() >= LabelsNeed)
+        LabelsNeed = E.label() + 1;
+      break;
+    case Op::End:
+    case Op::Fork:
+    case Op::Join:
+      break;
+    }
+  }
+
+  std::string Payload;
+  auto EmitBlock = [&](const StringInterner &Table, size_t &Done,
+                       size_t Need) {
+    appendVarint(Payload, Done);
+    appendVarint(Payload, Need - Done);
+    for (size_t I = Done; I < Need; ++I) {
+      const std::string &Name = Table.name(static_cast<uint32_t>(I));
+      appendVarint(Payload, Name.size());
+      Payload += Name;
+    }
+    Done = Need;
+  };
+  EmitBlock(Syms.Vars, VarsDone, VarsNeed);
+  EmitBlock(Syms.Locks, LocksDone, LocksNeed);
+  EmitBlock(Syms.Labels, LabelsDone, LabelsNeed);
+
+  appendVarint(Payload, Pending.size());
+  for (const Event &E : Pending) {
+    Payload += static_cast<char>(static_cast<uint8_t>(E.Kind));
+    appendVarint(Payload, E.Thread);
+    if (E.Kind != Op::End)
+      appendVarint(Payload, E.Target);
+  }
+
+  Index.push_back({BytesWritten, TotalEvents - Pending.size(),
+                   Pending.size()});
+  writeFrame(EventsFrame, Payload);
+  Pending.clear();
+}
+
+bool BinaryTraceWriter::finish() {
+  if (Finished)
+    return !Failed;
+  Finished = true;
+  flushFrame();
+
+  std::string Payload;
+  appendVarint(Payload, Index.size());
+  for (const IndexEntry &IE : Index) {
+    appendVarint(Payload, IE.Offset);
+    appendVarint(Payload, IE.FirstOrdinal);
+    appendVarint(Payload, IE.Count);
+  }
+  appendVarint(Payload, TotalEvents);
+  const uint64_t IndexOffset = BytesWritten;
+  writeFrame(IndexFrame, Payload);
+
+  std::string Trailer;
+  appendU64le(Trailer, IndexOffset);
+  Trailer.append(TrailerMagic, sizeof(TrailerMagic));
+  Out.write(Trailer.data(), static_cast<std::streamsize>(Trailer.size()));
+  BytesWritten += Trailer.size();
+
+  Out.flush();
+  if (!Out) {
+    Failed = true;
+    Error = "write error";
+  }
+  return !Failed;
+}
+
+bool writeBinaryTraceFile(const Trace &T, const std::string &Path,
+                          std::string &ErrorOut) {
+  errno = 0;
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    int Err = errno;
+    ErrorOut = "cannot open " + Path + ": " +
+               (Err != 0 ? std::strerror(Err) : "open failed");
+    return false;
+  }
+  BinaryTraceWriter W(Out, T.symbols());
+  for (const Event &E : T)
+    W.add(E);
+  if (!W.finish() || !Out) {
+    ErrorOut = "write error on " + Path;
+    return false;
+  }
+  return true;
+}
+
+std::string printBinaryTrace(const Trace &T, size_t FrameEvents) {
+  std::ostringstream Out;
+  BinaryTraceWriter W(Out, T.symbols(), FrameEvents);
+  for (const Event &E : T)
+    W.add(E);
+  W.finish();
+  return Out.str();
+}
+
+} // namespace velo

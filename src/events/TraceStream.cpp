@@ -2,28 +2,53 @@
 
 #include "events/TraceStream.h"
 
+#include "events/TraceText.h"
+
 #include <cctype>
 #include <cstdlib>
 
 namespace velo {
 
+uint64_t maxTraceSymbols() {
+  constexpr uint64_t Default = 1 << 20;
+  const char *Env = std::getenv("VELO_MAX_SYMBOLS");
+  if (!Env || !*Env)
+    return Default;
+  uint64_t V = 0;
+  for (const char *P = Env; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      return Default;
+    V = V * 10 + static_cast<uint64_t>(*P - '0');
+    if (V > Default)
+      return Default; // the hook only lowers the cap
+  }
+  return V == 0 ? Default : V;
+}
+
+bool internSymbolCapped(StringInterner &I, std::string_view Name,
+                        uint32_t &IdOut) {
+  if (I.lookup(Name, IdOut))
+    return true;
+  if (I.size() >= maxTraceSymbols())
+    return false;
+  IdOut = I.intern(Name);
+  return true;
+}
+
 namespace {
 
 /// Parse "T<digits>" into a thread id. Rejects non-digits and ids at or
-/// above MaxThreads: threads are dense from 0 and the back-ends allocate
-/// per-thread state, so an absurd id in a corrupt dump must be a parse
-/// error, not a multi-gigabyte allocation.
+/// above MaxTraceThreads (see TraceStream.h).
 bool parseTid(const std::string &Token, Tid &Out) {
   if (Token.size() < 2 || Token[0] != 'T')
     return false;
-  constexpr uint64_t MaxThreads = 1 << 20;
   uint64_t V = 0;
   for (size_t I = 1; I < Token.size(); ++I) {
     char C = Token[I];
     if (C < '0' || C > '9')
       return false;
     V = V * 10 + static_cast<uint64_t>(C - '0');
-    if (V >= MaxThreads)
+    if (V >= MaxTraceThreads)
       return false;
   }
   Out = static_cast<Tid>(V);
@@ -55,6 +80,12 @@ size_t splitTokens(const std::string &Line, std::string Toks[4]) {
 LineParse parseTraceLine(const std::string &RawLine, SymbolTable &Syms,
                          Event &Ev, std::string &ErrorOut) {
   std::string Line = RawLine;
+  // CRLF dumps (recorded on Windows, or piped through a tool that
+  // normalizes line endings) leave a '\r' on every line std::getline
+  // returns; strip it before tokenizing so it can never leak into a
+  // symbol name or trip the argument-count checks.
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
   size_t Hash = Line.find('#');
   if (Hash != std::string::npos)
     Line.resize(Hash);
@@ -79,20 +110,45 @@ LineParse parseTraceLine(const std::string &RawLine, SymbolTable &Syms,
   bool HasArg = N == 3;
   const std::string &Arg = Toks[2];
 
+  // Decode the escaped symbol argument (TraceText escaping rule) and
+  // intern it under the per-kind count cap.
+  auto InternArg = [&](StringInterner &Table, const char *What,
+                       uint32_t &IdOut, std::string &Msg) {
+    std::string Name;
+    if (!unescapeSymbol(Arg, Name, Msg))
+      return false;
+    if (!internSymbolCapped(Table, Name, IdOut)) {
+      Msg = std::string("too many distinct ") + What + " names (cap " +
+            std::to_string(maxTraceSymbols()) + ")";
+      return false;
+    }
+    return true;
+  };
+
   if (OpTok == "rd" || OpTok == "wr") {
     if (!HasArg)
       return Fail("missing variable name");
-    VarId X = Syms.Vars.intern(Arg);
+    VarId X;
+    std::string Msg;
+    if (!InternArg(Syms.Vars, "variable", X, Msg))
+      return Fail(Msg);
     Ev = OpTok == "rd" ? Event::read(T, X) : Event::write(T, X);
   } else if (OpTok == "acq" || OpTok == "rel") {
     if (!HasArg)
       return Fail("missing lock name");
-    LockId M = Syms.Locks.intern(Arg);
+    LockId M;
+    std::string Msg;
+    if (!InternArg(Syms.Locks, "lock", M, Msg))
+      return Fail(Msg);
     Ev = OpTok == "acq" ? Event::acquire(T, M) : Event::release(T, M);
   } else if (OpTok == "begin") {
     if (!HasArg)
       return Fail("missing label");
-    Ev = Event::begin(T, Syms.Labels.intern(Arg));
+    Label L;
+    std::string Msg;
+    if (!InternArg(Syms.Labels, "label", L, Msg))
+      return Fail(Msg);
+    Ev = Event::begin(T, L);
   } else if (OpTok == "end") {
     if (HasArg)
       return Fail("'end' takes no argument");

@@ -21,6 +21,24 @@
 
 namespace velo {
 
+/// Thread ids are dense from 0 and the back-ends allocate per-thread state,
+/// so an absurd id in a corrupt dump must be a parse error, not a
+/// multi-gigabyte allocation. Shared by the text and binary readers.
+inline constexpr uint64_t MaxTraceThreads = 1 << 20;
+
+/// Cap on distinct names per symbol kind (variables, locks, labels). A
+/// hostile trace of nothing but fresh names would otherwise exhaust the
+/// symbol table before the Governor sees a single event; the same cap
+/// guards the binary reader's symbol blocks. The VELO_MAX_SYMBOLS
+/// environment variable lowers it (test hook; see docs/INGESTION.md).
+uint64_t maxTraceSymbols();
+
+/// Intern Name into I, enforcing maxTraceSymbols() on *new* names only
+/// (already-interned names always resolve). Returns false when the table
+/// is full; callers turn that into a parse error.
+bool internSymbolCapped(StringInterner &I, std::string_view Name,
+                        uint32_t &IdOut);
+
 /// Outcome of parsing a single line of trace text.
 enum class LineParse {
   Event, ///< a well-formed event line; Ev is filled

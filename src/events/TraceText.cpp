@@ -2,6 +2,9 @@
 
 #include "events/TraceText.h"
 
+#include "events/BinaryFormat.h"
+#include "events/BinaryReader.h"
+#include "events/BinaryWriter.h"
 #include "events/TraceStream.h"
 
 #include <cerrno>
@@ -11,30 +14,101 @@
 
 namespace velo {
 
+std::string escapeSymbol(std::string_view Name) {
+  if (Name.empty())
+    return "\\e";
+  static const char Hex[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name) {
+    auto B = static_cast<unsigned char>(C);
+    if (C == '\\' || C == '#' || B <= 0x20 || B == 0x7f) {
+      Out += "\\x";
+      Out += Hex[B >> 4];
+      Out += Hex[B & 0xf];
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+int hexDigit(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  return -1;
+}
+
+} // namespace
+
+bool unescapeSymbol(std::string_view Token, std::string &NameOut,
+                    std::string &ErrorOut) {
+  if (Token == "\\e") {
+    NameOut.clear();
+    return true;
+  }
+  NameOut.clear();
+  NameOut.reserve(Token.size());
+  for (size_t I = 0; I < Token.size(); ++I) {
+    char C = Token[I];
+    auto B = static_cast<unsigned char>(C);
+    if (B < 0x20 || B == 0x7f) {
+      ErrorOut = "control character in name";
+      return false;
+    }
+    if (C != '\\') {
+      NameOut += C;
+      continue;
+    }
+    if (I + 3 < Token.size() && Token[I + 1] == 'x') {
+      int Hi = hexDigit(Token[I + 2]), Lo = hexDigit(Token[I + 3]);
+      if (Hi >= 0 && Lo >= 0) {
+        NameOut += static_cast<char>((Hi << 4) | Lo);
+        I += 3;
+        continue;
+      }
+    }
+    ErrorOut = "bad escape in name '" + std::string(Token) + "'";
+    return false;
+  }
+  return true;
+}
+
+std::string renderEvent(const Event &E, const SymbolTable &Syms) {
+  std::string Out = "T" + std::to_string(E.Thread) + " " + opName(E.Kind);
+  switch (E.Kind) {
+  case Op::Read:
+  case Op::Write:
+    Out += " " + escapeSymbol(Syms.varName(E.var()));
+    break;
+  case Op::Acquire:
+  case Op::Release:
+    Out += " " + escapeSymbol(Syms.lockName(E.lock()));
+    break;
+  case Op::Begin:
+    Out += " " + escapeSymbol(Syms.labelName(E.label()));
+    break;
+  case Op::End:
+    break;
+  case Op::Fork:
+  case Op::Join:
+    Out += " T" + std::to_string(E.child());
+    break;
+  }
+  return Out;
+}
+
 std::string printTrace(const Trace &T) {
   std::string Out;
   const SymbolTable &Syms = T.symbols();
   for (const Event &E : T) {
-    Out += "T" + std::to_string(E.Thread) + " " + opName(E.Kind);
-    switch (E.Kind) {
-    case Op::Read:
-    case Op::Write:
-      Out += " " + Syms.varName(E.var());
-      break;
-    case Op::Acquire:
-    case Op::Release:
-      Out += " " + Syms.lockName(E.lock());
-      break;
-    case Op::Begin:
-      Out += " " + Syms.labelName(E.label());
-      break;
-    case Op::End:
-      break;
-    case Op::Fork:
-    case Op::Join:
-      Out += " T" + std::to_string(E.child());
-      break;
-    }
+    Out += renderEvent(E, Syms);
     Out += '\n';
   }
   return Out;
@@ -53,7 +127,29 @@ bool parseTrace(const std::string &Text, Trace &Out, std::string &ErrorOut) {
   return true;
 }
 
+TraceFormat detectTraceFormat(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  char Buf[sizeof(binfmt::Magic)] = {};
+  if (!In || !In.read(Buf, sizeof(Buf)))
+    return TraceFormat::Text;
+  return std::memcmp(Buf, binfmt::Magic, sizeof(Buf)) == 0
+             ? TraceFormat::Binary
+             : TraceFormat::Text;
+}
+
+TraceFormat traceFormatForWrite(const std::string &Path) {
+  constexpr std::string_view Ext = ".vtrc";
+  if (Path.size() >= Ext.size() &&
+      Path.compare(Path.size() - Ext.size(), Ext.size(), Ext) == 0)
+    return TraceFormat::Binary;
+  return TraceFormat::Text;
+}
+
 bool writeTraceFile(const Trace &T, const std::string &Path) {
+  if (traceFormatForWrite(Path) == TraceFormat::Binary) {
+    std::string Error;
+    return writeBinaryTraceFile(T, Path, Error);
+  }
   std::ofstream Out(Path);
   if (!Out)
     return false;
@@ -63,6 +159,21 @@ bool writeTraceFile(const Trace &T, const std::string &Path) {
 
 TraceReadStatus readTraceFileStatus(const std::string &Path, Trace &Out,
                                     std::string &ErrorOut) {
+  if (detectTraceFormat(Path) == TraceFormat::Binary) {
+    BinaryTraceReader R(Out.symbols());
+    TraceReadStatus St = R.open(Path, ErrorOut);
+    if (St == TraceReadStatus::NotFound || St == TraceReadStatus::IoError)
+      return St;
+    Event E;
+    while (R.next(E))
+      Out.push(E);
+    if (R.failed()) {
+      // "path:N: message" (error() is "line N: message").
+      ErrorOut = Path + ":" + R.error().substr(5);
+      return TraceReadStatus::ParseError;
+    }
+    return TraceReadStatus::Ok;
+  }
   errno = 0;
   std::ifstream In(Path);
   if (!In) {

@@ -4,7 +4,6 @@
 
 #include "analysis/CrashDump.h"
 #include "analysis/Snapshot.h"
-#include "events/TraceStream.h"
 
 #include <algorithm>
 #include <chrono>
@@ -50,14 +49,27 @@ bool parsePipelineStall(const char *Spec, PipelineStall &Out) {
   return true;
 }
 
+ParallelPipeline::ParallelPipeline(TraceSource &Src, SymbolTable &Syms,
+                                   TraceSanitizer &San,
+                                   ReductionFilter *Filter,
+                                   std::vector<Backend *> Delivery,
+                                   ParallelOptions Opts)
+    : Src(Src), Syms(Syms), San(San), Filter(Filter),
+      Delivery(std::move(Delivery)), Opts(std::move(Opts)),
+      Q1(this->Opts.RingDepth), QF(this->Opts.RingDepth) {
+  if (this->Opts.BatchEvents == 0)
+    this->Opts.BatchEvents = 1;
+}
+
 ParallelPipeline::ParallelPipeline(std::istream &In, SymbolTable &Syms,
                                    TraceSanitizer &San,
                                    ReductionFilter *Filter,
                                    std::vector<Backend *> Delivery,
                                    ParallelOptions Opts)
-    : In(In), Syms(Syms), San(San), Filter(Filter),
-      Delivery(std::move(Delivery)), Opts(std::move(Opts)),
-      Q1(this->Opts.RingDepth), QF(this->Opts.RingDepth) {
+    : OwnedSrc(std::make_unique<TextTraceSource>(In, Syms)), Src(*OwnedSrc),
+      Syms(Syms), San(San), Filter(Filter), Delivery(std::move(Delivery)),
+      Opts(std::move(Opts)), Q1(this->Opts.RingDepth),
+      QF(this->Opts.RingDepth) {
   if (this->Opts.BatchEvents == 0)
     this->Opts.BatchEvents = 1;
 }
@@ -121,9 +133,11 @@ void ParallelPipeline::deposit(
 //===----------------------------------------------------------------------===//
 
 void ParallelPipeline::readerMain() {
-  TraceStream TS(In, Syms);
+  // A caller that seeked the source already restored its counters; for
+  // the istream convenience path this primes them (idempotent when the
+  // values are already in place).
   if (Opts.StartLine != 0 || Opts.StartEvents != 0)
-    TS.resumeAt(Opts.StartLine, Opts.StartEvents);
+    Src.resumeCounters(Opts.StartLine, Opts.StartEvents);
 
   // Baseline interner sizes for delta extraction.
   size_t VarsN = Syms.Vars.size();
@@ -156,24 +170,27 @@ void ParallelPipeline::readerMain() {
   auto Finalize = [&](BatchPtr &B, bool AtEof) {
     TakeDelta(B->Symbols);
     if (Checkpointing && !ParseFailed.load() && !Stop.load() &&
-        TS.eventCount() >= NextCkpt && !B->Events.empty()) {
-      // The batch's last line is fully parsed, so tellg() is a clean
-      // resume boundary. (At EOF on a file without a trailing newline
-      // tellg() fails; the run is about to finish anyway.)
-      auto Off = In.tellg();
-      if (Off != std::istream::pos_type(-1)) {
+        Src.eventCount() >= NextCkpt && !B->Events.empty()) {
+      // The batch's last record is fully parsed, so the source position
+      // is a clean resume boundary when tell() succeeds. Text: any line
+      // boundary, but tellg() fails at EOF on a file without a trailing
+      // newline (the run is about to finish anyway). Binary: only frame
+      // boundaries; mid-frame boundaries simply defer the cut to the
+      // frame's end.
+      uint64_t Off = 0;
+      if (Src.tell(Off)) {
         auto T = std::make_shared<CheckpointTicket>();
         T->Seq = B->Seq;
         T->Remaining = Depositors;
-        T->Cut.ByteOffset = static_cast<uint64_t>(Off);
-        T->Cut.LineNo = TS.lineNo();
+        T->Cut.ByteOffset = Off;
+        T->Cut.LineNo = Src.lineNo();
         SnapshotWriter SymsBlob;
         serializeSymbols(SymsBlob, Syms);
         T->Cut.SymsBlob = SymsBlob.payload();
         for (const Backend *BE : Delivery)
           T->Cut.Backends.emplace_back(BE->name(), std::string());
         B->Ticket = std::move(T);
-        NextCkpt = TS.eventCount() + Opts.CheckpointEvery;
+        NextCkpt = Src.eventCount() + Opts.CheckpointEvery;
       }
     }
     (void)AtEof;
@@ -181,15 +198,23 @@ void ParallelPipeline::readerMain() {
 
   BatchPtr Cur = Fresh();
   Event E;
-  while (!Stop.load() && TS.next(E)) {
-    Cur->add(E, static_cast<uint32_t>(TS.lineNo()));
+  while (!Stop.load() && Src.next(E)) {
+    Cur->add(E, static_cast<uint32_t>(Src.lineNo()));
     // A checkpoint boundary ends the batch early: cuts can only land on
     // batch boundaries, so the cadence must not be quantized up to
     // BatchEvents (a batch larger than the whole trace would otherwise
-    // push the only cut to EOF, where tellg() no longer works).
-    const bool CkptBoundary =
-        Checkpointing && !Cur->Events.empty() && TS.eventCount() >= NextCkpt;
-    if (Cur->Events.size() >= Opts.BatchEvents || CkptBoundary) {
+    // push the only cut to EOF, where tellg() no longer works). It only
+    // fires where the source can actually checkpoint (tell succeeds), so
+    // a binary trace is not shredded into one-event batches between a
+    // due checkpoint and the frame boundary that can host it. A frame
+    // end also closes the batch: binary batches stay frame-aligned, so
+    // the events hand straight off from the mapped frame.
+    uint64_t CkptOff = 0;
+    const bool CkptBoundary = Checkpointing && !Cur->Events.empty() &&
+                              Src.eventCount() >= NextCkpt &&
+                              Src.tell(CkptOff);
+    if (Cur->Events.size() >= Opts.BatchEvents || CkptBoundary ||
+        Src.endOfFrame()) {
       Finalize(Cur, /*AtEof=*/false);
       maybeStall(PipelineStall::Reader);
       ++Batches;
@@ -198,10 +223,10 @@ void ParallelPipeline::readerMain() {
       Cur = Fresh();
     }
   }
-  if (TS.failed()) {
+  if (Src.failed()) {
     {
       std::lock_guard<std::mutex> Lock(ErrMu);
-      ParseErr = TS.error();
+      ParseErr = Src.error();
     }
     // Flag before close(): the sanitizer checks it after draining, and
     // the ring's mutex orders the two.

@@ -32,6 +32,7 @@
 
 #include "analysis/Backend.h"
 #include "events/TraceSanitizer.h"
+#include "events/TraceSource.h"
 #include "parallel/Batch.h"
 #include "parallel/Ring.h"
 #include "staticpass/ReductionFilter.h"
@@ -151,6 +152,13 @@ public:
   /// Filter may be null (reduction off). Delivery is the back-end list in
   /// delivery order; beginAnalysis(Syms) must already have been called on
   /// each (the pipeline rebinds them to worker-private symbol replicas).
+  /// The source must have interned into Syms (and, on resume, be seeked
+  /// and have its counters restored) before run().
+  ParallelPipeline(TraceSource &Src, SymbolTable &Syms, TraceSanitizer &San,
+                   ReductionFilter *Filter, std::vector<Backend *> Delivery,
+                   ParallelOptions Opts);
+
+  /// Convenience: ingest text from a caller-owned stream (tests, bench).
   ParallelPipeline(std::istream &In, SymbolTable &Syms, TraceSanitizer &San,
                    ReductionFilter *Filter, std::vector<Backend *> Delivery,
                    ParallelOptions Opts);
@@ -185,7 +193,8 @@ private:
                const std::function<void(CheckpointCut &)> &Fill);
   void abortPipeline();
 
-  std::istream &In;
+  std::unique_ptr<TextTraceSource> OwnedSrc; ///< istream-ctor adapter
+  TraceSource &Src;
   SymbolTable &Syms;
   TraceSanitizer &San;
   ReductionFilter *Filter;

@@ -1,0 +1,402 @@
+//===- tests/BinaryFormatTest.cpp - VELOTRC container tests ---------------===//
+//
+// Round-trip, frame-boundary, seek/resume, and corruption-robustness
+// tests for the binary trace wire format (events/BinaryFormat.h). The
+// corruption tests assert the strongest property the format is designed
+// for: EVERY strict prefix and EVERY single-byte flip of a valid
+// container is rejected with a clean "line N:" parse error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/BinaryFormat.h"
+#include "events/BinaryReader.h"
+#include "events/BinaryWriter.h"
+#include "events/TraceSource.h"
+#include "events/TraceStream.h"
+#include "events/TraceText.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace velo;
+
+namespace {
+
+Trace parseOrDie(const std::string &Text) {
+  Trace T;
+  std::string Err;
+  EXPECT_TRUE(parseTrace(Text, T, Err)) << Err;
+  return T;
+}
+
+const char *SmallTrace = "T0 fork T1\n"
+                         "T0 begin outer\n"
+                         "T0 acq m\n"
+                         "T0 wr x\n"
+                         "T0 rel m\n"
+                         "T0 end\n"
+                         "T1 acq m\n"
+                         "T1 rd x\n"
+                         "T1 wr y\n"
+                         "T1 rel m\n"
+                         "T0 join T1\n";
+
+/// Drain a reader; returns events delivered. Failure state is left on R.
+std::vector<Event> drain(BinaryTraceReader &R) {
+  std::vector<Event> Out;
+  Event E;
+  while (R.next(E))
+    Out.push_back(E);
+  return Out;
+}
+
+TEST(BinaryFormat, VarintRoundTrip) {
+  const uint64_t Cases[] = {0,    1,          127,        128,
+                            300,  0xffffffff, 1ull << 40, ~0ull};
+  for (uint64_t V : Cases) {
+    std::string Buf;
+    binfmt::appendVarint(Buf, V);
+    size_t Pos = 0;
+    uint64_t Back = 0;
+    ASSERT_TRUE(binfmt::readVarint(
+        reinterpret_cast<const uint8_t *>(Buf.data()), Buf.size(), Pos, Back));
+    EXPECT_EQ(Back, V);
+    EXPECT_EQ(Pos, Buf.size());
+  }
+}
+
+TEST(BinaryFormat, RoundTripSmallTrace) {
+  Trace T = parseOrDie(SmallTrace);
+  std::string Bin = printBinaryTrace(T);
+
+  SymbolTable Syms;
+  BinaryTraceReader R(Syms);
+  ASSERT_TRUE(R.openBuffer(Bin)) << R.error();
+  EXPECT_EQ(R.totalEvents(), T.size());
+  std::vector<Event> Events = drain(R);
+  ASSERT_FALSE(R.failed()) << R.error();
+  ASSERT_EQ(Events.size(), T.size());
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I], T[I]) << "event " << I;
+  // Names survive, not just ids.
+  EXPECT_EQ(Syms.varName(Events[3].var()), "x");
+  EXPECT_EQ(Syms.lockName(Events[2].lock()), "m");
+  EXPECT_EQ(Syms.labelName(Events[1].label()), "outer");
+  EXPECT_EQ(R.eventCount(), T.size());
+  EXPECT_EQ(R.lineNo(), T.size());
+}
+
+TEST(BinaryFormat, RoundTripEmptyTrace) {
+  Trace T;
+  std::string Bin = printBinaryTrace(T);
+  SymbolTable Syms;
+  BinaryTraceReader R(Syms);
+  ASSERT_TRUE(R.openBuffer(Bin)) << R.error();
+  EXPECT_TRUE(drain(R).empty());
+  EXPECT_FALSE(R.failed());
+}
+
+TEST(BinaryFormat, RoundTripHostileNames) {
+  // Names with spaces, '#', '\', control bytes, and the empty string all
+  // survive binary (raw bytes) and text (escaped) round trips.
+  Trace T;
+  VarId A = T.symbols().Vars.intern("a b");
+  VarId B = T.symbols().Vars.intern("x#y\\z");
+  VarId C = T.symbols().Vars.intern(std::string("c\x01\x7f\r\nd", 6));
+  VarId D = T.symbols().Vars.intern("");
+  for (VarId V : {A, B, C, D})
+    T.push(Event::write(0, V));
+
+  std::string Bin = printBinaryTrace(T);
+  SymbolTable Syms;
+  BinaryTraceReader R(Syms);
+  ASSERT_TRUE(R.openBuffer(Bin)) << R.error();
+  std::vector<Event> Events = drain(R);
+  ASSERT_FALSE(R.failed()) << R.error();
+  ASSERT_EQ(Events.size(), 4u);
+  EXPECT_EQ(Syms.Vars.name(Events[0].var()), "a b");
+  EXPECT_EQ(Syms.Vars.name(Events[1].var()), "x#y\\z");
+  EXPECT_EQ(Syms.Vars.name(Events[2].var()), std::string("c\x01\x7f\r\nd", 6));
+  EXPECT_EQ(Syms.Vars.name(Events[3].var()), "");
+
+  // Text round trip of the same names via the escaping rule.
+  Trace Back = parseOrDie(printTrace(T));
+  ASSERT_EQ(Back.size(), T.size());
+  for (size_t I = 0; I < T.size(); ++I) {
+    EXPECT_EQ(Back[I], T[I]);
+    EXPECT_EQ(Back.symbols().Vars.name(Back[I].var()),
+              T.symbols().Vars.name(T[I].var()));
+  }
+}
+
+TEST(BinaryFormat, FrameBoundariesAndTell) {
+  Trace T = parseOrDie(SmallTrace); // 11 events
+  std::string Bin = printBinaryTrace(T, /*FrameEvents=*/4);
+
+  SymbolTable Syms;
+  BinaryTraceReader R(Syms);
+  ASSERT_TRUE(R.openBuffer(Bin)) << R.error();
+  uint64_t Pos = 0;
+  EXPECT_TRUE(R.tell(Pos)); // before the first frame
+  EXPECT_EQ(Pos, binfmt::HeaderSize);
+
+  Event E;
+  std::vector<size_t> Boundaries;
+  for (size_t I = 0; I < T.size(); ++I) {
+    ASSERT_TRUE(R.next(E));
+    if (R.endOfFrame())
+      Boundaries.push_back(I + 1);
+    // tell() succeeds exactly at frame boundaries.
+    EXPECT_EQ(R.tell(Pos), R.endOfFrame());
+  }
+  EXPECT_FALSE(R.next(E));
+  EXPECT_FALSE(R.failed());
+  EXPECT_EQ(Boundaries, (std::vector<size_t>{4, 8, 11}));
+}
+
+TEST(BinaryFormat, SeekResumeMatchesStraightRead) {
+  Trace T = parseOrDie(SmallTrace);
+  std::string Bin = printBinaryTrace(T, /*FrameEvents=*/4);
+
+  // Straight read for reference.
+  SymbolTable FullSyms;
+  BinaryTraceReader Full(FullSyms);
+  ASSERT_TRUE(Full.openBuffer(Bin));
+  std::vector<Event> All = drain(Full);
+  ASSERT_EQ(All.size(), T.size());
+
+  // Read one frame, note the boundary, then resume a fresh reader there
+  // with the symbols accumulated so far (what a snapshot restore does).
+  SymbolTable Syms1;
+  BinaryTraceReader R1(Syms1);
+  ASSERT_TRUE(R1.openBuffer(Bin));
+  Event E;
+  for (int I = 0; I < 4; ++I)
+    ASSERT_TRUE(R1.next(E));
+  ASSERT_TRUE(R1.endOfFrame());
+  uint64_t Pos = 0;
+  ASSERT_TRUE(R1.tell(Pos));
+
+  SymbolTable Syms2 = Syms1;
+  BinaryTraceReader R2(Syms2);
+  ASSERT_TRUE(R2.openBuffer(Bin));
+  std::string Err;
+  ASSERT_TRUE(R2.seekTo(Pos, R1.lineNo(), R1.eventCount(), Err)) << Err;
+  std::vector<Event> Tail = drain(R2);
+  ASSERT_FALSE(R2.failed()) << R2.error();
+  ASSERT_EQ(Tail.size(), All.size() - 4);
+  for (size_t I = 0; I < Tail.size(); ++I)
+    EXPECT_EQ(Tail[I], All[4 + I]);
+  EXPECT_EQ(R2.eventCount(), All.size());
+
+  // A position between frame boundaries is rejected.
+  SymbolTable Syms3;
+  BinaryTraceReader R3(Syms3);
+  ASSERT_TRUE(R3.openBuffer(Bin));
+  EXPECT_FALSE(R3.seekTo(Pos + 1, 4, 4, Err));
+  EXPECT_NE(Err.find("frame boundary"), std::string::npos);
+}
+
+TEST(BinaryFormat, EveryStrictPrefixIsRejected) {
+  Trace T = parseOrDie(SmallTrace);
+  std::string Bin = printBinaryTrace(T, /*FrameEvents=*/4);
+  for (size_t Len = 0; Len < Bin.size(); ++Len) {
+    std::string Cut = Bin.substr(0, Len);
+    SymbolTable Syms;
+    BinaryTraceReader R(Syms);
+    bool Ok = R.openBuffer(Cut);
+    if (Ok)
+      drain(R);
+    ASSERT_TRUE(R.failed()) << "prefix of " << Len << " bytes accepted";
+    ASSERT_EQ(R.error().rfind("line ", 0), 0u) << R.error();
+  }
+}
+
+TEST(BinaryFormat, EverySingleByteFlipIsRejected) {
+  Trace T = parseOrDie(SmallTrace);
+  std::string Bin = printBinaryTrace(T, /*FrameEvents=*/4);
+  for (size_t I = 0; I < Bin.size(); ++I) {
+    std::string Bad = Bin;
+    Bad[I] = static_cast<char>(Bad[I] ^ 0xff);
+    SymbolTable Syms;
+    BinaryTraceReader R(Syms);
+    bool Ok = R.openBuffer(Bad);
+    if (Ok)
+      drain(R);
+    ASSERT_TRUE(R.failed()) << "flip at byte " << I << " accepted";
+    ASSERT_EQ(R.error().rfind("line ", 0), 0u) << R.error();
+  }
+}
+
+/// Assemble a one-frame container by hand so tests can express payloads
+/// the writer would never produce (undefined ids, bad op codes, ...).
+std::string buildContainer(const std::string &FramePayload,
+                           uint64_t EventCount) {
+  using namespace binfmt;
+  std::string Out(Magic, sizeof(Magic));
+  appendU32le(Out, Version);
+  appendU32le(Out, 0);
+  const uint64_t FrameOff = Out.size();
+  Out += static_cast<char>(EventsFrame);
+  appendU32le(Out, static_cast<uint32_t>(FramePayload.size()));
+  appendU64le(Out, fnv1a64(FramePayload));
+  Out += FramePayload;
+  const uint64_t IdxOff = Out.size();
+  std::string Idx;
+  appendVarint(Idx, 1); // one frame
+  appendVarint(Idx, FrameOff);
+  appendVarint(Idx, 0);
+  appendVarint(Idx, EventCount);
+  appendVarint(Idx, EventCount); // total
+  Out += static_cast<char>(IndexFrame);
+  appendU32le(Out, static_cast<uint32_t>(Idx.size()));
+  appendU64le(Out, fnv1a64(Idx));
+  Out += Idx;
+  appendU64le(Out, IdxOff);
+  Out.append(TrailerMagic, sizeof(TrailerMagic));
+  return Out;
+}
+
+std::string emptySymbolBlocks() {
+  std::string P;
+  for (int I = 0; I < 3; ++I) {
+    binfmt::appendVarint(P, 0);
+    binfmt::appendVarint(P, 0);
+  }
+  return P;
+}
+
+TEST(BinaryFormat, UndefinedSymbolIdIsRejected) {
+  // One read of var id 7 with no symbol definitions at all.
+  std::string P = emptySymbolBlocks();
+  binfmt::appendVarint(P, 1); // one event
+  P += static_cast<char>(static_cast<uint8_t>(Op::Read));
+  binfmt::appendVarint(P, 0); // tid
+  binfmt::appendVarint(P, 7); // undefined var id
+  // Keep the container alive past openBuffer: the reader borrows the bytes.
+  const std::string Bytes = buildContainer(P, 1);
+  SymbolTable Syms;
+  BinaryTraceReader R(Syms);
+  ASSERT_TRUE(R.openBuffer(Bytes));
+  drain(R);
+  ASSERT_TRUE(R.failed());
+  EXPECT_NE(R.error().find("undefined variable id 7"), std::string::npos)
+      << R.error();
+  EXPECT_EQ(R.error().rfind("line 1:", 0), 0u) << R.error();
+}
+
+TEST(BinaryFormat, BadOpCodeIsRejected) {
+  std::string P = emptySymbolBlocks();
+  binfmt::appendVarint(P, 1);
+  P += static_cast<char>(0x40); // not an op
+  binfmt::appendVarint(P, 0);
+  // Keep the container alive past openBuffer: the reader borrows the bytes.
+  const std::string Bytes = buildContainer(P, 1);
+  SymbolTable Syms;
+  BinaryTraceReader R(Syms);
+  ASSERT_TRUE(R.openBuffer(Bytes));
+  drain(R);
+  ASSERT_TRUE(R.failed());
+  EXPECT_NE(R.error().find("unknown operation"), std::string::npos)
+      << R.error();
+}
+
+TEST(BinaryFormat, OversizedThreadIdIsRejected) {
+  std::string P = emptySymbolBlocks();
+  binfmt::appendVarint(P, 1);
+  P += static_cast<char>(static_cast<uint8_t>(Op::End));
+  binfmt::appendVarint(P, MaxTraceThreads); // first out-of-range tid
+  // Keep the container alive past openBuffer: the reader borrows the bytes.
+  const std::string Bytes = buildContainer(P, 1);
+  SymbolTable Syms;
+  BinaryTraceReader R(Syms);
+  ASSERT_TRUE(R.openBuffer(Bytes));
+  drain(R);
+  ASSERT_TRUE(R.failed());
+  EXPECT_NE(R.error().find("out of range"), std::string::npos) << R.error();
+}
+
+TEST(BinaryFormat, SymbolCapAppliesToBinary) {
+  // Lower the cap via the test hook and present a frame defining one
+  // variable too many.
+  ASSERT_EQ(setenv("VELO_MAX_SYMBOLS", "2", 1), 0);
+  std::string P;
+  binfmt::appendVarint(P, 0); // vars base
+  binfmt::appendVarint(P, 3); // three names: one over the cap
+  for (const char *Name : {"a", "b", "c"}) {
+    binfmt::appendVarint(P, 1);
+    P += Name;
+  }
+  binfmt::appendVarint(P, 0); // locks
+  binfmt::appendVarint(P, 0);
+  binfmt::appendVarint(P, 0); // labels
+  binfmt::appendVarint(P, 0);
+  binfmt::appendVarint(P, 1); // one event
+  P += static_cast<char>(static_cast<uint8_t>(Op::Read));
+  binfmt::appendVarint(P, 0);
+  binfmt::appendVarint(P, 0);
+  // Keep the container alive past openBuffer: the reader borrows the bytes.
+  const std::string Bytes = buildContainer(P, 1);
+  SymbolTable Syms;
+  BinaryTraceReader R(Syms);
+  ASSERT_TRUE(R.openBuffer(Bytes));
+  drain(R);
+  unsetenv("VELO_MAX_SYMBOLS");
+  ASSERT_TRUE(R.failed());
+  EXPECT_NE(R.error().find("too many distinct variable names (cap 2)"),
+            std::string::npos)
+      << R.error();
+}
+
+TEST(BinaryFormat, FactoryDetectsBothFormats) {
+  Trace T = parseOrDie(SmallTrace);
+  std::string Dir = ::testing::TempDir();
+  std::string TextPath = Dir + "/velo_fmt_test.trace";
+  std::string BinPath = Dir + "/velo_fmt_test.vtrc";
+  ASSERT_TRUE(writeTraceFile(T, TextPath));
+  ASSERT_TRUE(writeTraceFile(T, BinPath)); // .vtrc extension -> binary
+
+  EXPECT_EQ(detectTraceFormat(TextPath), TraceFormat::Text);
+  EXPECT_EQ(detectTraceFormat(BinPath), TraceFormat::Binary);
+
+  for (const std::string &Path : {TextPath, BinPath}) {
+    SymbolTable Syms;
+    TraceReadStatus St = TraceReadStatus::Ok;
+    std::string Err;
+    auto Src = openTraceSource(Path, Syms, St, Err);
+    ASSERT_TRUE(Src) << Err;
+    ASSERT_EQ(St, TraceReadStatus::Ok);
+    Event E;
+    std::vector<Event> Events;
+    while (Src->next(E))
+      Events.push_back(E);
+    ASSERT_FALSE(Src->failed()) << Src->error();
+    ASSERT_EQ(Events.size(), T.size()) << Path;
+    for (size_t I = 0; I < Events.size(); ++I)
+      EXPECT_EQ(Events[I], T[I]);
+  }
+
+  // readTraceFileStatus auto-detects too (the --witness path).
+  Trace FromBin;
+  std::string Err;
+  ASSERT_EQ(readTraceFileStatus(BinPath, FromBin, Err), TraceReadStatus::Ok)
+      << Err;
+  EXPECT_EQ(printTrace(FromBin), printTrace(T));
+
+  std::remove(TextPath.c_str());
+  std::remove(BinPath.c_str());
+}
+
+TEST(BinaryFormat, MissingFileStatus) {
+  SymbolTable Syms;
+  TraceReadStatus St = TraceReadStatus::Ok;
+  std::string Err;
+  auto Src = openTraceSource("/nonexistent/velo.vtrc", Syms, St, Err);
+  EXPECT_EQ(Src, nullptr);
+  EXPECT_EQ(St, TraceReadStatus::NotFound);
+  EXPECT_NE(Err.find("cannot open"), std::string::npos);
+}
+
+} // namespace

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -141,6 +142,106 @@ TEST(ReadTraceFileTest, MalformedFileIsParseErrorWithPathAndLine) {
             TraceReadStatus::ParseError);
   EXPECT_EQ(Error.find(Path + ":2: "), 0u) << Error;
   std::remove(Path.c_str());
+}
+
+TEST(TraceStreamTest, StripsTrailingCarriageReturns) {
+  // Windows-authored traces (CRLF line endings) must parse identically to
+  // Unix ones: getline leaves the \r on the line, the parser strips it.
+  StreamRun Run("T0 fork T1\r\n"
+                "T0 wr x\r\n"
+                "# comment line\r\n"
+                "T1 rd x\r\n"
+                "T0 join T1\r\n");
+  ASSERT_FALSE(Run.TS.failed()) << Run.TS.error();
+  ASSERT_EQ(Run.Events.size(), 4u);
+  EXPECT_TRUE(Run.Events[1] == Event::write(0, Run.Syms.Vars.intern("x")));
+
+  // An interior \r is ordinary token whitespace (isspace), so doubled
+  // carriage returns are harmless and can never leak into a symbol name.
+  StreamRun Interior("T0 wr x\r\r\n");
+  ASSERT_FALSE(Interior.TS.failed()) << Interior.TS.error();
+  ASSERT_EQ(Interior.Events.size(), 1u);
+  EXPECT_TRUE(Interior.Events[0] ==
+              Event::write(0, Interior.Syms.Vars.intern("x")));
+}
+
+TEST(SymbolEscapingTest, EscapeUnescapeRoundTripsHostileNames) {
+  const std::string Names[] = {
+      "plain",      "",           "with space", "tab\tinside",
+      "new\nline",  "back\\slash", "hash#mark", std::string("\x01\x1f\x7f", 3),
+      "caf\xc3\xa9" /* bytes >= 0x80 pass through raw */};
+  for (const std::string &N : Names) {
+    std::string Esc = escapeSymbol(N);
+    for (char C : Esc)
+      EXPECT_FALSE(static_cast<unsigned char>(C) <= 0x20 || C == 0x7f)
+          << "escaped form of '" << N << "' still has whitespace/control";
+    std::string Back, Err;
+    ASSERT_TRUE(unescapeSymbol(Esc, Back, Err)) << Err;
+    EXPECT_EQ(Back, N);
+  }
+}
+
+TEST(SymbolEscapingTest, PrintedHostileNamesReparseToSameTrace) {
+  // The writer/parser symmetry satellite: printTrace of a trace whose
+  // symbols contain whitespace, '#', or control bytes must re-parse to
+  // the identical event stream and names.
+  Trace T;
+  uint32_t V = T.symbols().Vars.intern("spaced out\tname");
+  uint32_t L = T.symbols().Locks.intern("lock#1\n");
+  uint32_t B = T.symbols().Labels.intern("");
+  T.push(Event::begin(0, B));
+  T.push(Event::acquire(0, L));
+  T.push(Event::write(0, V));
+  T.push(Event::release(0, L));
+  T.push(Event::end(0));
+
+  std::string Text = printTrace(T);
+  Trace Back;
+  std::string Error;
+  ASSERT_TRUE(parseTrace(Text, Back, Error)) << Error << "\n" << Text;
+  EXPECT_EQ(printTrace(Back), Text);
+  ASSERT_EQ(Back.size(), T.size());
+  EXPECT_EQ(Back.symbols().varName(Back[2].var()), "spaced out\tname");
+  EXPECT_EQ(Back.symbols().lockName(Back[1].lock()), "lock#1\n");
+  EXPECT_EQ(Back.symbols().labelName(Back[0].label()), "");
+}
+
+TEST(SymbolEscapingTest, RejectsRawControlCharsAndBadEscapes) {
+  SymbolTable Syms;
+  Event E;
+  std::string Error;
+  EXPECT_EQ(parseTraceLine(std::string("T0 wr a\x01z"), Syms, E, Error),
+            LineParse::Error);
+  EXPECT_NE(Error.find("control character"), std::string::npos) << Error;
+  EXPECT_EQ(parseTraceLine("T0 wr a\\qz", Syms, E, Error), LineParse::Error);
+  EXPECT_NE(Error.find("bad escape"), std::string::npos) << Error;
+  EXPECT_EQ(parseTraceLine("T0 wr a\\x1", Syms, E, Error), LineParse::Error);
+  EXPECT_NE(Error.find("bad escape"), std::string::npos) << Error;
+}
+
+TEST(SymbolCapTest, TextParserSurfacesCapAsParseError) {
+  ::setenv("VELO_MAX_SYMBOLS", "4", 1);
+  std::string Text;
+  for (int I = 0; I < 6; ++I)
+    Text += "T0 wr v" + std::to_string(I) + "\n";
+  StreamRun Run(Text);
+  ::unsetenv("VELO_MAX_SYMBOLS");
+  ASSERT_TRUE(Run.TS.failed());
+  EXPECT_EQ(Run.TS.error(),
+            "line 5: too many distinct variable names (cap 4)");
+  EXPECT_EQ(Run.Events.size(), 4u) << "events before the cap still parse";
+}
+
+TEST(SymbolCapTest, ReusedNamesDoNotCountAgainstTheCap) {
+  ::setenv("VELO_MAX_SYMBOLS", "2", 1);
+  std::string Text;
+  for (int I = 0; I < 50; ++I)
+    Text += std::string("T0 wr ") + (I % 2 ? "a" : "b") + "\n" +
+            "T0 acq m\nT0 rel m\n";
+  StreamRun Run(Text);
+  ::unsetenv("VELO_MAX_SYMBOLS");
+  ASSERT_FALSE(Run.TS.failed()) << Run.TS.error();
+  EXPECT_EQ(Run.Events.size(), 150u);
 }
 
 TEST(ReadTraceFileTest, WellFormedFileRoundTrips) {

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +17,7 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <vector>
 
 #ifndef VELO_CHECK_BIN
 #define VELO_CHECK_BIN "velodrome-check"
@@ -28,6 +30,9 @@
 #endif
 #ifndef VELO_ANALYZE_BIN
 #define VELO_ANALYZE_BIN "velodrome-analyze"
+#endif
+#ifndef VELO_CONVERT_BIN
+#define VELO_CONVERT_BIN "velodrome-convert"
 #endif
 #ifndef VELO_TEST_DATA_DIR
 #define VELO_TEST_DATA_DIR "tests/data"
@@ -729,6 +734,208 @@ TEST(FuzzCliTest, ParallelPoolMatchesSequentialReplays) {
   EXPECT_EQ(SeqCode, 0);
   EXPECT_EQ(ParCode, 0);
   EXPECT_EQ(Seq, Par) << "fan-out must not change any fuzz statistic";
+}
+
+//===----------------------------------------------------------------------===//
+// velodrome-convert: the VELOTRC binary wire format (docs/INGESTION.md)
+//===----------------------------------------------------------------------===//
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In), {});
+}
+
+void replaceAll(std::string &S, const std::string &From,
+                const std::string &To) {
+  for (size_t P = 0; (P = S.find(From, P)) != std::string::npos;
+       P += To.size())
+    S.replace(P, From.size(), To);
+}
+
+std::vector<std::string> goldenTraces() {
+  std::vector<std::string> Out;
+  for (const auto &E :
+       std::filesystem::directory_iterator(VELO_TEST_DATA_DIR))
+    if (E.path().extension() == ".trace")
+      Out.push_back(E.path().string());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+TEST(ConvertCliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(runCmd(std::string(VELO_CONVERT_BIN)), 2) << "missing operands";
+  EXPECT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " a.trace"), 2)
+      << "missing output";
+  EXPECT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " --to=xml a b"), 2);
+  EXPECT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " --frame-events=0 a b"),
+            2);
+  EXPECT_EQ(runCmd(std::string(VELO_CONVERT_BIN) +
+                   " /nonexistent.trace /tmp/velo_conv_out.vtrc"),
+            2);
+}
+
+TEST(ConvertCliTest, BinaryTextBinaryIsAFixpointOnEveryGoldenTrace) {
+  std::string Tmp = ::testing::TempDir();
+  for (const std::string &T : goldenTraces()) {
+    std::string A = Tmp + "/velo_fix_a.vtrc", B = Tmp + "/velo_fix_b.trace",
+                C = Tmp + "/velo_fix_c.vtrc", D = Tmp + "/velo_fix_d.trace";
+    ASSERT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " " + T + " " + A), 0)
+        << T;
+    ASSERT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " " + A + " " + B), 0)
+        << T;
+    ASSERT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " " + B + " " + C), 0)
+        << T;
+    EXPECT_EQ(readFileBytes(A), readFileBytes(C))
+        << T << ": binary -> text -> binary must be byte-identical";
+    // The canonical text rendering is itself a fixpoint.
+    ASSERT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " --to=text " + B +
+                     " " + D),
+              0)
+        << T;
+    EXPECT_EQ(readFileBytes(B), readFileBytes(D)) << T;
+    for (const std::string &F : {A, B, C, D})
+      std::remove(F.c_str());
+  }
+}
+
+TEST(ConvertCliTest, VerdictsByteIdenticalTextVsBinaryAcrossModes) {
+  // The tentpole invariant: a trace and its binary conversion produce
+  // byte-identical reports and exit codes for every backend, sequential
+  // and parallel, with and without static reduction.
+  std::string Tmp = ::testing::TempDir();
+  for (const std::string &T : goldenTraces()) {
+    std::string Bin = Tmp + "/velo_verd.vtrc";
+    ASSERT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " " + T + " " + Bin),
+              0)
+        << T;
+    for (const char *Mode :
+         {"", " --parallel", " --reduce=all", " --parallel --reduce=all"}) {
+      std::string TextOut, BinOut;
+      int TextCode = runCmdStdout(
+          std::string(VELO_CHECK_BIN) + Mode + " " + T, TextOut);
+      int BinCode = runCmdStdout(
+          std::string(VELO_CHECK_BIN) + Mode + " " + Bin, BinOut);
+      EXPECT_EQ(TextCode, BinCode) << T << Mode;
+      replaceAll(TextOut, T, "TRACE");
+      replaceAll(BinOut, Bin, "TRACE");
+      EXPECT_EQ(TextOut, BinOut) << T << Mode;
+    }
+    std::remove(Bin.c_str());
+  }
+}
+
+TEST(ConvertCliTest, CorruptedContainersExitTwoWithDiagnostic) {
+  std::string Tmp = ::testing::TempDir();
+  std::string Bin = Tmp + "/velo_corrupt.vtrc";
+  ASSERT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " " +
+                   dataFile("rmw_violation.trace") + " " + Bin),
+            0);
+  std::string Bytes = readFileBytes(Bin);
+  ASSERT_GT(Bytes.size(), 40u);
+
+  std::string Cut = Tmp + "/velo_corrupt_cut.vtrc";
+  {
+    std::ofstream Out(Cut, std::ios::binary);
+    Out.write(Bytes.data(), static_cast<long>(Bytes.size() / 2));
+  }
+  std::string Diag;
+  EXPECT_EQ(runCmdAll(std::string(VELO_CHECK_BIN) + " " + Cut, Diag), 2);
+  EXPECT_NE(Diag.find(Cut), std::string::npos) << Diag;
+
+  std::string Flip = Tmp + "/velo_corrupt_flip.vtrc";
+  {
+    std::string Mut = Bytes;
+    Mut[Mut.size() / 2] = static_cast<char>(
+        static_cast<unsigned char>(Mut[Mut.size() / 2]) ^ 0x40);
+    std::ofstream Out(Flip, std::ios::binary);
+    Out.write(Mut.data(), static_cast<long>(Mut.size()));
+  }
+  EXPECT_EQ(runCmdAll(std::string(VELO_CHECK_BIN) + " " + Flip, Diag), 2);
+  EXPECT_NE(Diag.find(Flip), std::string::npos) << Diag;
+
+  // velodrome-convert reports the same class of failure the same way.
+  EXPECT_EQ(runCmdAll(std::string(VELO_CONVERT_BIN) + " " + Flip + " " +
+                          Tmp + "/velo_corrupt_out.trace",
+                      Diag),
+            2);
+  EXPECT_NE(Diag.find("error:"), std::string::npos) << Diag;
+  for (const char *F : {"velo_corrupt.vtrc", "velo_corrupt_cut.vtrc",
+                        "velo_corrupt_flip.vtrc"})
+    std::remove((Tmp + "/" + F).c_str());
+}
+
+TEST(ConvertCliTest, RecordedVtrcIsNativeBinaryAndVerdictPreserving) {
+  // velodrome-run --record picks the container by extension: recording
+  // straight to .vtrc is native binary emission from the runtime.
+  std::string Tmp = ::testing::TempDir();
+  std::string Bin = Tmp + "/velo_rec.vtrc";
+  int RunCode = runCmd(std::string(VELO_RUN_BIN) +
+                       " multiset --seed=3 --record=" + Bin);
+  ASSERT_TRUE(RunCode == 0 || RunCode == 1);
+  EXPECT_EQ(readFileBytes(Bin).compare(0, 8, "VELOTRC\n"), 0)
+      << "recorded file must be a VELOTRC container";
+
+  std::string Text = Tmp + "/velo_rec.trace";
+  ASSERT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " " + Bin + " " + Text),
+            0);
+  std::string BinOut, TextOut;
+  int BinCode = runCmdStdout(std::string(VELO_CHECK_BIN) + " " + Bin,
+                             BinOut);
+  int TextCode = runCmdStdout(std::string(VELO_CHECK_BIN) + " " + Text,
+                              TextOut);
+  EXPECT_EQ(BinCode, TextCode);
+  replaceAll(BinOut, Bin, "TRACE");
+  replaceAll(TextOut, Text, "TRACE");
+  EXPECT_EQ(BinOut, TextOut);
+  std::remove(Bin.c_str());
+  std::remove(Text.c_str());
+}
+
+TEST(ConvertCliTest, KillResumeOnBinaryMatchesStraightRun) {
+  // Binary checkpoints land on frame boundaries; convert with tiny frames
+  // so --checkpoint-every=1 has boundaries to bind to.
+  std::string Tmp = ::testing::TempDir();
+  for (const char *F : {"rmw_violation.trace", "set_add.trace"}) {
+    std::string Bin = Tmp + "/velo_bres_" + std::string(F) + ".vtrc";
+    ASSERT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " --frame-events=2 " +
+                     dataFile(F) + " " + Bin),
+              0)
+        << F;
+    std::string Straight;
+    int StraightCode = runCmdStdout(
+        std::string(VELO_CHECK_BIN) + " " + Bin, Straight);
+    ASSERT_TRUE(StraightCode == 0 || StraightCode == 1) << F;
+
+    std::string Ckpt = Tmp + "/velo_bres_" + std::string(F) + ".snap";
+    std::remove(Ckpt.c_str());
+    std::string Ignored;
+    int CrashCode = runCmdStdout(
+        std::string(VELO_CHECK_BIN) + " --checkpoint=" + Ckpt +
+            " --checkpoint-every=1 --crash-at=3 " + Bin,
+        Ignored);
+    ASSERT_EQ(CrashCode, 128 + SIGKILL) << F;
+
+    std::string Resumed;
+    int ResumedCode = runCmdStdout(
+        std::string(VELO_CHECK_BIN) + " --resume=" + Ckpt + " " + Bin,
+        Resumed);
+    EXPECT_EQ(ResumedCode, StraightCode) << F;
+    EXPECT_EQ(Resumed, Straight)
+        << F << ": binary resume must be byte-identical to a straight run";
+    std::remove(Ckpt.c_str());
+    std::remove(Bin.c_str());
+  }
+}
+
+TEST(ConvertCliTest, AnalyzeWritesReducedBinaryByExtension) {
+  std::string Red = ::testing::TempDir() + "/velo_reduced.vtrc";
+  ASSERT_EQ(runCmd(std::string(VELO_ANALYZE_BIN) + " --write-reduced=" +
+                   Red + " " + dataFile("flag_handoff.trace")),
+            0);
+  EXPECT_EQ(readFileBytes(Red).compare(0, 8, "VELOTRC\n"), 0);
+  int Code = runCmd(std::string(VELO_CHECK_BIN) + " " + Red);
+  EXPECT_TRUE(Code == 0 || Code == 1);
+  std::remove(Red.c_str());
 }
 
 TEST(RunCliTest, PolicyAndCorruptionFlagsParse) {

@@ -37,6 +37,8 @@ void usage() {
       "  --reduce=<all|none|escape,readonly,redundant,lockset>\n"
       "                 passes to plan with (default all)\n"
       "  --write-reduced=<file>  write the statically reduced trace\n"
+      "                 (.vtrc writes the VELOTRC binary container;\n"
+      "                 input format is always auto-detected)\n"
       "  --no-lint      suppress the per-variable lint report\n"
       "  --lenient      repair ill-formed traces instead of rejecting\n"
       "exit: 0 analysis completed, 2 usage/input error\n");

@@ -64,7 +64,9 @@
 #include "core/BasicVelodrome.h"
 #include "core/Velodrome.h"
 #include "eraser/Eraser.h"
+#include "events/BinaryReader.h"
 #include "events/TraceSanitizer.h"
+#include "events/TraceSource.h"
 #include "events/TraceStream.h"
 #include "events/TraceText.h"
 #include "hbrace/HbRaceDetector.h"
@@ -92,6 +94,8 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: velodrome-check [options] <trace-file>\n"
+      "  <trace-file> may be text or a VELOTRC .vtrc container\n"
+      "  (auto-detected; see velodrome-convert and docs/INGESTION.md)\n"
       "  --backend=<velodrome|basic|aero|atomizer|eraser|hb|all>"
       "  (default all)\n"
       "  --dot=<file>   write the first violation's error graph\n"
@@ -591,23 +595,21 @@ int runAnalysis(Options O) {
   // from the snapshot instead and skips this sweep.
   ReductionFilter Filter;
   if (Reducing && !Resuming) {
-    errno = 0;
-    std::ifstream ClsIn(O.TraceFile);
-    if (!ClsIn) {
-      int Err = errno;
-      std::fprintf(stderr, "error: cannot open %s: %s\n", O.TraceFile.c_str(),
-                   Err != 0 ? std::strerror(Err) : "open failed");
+    SymbolTable ClsSyms;
+    TraceReadStatus ClsSt = TraceReadStatus::Ok;
+    std::string ClsErr;
+    auto ClsSrc = openTraceSource(O.TraceFile, ClsSyms, ClsSt, ClsErr);
+    if (!ClsSrc) {
+      std::fprintf(stderr, "error: %s\n", ClsErr.c_str());
       return 2;
     }
-    SymbolTable ClsSyms;
-    TraceStream ClsTS(ClsIn, ClsSyms);
     TraceSanitizer ClsSan(O.Mode);
     TraceClassifier Classifier;
     std::vector<Event> ClsScratch;
     Event ClsE;
-    while (ClsTS.next(ClsE)) {
+    while (ClsSrc->next(ClsE)) {
       ClsScratch.clear();
-      if (!ClsSan.push(ClsE, ClsScratch, ClsTS.lineNo())) {
+      if (!ClsSan.push(ClsE, ClsScratch, ClsSrc->lineNo())) {
         std::fprintf(stderr, "error: %s: trace is not well formed: %s\n",
                      O.TraceFile.c_str(), ClsSan.error().c_str());
         return 2;
@@ -615,9 +617,9 @@ int runAnalysis(Options O) {
       for (const Event &Out : ClsScratch)
         Classifier.onEvent(Out);
     }
-    if (ClsTS.failed()) {
+    if (ClsSrc->failed()) {
       std::fprintf(stderr, "error: %s:%s\n", O.TraceFile.c_str(),
-                   ClsTS.error().c_str() + 5);
+                   ClsSrc->error().c_str() + 5);
       return 2;
     }
     ClsScratch.clear();
@@ -697,16 +699,16 @@ int runAnalysis(Options O) {
       B->endAnalysis();
   } else {
     // Default path: stream the file through sanitizer and back-ends in
-    // constant memory, snapshotting at line boundaries when asked to.
-    errno = 0;
-    std::ifstream In(O.TraceFile);
-    if (!In) {
-      int Err = errno;
-      std::fprintf(stderr, "error: cannot open %s: %s\n", O.TraceFile.c_str(),
-                   Err != 0 ? std::strerror(Err) : "open failed");
+    // constant memory, snapshotting at resume boundaries when asked to.
+    // openTraceSource sniffs the VELOTRC magic, so text and binary traces
+    // flow through the same loop.
+    TraceReadStatus SrcSt = TraceReadStatus::Ok;
+    std::string SrcErr;
+    auto Src = openTraceSource(O.TraceFile, StreamSyms, SrcSt, SrcErr);
+    if (!Src) {
+      std::fprintf(stderr, "error: %s\n", SrcErr.c_str());
       return 2;
     }
-    TraceStream TS(In, StreamSyms);
 
     if (Resuming) {
       // Restore order matters: symbols first (backends keep a reference to
@@ -770,16 +772,12 @@ int runAnalysis(Options O) {
       EventsSeen = RS.EventsSeen;
       ThreadsSeen = RS.ThreadsSeen;
       EventsAtStart = EventsSeen;
-      In.clear();
-      In.seekg(static_cast<std::streamoff>(RS.ByteOffset));
-      if (!In) {
-        std::fprintf(stderr,
-                     "error: cannot resume from %s: trace %s is shorter "
-                     "than the recorded offset\n",
-                     O.ResumeFile.c_str(), O.TraceFile.c_str());
+      std::string SeekErr;
+      if (!Src->seekTo(RS.ByteOffset, RS.LineNo, RS.EventsSeen, SeekErr)) {
+        std::fprintf(stderr, "error: cannot resume from %s: %s\n",
+                     O.ResumeFile.c_str(), SeekErr.c_str());
         return 2;
       }
-      TS.resumeAt(RS.LineNo, RS.EventsSeen);
     }
 
     if (O.Parallel) {
@@ -837,7 +835,7 @@ int runAnalysis(Options O) {
                        "warning: ignoring malformed VELO_PIPELINE_STALL "
                        "'%s'\n",
                        Spec);
-      ParallelPipeline Pipe(In, StreamSyms, San,
+      ParallelPipeline Pipe(*Src, StreamSyms, San,
                             Reducing ? &Filter : nullptr, Delivery,
                             std::move(POpts));
       PipelineResult PR = Pipe.run();
@@ -868,9 +866,9 @@ int runAnalysis(Options O) {
     uint64_t NextCkpt = EventsSeen + O.CheckpointEvery;
     Event E;
     bool Stopped = false;
-    while (!Stopped && TS.next(E)) {
+    while (!Stopped && Src->next(E)) {
       Scratch.clear();
-      if (!San.push(E, Scratch, TS.lineNo())) {
+      if (!San.push(E, Scratch, Src->lineNo())) {
         std::fprintf(stderr,
                      "error: %s: trace is not well formed: %s\n",
                      O.TraceFile.c_str(), San.error().c_str());
@@ -879,35 +877,38 @@ int runAnalysis(Options O) {
       for (const Event &Out : Scratch) {
         if (Reducing && !Filter.keep(Out))
           continue;
-        Deliver(Out, TS.lineNo());
+        Deliver(Out, Src->lineNo());
         if (Governed && Gov.state() == GovernorState::Exhausted) {
           Stopped = true;
           break;
         }
       }
       if (!O.CheckpointFile.empty() && !Stopped && EventsSeen >= NextCkpt) {
-        // The line just processed is fully delivered, so tellg() is a
-        // clean resume boundary. (At EOF on a file without a trailing
-        // newline tellg() fails; the run is about to finish anyway.)
-        auto Off = In.tellg();
-        if (Off != std::ifstream::pos_type(-1)) {
+        // The record just processed is fully delivered, so the source
+        // position is a clean resume boundary when tell() succeeds. Text:
+        // tellg() only fails at EOF on a file without a trailing newline
+        // (the run is about to finish anyway). Binary: tell() fails
+        // mid-frame, deferring the snapshot to the frame's end — so the
+        // cadence reset stays inside the success branch.
+        uint64_t Off = 0;
+        if (Src->tell(Off)) {
           std::string Error;
-          if (!writeCheckpoint(O, static_cast<uint64_t>(Off), TS.lineNo(),
-                               EventsSeen, ThreadsSeen, StreamSyms, San,
+          if (!writeCheckpoint(O, Off, Src->lineNo(), EventsSeen,
+                               ThreadsSeen, StreamSyms, San,
                                Reducing ? &Filter : nullptr, Delivery,
                                Error)) {
             std::fprintf(stderr, "error: cannot write checkpoint %s: %s\n",
                          O.CheckpointFile.c_str(), Error.c_str());
             return 2;
           }
+          NextCkpt = EventsSeen + O.CheckpointEvery;
         }
-        NextCkpt = EventsSeen + O.CheckpointEvery;
       }
     }
-    if (TS.failed()) {
-      // TS.error() is "line N: message"; render as "<path>:N: message".
+    if (Src->failed()) {
+      // error() is "line N: message"; render as "<path>:N: message".
       std::fprintf(stderr, "error: %s:%s\n", O.TraceFile.c_str(),
-                   TS.error().c_str() + 5);
+                   Src->error().c_str() + 5);
       return 2;
     }
     Scratch.clear();
@@ -1045,20 +1046,39 @@ std::string writeCrashBundle(const Options &O, int Sig, uint64_t CkptEvents,
     }
   }
   {
-    std::ifstream TraceIn(O.TraceFile);
     std::ofstream Out(Dir + "/window.trace");
     uint64_t First = CkptLine + 1;
     Out << "# trace lines from " << First
         << " (first line after the last checkpoint) onward\n";
-    std::string Line;
-    uint64_t N = 0;
-    while (std::getline(TraceIn, Line)) {
-      ++N;
-      if (N < First)
-        continue;
-      Out << Line << "\n";
-      if (N >= First + 199)
-        break;
+    if (detectTraceFormat(O.TraceFile) == TraceFormat::Binary) {
+      // Render the window as text so the bundle stays human-readable
+      // regardless of the input encoding.
+      SymbolTable Syms;
+      BinaryTraceReader R(Syms);
+      std::string Err;
+      if (R.open(O.TraceFile, Err) == TraceReadStatus::Ok) {
+        Event E;
+        while (R.next(E)) {
+          uint64_t N = R.lineNo();
+          if (N < First)
+            continue;
+          Out << renderEvent(E, Syms) << "\n";
+          if (N >= First + 199)
+            break;
+        }
+      }
+    } else {
+      std::ifstream TraceIn(O.TraceFile);
+      std::string Line;
+      uint64_t N = 0;
+      while (std::getline(TraceIn, Line)) {
+        ++N;
+        if (N < First)
+          continue;
+        Out << Line << "\n";
+        if (N >= First + 199)
+          break;
+      }
     }
   }
   return Dir;

@@ -20,7 +20,12 @@
 //   8. static reduction invariance: every back-end's verdict and warning
 //      list on the --reduce=all reduced trace is identical to the
 //      unreduced run, and reduction is idempotent (reducing the reduced
-//      trace drops nothing).
+//      trace drops nothing);
+//   9. binary container robustness: encoding the repaired trace as
+//      VELOTRC and reading it back is an identity (events and names), and
+//      random truncations and bit flips of the container bytes are always
+//      rejected with a clean "line N:" diagnostic — never a crash, never
+//      a silently different event stream.
 //
 // Failing inputs are written to --save for triage and check-in under
 // tests/data/fuzz/ as regression seeds. Fully deterministic for a given
@@ -40,6 +45,8 @@
 #include "core/BasicVelodrome.h"
 #include "core/Velodrome.h"
 #include "eraser/Eraser.h"
+#include "events/BinaryReader.h"
+#include "events/BinaryWriter.h"
 #include "events/TraceGen.h"
 #include "events/TraceSanitizer.h"
 #include "events/TraceText.h"
@@ -202,7 +209,30 @@ struct FuzzStats {
   uint64_t ParsedOk = 0, ParseRejected = 0, StrictOk = 0, Repaired = 0;
   uint64_t RepairEvents = 0, Violations = 0, Serializable = 0;
   uint64_t Snapshots = 0, ReducedDropped = 0;
+  uint64_t BinaryRoundTrips = 0, BinaryRejected = 0;
 };
+
+/// Check 9 helper: a corrupted container must be rejected — either at
+/// open or while draining — with the standard "line N:" diagnostic.
+bool binaryRejectsCleanly(const std::string &Bytes, std::string &WhyOut) {
+  SymbolTable Syms;
+  BinaryTraceReader Reader(Syms);
+  if (Reader.openBuffer(Bytes)) {
+    Event E;
+    while (Reader.next(E))
+      ;
+  }
+  if (!Reader.failed()) {
+    WhyOut = "corrupted binary container was accepted";
+    return false;
+  }
+  if (Reader.error().rfind("line ", 0) != 0) {
+    WhyOut = "binary reject lacks a line diagnostic: '" + Reader.error() +
+             "'";
+    return false;
+  }
+  return true;
+}
 
 /// Check 7 helper: replay T straight through one instance of BackendT, then
 /// for a few split points replay the prefix, serialize, restore into a
@@ -263,7 +293,7 @@ bool snapshotRoundTrips(const Trace &T, const char *Name, FuzzStats &Stats,
 /// multi-back-end replays of checks 5 and 8 concurrently — one parse, six
 /// back-ends in flight — with results identical to the sequential
 /// replayAll (parallel/Fanout.h).
-bool checkMutant(const std::string &Text, BackendFanout *Pool,
+bool checkMutant(const std::string &Text, BackendFanout *Pool, Rng &R,
                  FuzzStats &Stats, std::string &WhyOut) {
   // 1. Parser must reject cleanly or accept.
   Trace Raw;
@@ -461,6 +491,65 @@ bool checkMutant(const std::string &Text, BackendFanout *Pool,
       return false;
     }
   }
+
+  // 9. Binary container round-trip identity and corruption robustness.
+  // Two frame sizes: the production default (single frame for fuzz-sized
+  // traces) and a small one that forces multi-frame containers with
+  // symbol blocks split across frames.
+  {
+    const size_t FrameSizes[] = {BinaryTraceWriter::DefaultFrameEvents,
+                                 1 + Repaired.size() / 3};
+    for (size_t FE : FrameSizes) {
+      std::string Bytes = printBinaryTrace(Repaired, FE);
+
+      Trace Back;
+      BinaryTraceReader Reader(Back.symbols());
+      if (!Reader.openBuffer(Bytes)) {
+        WhyOut = "binary encoding of a valid trace failed to open: " +
+                 Reader.error();
+        return false;
+      }
+      Event E;
+      while (Reader.next(E))
+        Back.push(E);
+      if (Reader.failed()) {
+        WhyOut = "binary round-trip read failed: " + Reader.error();
+        return false;
+      }
+      // printTrace equality covers the event sequence and every symbol
+      // name in one comparison.
+      if (printTrace(Back) != printTrace(Repaired)) {
+        WhyOut = "binary round-trip changed the trace (frame size " +
+                 std::to_string(FE) + ")";
+        return false;
+      }
+      ++Stats.BinaryRoundTrips;
+
+      // Truncations (every strict prefix is invalid by construction: the
+      // trailer seals the container) and single-bit flips (every byte is
+      // covered by a checksum, a validated header field, or the trailer).
+      for (int K = 0; K < 4; ++K) {
+        std::string Cut = Bytes.substr(0, R.below(Bytes.size()));
+        if (!binaryRejectsCleanly(Cut, WhyOut)) {
+          WhyOut += " (truncated to " + std::to_string(Cut.size()) +
+                    " of " + std::to_string(Bytes.size()) + " bytes)";
+          return false;
+        }
+        ++Stats.BinaryRejected;
+      }
+      for (int K = 0; K < 4; ++K) {
+        std::string Flip = Bytes;
+        size_t P = R.below(Flip.size());
+        Flip[P] = static_cast<char>(
+            static_cast<uint8_t>(Flip[P]) ^ (1u << R.below(8)));
+        if (!binaryRejectsCleanly(Flip, WhyOut)) {
+          WhyOut += " (bit flipped at byte " + std::to_string(P) + ")";
+          return false;
+        }
+        ++Stats.BinaryRejected;
+      }
+    }
+  }
   return true;
 }
 
@@ -575,7 +664,7 @@ int main(int argc, char **argv) {
                     R);
     }
     std::string Why;
-    if (!checkMutant(Text, Pool.get(), Stats, Why)) {
+    if (!checkMutant(Text, Pool.get(), R, Stats, Why)) {
       ++Failures;
       std::string Path = SaveDir + "/fuzz-fail-" + std::to_string(It) +
                          ".trace";
@@ -595,7 +684,8 @@ int main(int argc, char **argv) {
 
   std::printf("parsed=%llu rejected=%llu strict-ok=%llu repaired=%llu "
               "(%llu repairs) violations=%llu serializable=%llu "
-              "snapshots=%llu reduced-dropped=%llu\n",
+              "snapshots=%llu reduced-dropped=%llu binary-rt=%llu "
+              "binary-rejected=%llu\n",
               static_cast<unsigned long long>(Stats.ParsedOk),
               static_cast<unsigned long long>(Stats.ParseRejected),
               static_cast<unsigned long long>(Stats.StrictOk),
@@ -604,7 +694,9 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Stats.Violations),
               static_cast<unsigned long long>(Stats.Serializable),
               static_cast<unsigned long long>(Stats.Snapshots),
-              static_cast<unsigned long long>(Stats.ReducedDropped));
+              static_cast<unsigned long long>(Stats.ReducedDropped),
+              static_cast<unsigned long long>(Stats.BinaryRoundTrips),
+              static_cast<unsigned long long>(Stats.BinaryRejected));
   if (Failures != 0) {
     std::fprintf(stderr, "velodrome-fuzz: %llu failure(s)\n",
                  static_cast<unsigned long long>(Failures));

@@ -58,6 +58,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: velodrome-run [options] <workload>\n"
                "  --list  --seed=N  --scale=N  --record=FILE\n"
+               "                 (a .vtrc FILE records the VELOTRC binary\n"
+               "                 container; anything else records text)\n"
                "  --backend=velodrome|aero|both\n"
                "  --disable=SITE  --adversarial  --policy=POLICY\n"
                "  --exclude-known  --reduce=SPEC\n"
