@@ -83,9 +83,13 @@ bool BinaryTraceReader::validateContainer() {
     return fail("corrupt header (reserved bits set)");
   if (std::memcmp(Data + Size - 8, TrailerMagic, sizeof(TrailerMagic)) != 0)
     return fail("truncated container (missing trailer)");
+  // IdxOff comes off the wire, so every bound on it is written in
+  // subtraction form: the additive form `IdxOff + c > Size` wraps for
+  // IdxOff near 2^64 and lets a hostile offset through. The RHS cannot
+  // underflow: Size >= HeaderSize + FrameHeaderSize + TrailerSize was
+  // checked above.
   IdxOff = readU64le(Data + Size - 16);
-  if (IdxOff < HeaderSize ||
-      IdxOff + FrameHeaderSize + TrailerSize > Size)
+  if (IdxOff < HeaderSize || IdxOff > Size - TrailerSize - FrameHeaderSize)
     return fail("corrupt trailer (index offset out of range)");
 
   // Index frame: must span exactly from its offset to the trailer.
@@ -94,7 +98,7 @@ bool BinaryTraceReader::validateContainer() {
     return fail("corrupt index frame (bad kind)");
   uint64_t Len = readU32le(FH + 1);
   if (Len > MaxFramePayload ||
-      IdxOff + FrameHeaderSize + Len != Size - TrailerSize)
+      Len != Size - TrailerSize - FrameHeaderSize - IdxOff)
     return fail("corrupt index frame (bad length)");
   const uint8_t *IdxPayload = FH + FrameHeaderSize;
   std::string_view IdxView(reinterpret_cast<const char *>(IdxPayload),
@@ -120,7 +124,9 @@ bool BinaryTraceReader::validateContainer() {
         !readVarint(IdxPayload, PSize, P, F.FirstOrdinal) ||
         !readVarint(IdxPayload, PSize, P, F.Count))
       return fail("corrupt index frame (truncated entry)");
-    if (F.Offset != PrevEnd || F.Offset + FrameHeaderSize > IdxOff)
+    // Same subtraction-form rule as the trailer check: F.Offset is wire
+    // data, and IdxOff >= HeaderSize > FrameHeaderSize so the RHS is safe.
+    if (F.Offset != PrevEnd || F.Offset > IdxOff - FrameHeaderSize)
       return fail("corrupt index frame (frame offset out of place)");
     if (F.FirstOrdinal != ExpectOrdinal)
       return fail("corrupt index frame (ordinal gap)");
@@ -129,7 +135,7 @@ bool BinaryTraceReader::validateContainer() {
     // the length is validated again (against the checksum) at load time.
     uint64_t FLen = readU32le(Data + F.Offset + 1);
     if (FLen > MaxFramePayload ||
-        F.Offset + FrameHeaderSize + FLen > IdxOff)
+        FLen > IdxOff - FrameHeaderSize - F.Offset)
       return fail("corrupt frame (bad length)");
     PrevEnd = F.Offset + FrameHeaderSize + FLen;
     Frames.push_back(F);

@@ -5,6 +5,7 @@
 #include "events/BinaryFormat.h"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -12,6 +13,22 @@
 namespace velo {
 
 using namespace binfmt;
+
+/// Writer-side frame payload cap. Normally binfmt::MaxFramePayload (the
+/// wire-format limit the reader enforces); the VELO_MAX_FRAME_PAYLOAD
+/// environment variable can tighten it so tests can exercise the
+/// oversized-frame error path without gigabyte allocations. It can only
+/// tighten: the reader's limit is part of the format, not configurable.
+static uint64_t maxWriterFramePayload() {
+  const char *Env = std::getenv("VELO_MAX_FRAME_PAYLOAD");
+  if (Env && *Env) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Env, &End, 10);
+    if (End && *End == '\0' && V > 0 && V < MaxFramePayload)
+      return V;
+  }
+  return MaxFramePayload;
+}
 
 BinaryTraceWriter::BinaryTraceWriter(std::ostream &Out,
                                      const SymbolTable &Syms,
@@ -32,6 +49,19 @@ void BinaryTraceWriter::add(const Event &E) {
 }
 
 void BinaryTraceWriter::writeFrame(uint8_t Kind, const std::string &Payload) {
+  if (Failed)
+    return;
+  // A payload over the cap cannot be represented: the u32 length field
+  // would truncate past 4 GiB and the reader rejects anything over
+  // MaxFramePayload. Fail the writer instead of emitting an unreadable
+  // container that finish() would then report as success.
+  if (Payload.size() > maxWriterFramePayload()) {
+    Failed = true;
+    Error = "frame payload of " + std::to_string(Payload.size()) +
+            " bytes exceeds the format limit of " +
+            std::to_string(maxWriterFramePayload()) + " bytes";
+    return;
+  }
   std::string Header;
   Header += static_cast<char>(Kind);
   appendU32le(Header, static_cast<uint32_t>(Payload.size()));
@@ -108,6 +138,8 @@ bool BinaryTraceWriter::finish() {
     return !Failed;
   Finished = true;
   flushFrame();
+  if (Failed)
+    return false;
 
   std::string Payload;
   appendVarint(Payload, Index.size());
@@ -119,6 +151,8 @@ bool BinaryTraceWriter::finish() {
   appendVarint(Payload, TotalEvents);
   const uint64_t IndexOffset = BytesWritten;
   writeFrame(IndexFrame, Payload);
+  if (Failed)
+    return false;
 
   std::string Trailer;
   appendU64le(Trailer, IndexOffset);
@@ -148,7 +182,9 @@ bool writeBinaryTraceFile(const Trace &T, const std::string &Path,
   for (const Event &E : T)
     W.add(E);
   if (!W.finish() || !Out) {
-    ErrorOut = "write error on " + Path;
+    ErrorOut = W.failed() && !W.error().empty()
+                   ? Path + ": " + W.error()
+                   : "write error on " + Path;
     return false;
   }
   return true;

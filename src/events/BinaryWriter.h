@@ -43,7 +43,8 @@ public:
   void add(const Event &E);
 
   /// Flush the final frame, then write the index frame and trailer.
-  /// Returns false on I/O failure (also via failed()/error()).
+  /// Returns false on I/O failure or when a frame payload exceeds
+  /// binfmt::MaxFramePayload (also via failed()/error()).
   bool finish();
 
   bool failed() const { return Failed; }

@@ -19,6 +19,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 using namespace velo;
 
@@ -228,6 +229,67 @@ TEST(BinaryFormat, EverySingleByteFlipIsRejected) {
     ASSERT_TRUE(R.failed()) << "flip at byte " << I << " accepted";
     ASSERT_EQ(R.error().rfind("line ", 0), 0u) << R.error();
   }
+}
+
+TEST(BinaryFormat, HostileIndexOffsetIsRejected) {
+  // A trailer offset near 2^64 used to slip past an additive bounds
+  // check by wrapping (IdxOff + FrameHeaderSize + TrailerSize <= 28) and
+  // sent the reader off to dereference Data + IdxOff. A single byte flip
+  // cannot produce such an offset from a valid file, so the exhaustive
+  // flip test misses it; forge the offsets directly.
+  Trace T = parseOrDie(SmallTrace);
+  std::string Bin = printBinaryTrace(T, /*FrameEvents=*/4);
+  const uint64_t Hostile[] = {~0ull,      // additive check wraps to 12
+                              ~0ull - 27, // wraps to 1, smallest valid Size
+                              1ull << 63, Bin.size(), Bin.size() - 1};
+  for (uint64_t Off : Hostile) {
+    std::string Bad = Bin;
+    std::string Enc;
+    binfmt::appendU64le(Enc, Off);
+    Bad.replace(Bad.size() - 16, 8, Enc);
+    SymbolTable Syms;
+    BinaryTraceReader R(Syms);
+    ASSERT_FALSE(R.openBuffer(Bad)) << "offset " << Off << " accepted";
+    EXPECT_NE(R.error().find("index offset out of range"), std::string::npos)
+        << R.error();
+  }
+}
+
+TEST(BinaryFormat, OversizedFramePayloadFailsTheWriter) {
+  // With the writer-side payload cap tightened, a frame whose symbol
+  // block cannot fit must fail finish() with a clear error instead of
+  // emitting a container the reader would reject (or, past 4 GiB,
+  // silently truncating the length field).
+  ASSERT_EQ(setenv("VELO_MAX_FRAME_PAYLOAD", "16", 1), 0);
+  Trace T;
+  VarId V = T.symbols().Vars.intern("a_name_longer_than_the_tiny_cap");
+  T.push(Event::write(0, V));
+  std::ostringstream Out;
+  BinaryTraceWriter W(Out, T.symbols());
+  for (const Event &E : T)
+    W.add(E);
+  EXPECT_FALSE(W.finish());
+  EXPECT_TRUE(W.failed());
+  EXPECT_NE(W.error().find("exceeds the format limit"), std::string::npos)
+      << W.error();
+  // Repeated finish() keeps reporting failure.
+  EXPECT_FALSE(W.finish());
+
+  // The file-writing wrapper surfaces the same error.
+  std::string Path = ::testing::TempDir() + "/velo_oversize.vtrc";
+  std::string Err;
+  EXPECT_FALSE(writeBinaryTraceFile(T, Path, Err));
+  EXPECT_NE(Err.find("exceeds the format limit"), std::string::npos) << Err;
+  std::remove(Path.c_str());
+  unsetenv("VELO_MAX_FRAME_PAYLOAD");
+
+  // At the real cap the same trace writes and reads back fine.
+  std::string Bin = printBinaryTrace(T);
+  SymbolTable Syms;
+  BinaryTraceReader R(Syms);
+  ASSERT_TRUE(R.openBuffer(Bin)) << R.error();
+  EXPECT_EQ(drain(R).size(), 1u);
+  EXPECT_FALSE(R.failed());
 }
 
 /// Assemble a one-frame container by hand so tests can express payloads
