@@ -2,8 +2,11 @@
 
 #include "analysis/Snapshot.h"
 
+#include "support/Syscalls.h"
+
 #include <cstdio>
 #include <cstring>
+#include <fcntl.h>
 #include <fstream>
 
 namespace velo {
@@ -60,21 +63,23 @@ bool SnapshotWriter::writeFile(const std::string &Path,
   appendU64(File, snapshotChecksum(Buf));
   File.append(Buf);
 
+  // Raw POSIX I/O with EINTR retries: snapshots are written from
+  // supervised workers and the serve daemon, where SIGCHLD/SIGTERM land
+  // mid-write routinely; an interrupted syscall must not cost the
+  // checkpoint (support/Syscalls.h).
   std::string Tmp = Path + ".tmp";
-  {
-    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-    if (!Out) {
-      ErrorOut = "cannot open " + Tmp + " for writing";
-      return false;
-    }
-    Out.write(File.data(), static_cast<std::streamsize>(File.size()));
-    Out.flush();
-    if (!Out) {
-      ErrorOut = "short write to " + Tmp;
-      std::remove(Tmp.c_str());
-      return false;
-    }
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    ErrorOut = "cannot open " + Tmp + " for writing";
+    return false;
   }
+  if (!sys::writeAll(Fd, File.data(), File.size())) {
+    sys::closeQuiet(Fd);
+    ErrorOut = "short write to " + Tmp;
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  sys::closeQuiet(Fd);
   if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
     ErrorOut = "cannot rename " + Tmp + " to " + Path;
     std::remove(Tmp.c_str());

@@ -1,0 +1,281 @@
+//===- serve/Client.cpp - velodrome-serve protocol client -----------------===//
+
+#include "serve/Client.h"
+
+#include "support/Syscalls.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace velo {
+namespace serve {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    sys::closeQuiet(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::connectUnix(const std::string &Path, std::string &Err) {
+  close();
+  sockaddr_un Addr = {};
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return false;
+  }
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = "cannot create socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "cannot connect to " + Path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connectTcp(int Port, std::string &Err) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = "cannot create socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "cannot connect to port " + std::to_string(Port) + ": " +
+          std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::writeSlice(const char *Data, size_t N, std::string &Err) {
+  if (Faults.SlowBytesPerWrite == 0) {
+    if (!sys::writeAll(Fd, Data, N)) {
+      Err = "write failed: " + std::string(std::strerror(errno));
+      return false;
+    }
+    return true;
+  }
+  size_t Off = 0;
+  while (Off < N) {
+    size_t Chunk = std::min(Faults.SlowBytesPerWrite, N - Off);
+    if (!sys::writeAll(Fd, Data + Off, Chunk)) {
+      Err = "write failed: " + std::string(std::strerror(errno));
+      return false;
+    }
+    Off += Chunk;
+    if (Off < N && Faults.SlowDelayMillis)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(Faults.SlowDelayMillis));
+  }
+  return true;
+}
+
+bool Client::sendFrame(uint8_t Kind, std::string_view Payload, bool &Tripped,
+                       std::string &Err) {
+  Tripped = false;
+  std::string Bytes = frameBytes(Kind, Payload);
+  if (Faults.TornAfterFrames != 0 && FramesOut >= Faults.TornAfterFrames) {
+    // Half a frame, then a hard close: the daemon must drop the partial
+    // frame on the floor and keep the session resumable.
+    (void)sys::writeAll(Fd, Bytes.data(),
+                        std::max<size_t>(Bytes.size() / 2, 1));
+    close();
+    Tripped = true;
+    return false;
+  }
+  if (Faults.DisconnectAfterFrames != 0 &&
+      FramesOut >= Faults.DisconnectAfterFrames) {
+    close();
+    Tripped = true;
+    return false;
+  }
+  if (!writeSlice(Bytes.data(), Bytes.size(), Err))
+    return false;
+  ++FramesOut;
+  return true;
+}
+
+bool Client::hello(const HelloMsg &M, HelloOkMsg &Ok, std::string &Err,
+                   NakMsg *NakOut) {
+  bool Tripped = false;
+  if (!sendFrame(HelloKind, encodeHello(M), Tripped, Err)) {
+    if (Tripped)
+      Err = "client fault tripped during HELLO";
+    return false;
+  }
+  uint8_t Kind = 0;
+  std::string Payload;
+  int R = readWireFrame(Fd, Kind, Payload, Err);
+  if (R <= 0) {
+    if (R == 0)
+      Err = "server closed the connection before HELLO-OK";
+    return false;
+  }
+  if (Kind == NakKind) {
+    NakMsg N;
+    if (!decodeNak(reinterpret_cast<const uint8_t *>(Payload.data()),
+                   Payload.size(), N, Err))
+      return false;
+    if (NakOut)
+      *NakOut = N;
+    Err = N.Reason;
+    return false;
+  }
+  if (Kind != HelloOkKind) {
+    Err = "unexpected frame kind " + std::to_string(Kind) +
+          " in reply to HELLO";
+    return false;
+  }
+  return decodeHelloOk(reinterpret_cast<const uint8_t *>(Payload.data()),
+                       Payload.size(), Ok, Err);
+}
+
+bool Client::run(const SymbolTable &Syms, const std::vector<Event> &Events,
+                 const HelloOkMsg &Ok, size_t EventsPerFrame,
+                 uint64_t CheckpointEveryFrames, RunResult &R,
+                 std::string &Err) {
+  if (EventsPerFrame == 0)
+    EventsPerFrame = 4096;
+  size_t Pos = static_cast<size_t>(
+      std::min<uint64_t>(Ok.Events, Events.size())); // resume position
+  size_t VarsDone = static_cast<size_t>(Ok.VarsDone);
+  size_t LocksDone = static_cast<size_t>(Ok.LocksDone);
+  size_t LabelsDone = static_cast<size_t>(Ok.LabelsDone);
+  uint64_t Credit = Ok.Credit ? Ok.Credit : 1;
+  uint64_t InFlight = 0;
+  uint64_t EventsFrames = 0;
+
+  // Read one server frame and account for it. Returns false when the run
+  // is over (NAK, verdict, EOF, or transport error — Stop distinguishes).
+  auto absorbReply = [&](bool &Stop) -> bool {
+    Stop = false;
+    uint8_t Kind = 0;
+    std::string Payload;
+    int Res = readWireFrame(Fd, Kind, Payload, Err);
+    if (Res < 0)
+      return false;
+    if (Res == 0) {
+      Err = "server closed the connection mid-session";
+      return false;
+    }
+    const uint8_t *P = reinterpret_cast<const uint8_t *>(Payload.data());
+    switch (Kind) {
+    case AckKind: {
+      AckMsg A;
+      if (!decodeAck(P, Payload.size(), A, Err))
+        return false;
+      if (A.Credit)
+        Credit = A.Credit;
+      if (InFlight)
+        --InFlight;
+      return true;
+    }
+    case NakKind:
+      if (!decodeNak(P, Payload.size(), R.Nak, Err))
+        return false;
+      R.GotNak = true;
+      Stop = true;
+      return true;
+    case VerdictKind:
+      if (!decodeVerdict(P, Payload.size(), R.Verdict, Err))
+        return false;
+      R.GotVerdict = true;
+      Stop = true;
+      return true;
+    default:
+      Err = "unexpected frame kind " + std::to_string(Kind) +
+            " from server";
+      return false;
+    }
+  };
+
+  // A mid-stream write failure usually means the server NAK'd and closed
+  // while frames were still in flight; the NAK explaining why is sitting
+  // in the receive buffer. Surface it instead of a bare EPIPE.
+  auto drainAfterWriteError = [&]() -> bool {
+    std::string WriteErr = Err;
+    bool Stop = false;
+    while (absorbReply(Stop))
+      if (Stop)
+        return true;
+    Err = WriteErr;
+    return false;
+  };
+
+  bool Tripped = false, Stop = false;
+  while (Pos < Events.size()) {
+    size_t End = std::min(Pos + EventsPerFrame, Events.size());
+    std::string Payload;
+    encodeEventsPayload(Payload, Events, Pos, End, Syms, VarsDone, LocksDone,
+                        LabelsDone);
+    if (!sendFrame(EventsKind, Payload, Tripped, Err)) {
+      R.FramesSent = FramesOut;
+      R.FaultTripped = Tripped;
+      // Injected faults are an outcome, not an error.
+      return Tripped ? true : drainAfterWriteError();
+    }
+    Pos = End;
+    ++InFlight;
+    ++EventsFrames;
+    while (InFlight >= Credit) {
+      if (!absorbReply(Stop))
+        return false;
+      if (Stop) {
+        R.FramesSent = FramesOut;
+        return true;
+      }
+    }
+    if (CheckpointEveryFrames != 0 &&
+        EventsFrames % CheckpointEveryFrames == 0) {
+      if (!sendFrame(CheckpointKind, std::string(), Tripped, Err)) {
+        R.FramesSent = FramesOut;
+        R.FaultTripped = Tripped;
+        return Tripped ? true : drainAfterWriteError();
+      }
+      ++InFlight;
+      while (InFlight >= Credit) {
+        if (!absorbReply(Stop))
+          return false;
+        if (Stop) {
+          R.FramesSent = FramesOut;
+          return true;
+        }
+      }
+    }
+  }
+
+  if (!sendFrame(FinishKind, std::string(), Tripped, Err)) {
+    R.FramesSent = FramesOut;
+    R.FaultTripped = Tripped;
+    return Tripped ? true : drainAfterWriteError();
+  }
+  R.FramesSent = FramesOut;
+  while (!Stop)
+    if (!absorbReply(Stop))
+      return false;
+  return true;
+}
+
+} // namespace serve
+} // namespace velo

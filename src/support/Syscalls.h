@@ -1,0 +1,113 @@
+//===- support/Syscalls.h - EINTR-safe syscall wrappers ---------*- C++ -*-===//
+//
+// Thin retry wrappers around the handful of POSIX calls the tools and the
+// serve daemon issue directly. A signal delivered mid-syscall (SIGCHLD in
+// the supervisor, a forwarded SIGTERM, a profiler tick) makes the kernel
+// return EINTR; treating that as a real failure turns routine signals into
+// spurious "cannot write checkpoint" / "waitpid failed" errors. Every
+// wrapper here retries EINTR and nothing else — genuine errors still
+// surface with errno intact.
+//
+// ignoreSigpipe() belongs here for the same reason: a client that
+// disconnects (or a closed stdout pager) must produce a failed write the
+// caller can handle, not SIGPIPE process death.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_SUPPORT_SYSCALLS_H
+#define VELO_SUPPORT_SYSCALLS_H
+
+#include <cerrno>
+#include <csignal>
+#include <cstddef>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace velo {
+namespace sys {
+
+/// waitpid retrying EINTR. Returns the pid (or 0 under WNOHANG), or -1
+/// with errno set on a genuine failure.
+inline pid_t waitpidRetry(pid_t Pid, int *Status, int Flags) {
+  for (;;) {
+    pid_t R = ::waitpid(Pid, Status, Flags);
+    if (R >= 0 || errno != EINTR)
+      return R;
+  }
+}
+
+/// read(2) retrying EINTR. Returns bytes read (0 at EOF) or -1 with errno
+/// set (EAGAIN/EWOULDBLOCK pass through for non-blocking fds).
+inline ssize_t readRetry(int Fd, void *Buf, size_t N) {
+  for (;;) {
+    ssize_t R = ::read(Fd, Buf, N);
+    if (R >= 0 || errno != EINTR)
+      return R;
+  }
+}
+
+/// write(2) retrying EINTR. Returns bytes written or -1 with errno set.
+inline ssize_t writeRetry(int Fd, const void *Buf, size_t N) {
+  for (;;) {
+    ssize_t R = ::write(Fd, Buf, N);
+    if (R >= 0 || errno != EINTR)
+      return R;
+  }
+}
+
+/// Write all N bytes, retrying EINTR and short writes. Returns false with
+/// errno set on a genuine failure.
+inline bool writeAll(int Fd, const void *Buf, size_t N) {
+  const char *P = static_cast<const char *>(Buf);
+  while (N > 0) {
+    ssize_t R = writeRetry(Fd, P, N);
+    if (R < 0)
+      return false;
+    if (R == 0) { // write(2) never legitimately returns 0 for N > 0
+      errno = EIO;
+      return false;
+    }
+    P += R;
+    N -= static_cast<size_t>(R);
+  }
+  return true;
+}
+
+/// Read exactly N bytes, retrying EINTR and short reads. Returns 1 on
+/// success, 0 on clean EOF before any byte, -1 on error or truncation
+/// mid-record (errno 0 when the peer simply closed early).
+inline int readFull(int Fd, void *Buf, size_t N) {
+  char *P = static_cast<char *>(Buf);
+  size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = readRetry(Fd, P + Got, N - Got);
+    if (R < 0)
+      return -1;
+    if (R == 0) {
+      if (Got == 0)
+        return 0;
+      errno = 0;
+      return -1; // torn record: EOF mid-read
+    }
+    Got += static_cast<size_t>(R);
+  }
+  return 1;
+}
+
+/// close(2), swallowing EINTR (POSIX leaves the fd state unspecified on
+/// EINTR; retrying risks closing a reused descriptor, so don't).
+inline void closeQuiet(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+/// Ignore SIGPIPE process-wide so a peer disconnect or a closed stdout
+/// pager surfaces as EPIPE on the write, not process death. Every tool
+/// main and the serve daemon call this first.
+inline void ignoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+} // namespace sys
+} // namespace velo
+
+#endif // VELO_SUPPORT_SYSCALLS_H

@@ -15,6 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 namespace velo {
 namespace {
 
@@ -156,6 +159,55 @@ TEST(GovernorTest, LargeTraceUnderCapsCompletesWithoutAborting) {
   EXPECT_EQ(Gov.eventsDelivered(), 2000u);
   EXPECT_NE(Gov.verdict(), GovernorVerdict::Serializable)
       << "a truncated clean run must not claim a full-trace verdict";
+}
+
+TEST(GovernorTest, DeadlineBudgetIsCumulativeAcrossSnapshot) {
+  // The deadline is a budget for *analysis* wall time, cumulative across
+  // evict/rehydrate: time already burned before the snapshot still counts
+  // after the restore, while time the snapshot spends sitting evicted (or
+  // on disk across a daemon crash) does not. Both directions matter to
+  // velodrome-serve: an idle-evicted session must not time out while
+  // parked, and a crash-looping one must not get a fresh budget per life.
+  Trace T = parse(CleanGuarded); // 10 events, serializable
+  GovernorLimits Limits;
+  Limits.DeadlineMillis = 600;
+  Limits.CheckIntervalEvents = 1; // probe the clock on every event
+
+  Velodrome Velo;
+  GovernedAnalysis Gov(Velo, nullptr, Limits, veloProbe(Velo));
+  Gov.beginAnalysis(T.symbols());
+  auto It = T.begin();
+  for (int I = 0; I < 5; ++I, ++It)
+    Gov.onEvent(*It);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  Gov.onEvent(*It++); // ~200ms burned, under the 600ms budget
+  ASSERT_EQ(Gov.state(), GovernorState::Normal);
+  SnapshotWriter W;
+  Gov.serialize(W);
+
+  // Park the snapshot well past the whole deadline. If idle time counted,
+  // the very first event after the restore would exhaust the governor.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+
+  Velodrome Velo2;
+  GovernedAnalysis Gov2(Velo2, nullptr, Limits, veloProbe(Velo2));
+  Gov2.beginAnalysis(T.symbols());
+  SnapshotReader R(W.payload());
+  ASSERT_TRUE(Gov2.deserialize(R));
+  Gov2.onEvent(*It++);
+  EXPECT_EQ(Gov2.state(), GovernorState::Normal)
+      << "idle time while evicted must not count against the deadline: "
+      << Gov2.breachReason();
+
+  // ...but the 200ms burned before the snapshot must still count: another
+  // 500ms of active time crosses 600ms cumulative even though this
+  // incarnation has been running well under the budget on its own.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  Gov2.onEvent(*It++);
+  EXPECT_EQ(Gov2.state(), GovernorState::Exhausted)
+      << "pre-snapshot time must carry into the restored budget";
+  EXPECT_NE(Gov2.breachReason().find("deadline"), std::string::npos)
+      << Gov2.breachReason();
 }
 
 } // namespace

@@ -7,6 +7,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "events/TraceGen.h"
+#include "events/TraceText.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -18,6 +21,10 @@
 #include <iterator>
 #include <string>
 #include <vector>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #ifndef VELO_CHECK_BIN
 #define VELO_CHECK_BIN "velodrome-check"
@@ -936,6 +943,86 @@ TEST(ConvertCliTest, AnalyzeWritesReducedBinaryByExtension) {
   int Code = runCmd(std::string(VELO_CHECK_BIN) + " " + Red);
   EXPECT_TRUE(Code == 0 || Code == 1);
   std::remove(Red.c_str());
+}
+
+// Graceful shutdown under --supervise: SIGTERM arrives while the worker is
+// checkpointing at a deliberately absurd cadence, so the signal lands in or
+// next to a snapshot-write window. The supervisor must forward the signal,
+// the worker must drain at a record boundary and land one final checkpoint
+// (rename-atomic, so never torn), and the whole thing must report
+// 128+SIGTERM with a snapshot that resumes to a byte-identical report.
+TEST(CheckCliTest, SupervisedSigtermLandsAResumableCheckpoint) {
+  velo::TraceGenOptions Opts;
+  Opts.Threads = 4;
+  Opts.Vars = 32;
+  Opts.Locks = 4;
+  Opts.Steps = 40000;
+  Opts.GuardedAccessPct = 60;
+  velo::Trace T = velo::generateRandomTrace(29, Opts);
+  std::string Stem =
+      "/tmp/velo_cli_graceful_" + std::to_string(::getpid());
+  std::string TracePath = Stem + ".trace";
+  std::string Ckpt = Stem + ".snap";
+  {
+    std::ofstream Out(TracePath);
+    Out << velo::printTrace(T);
+    ASSERT_TRUE(Out.good());
+  }
+  std::remove(Ckpt.c_str());
+
+  std::string Straight;
+  int StraightCode =
+      runCmdStdout(std::string(VELO_CHECK_BIN) + " " + TracePath, Straight);
+  ASSERT_TRUE(StraightCode == 0 || StraightCode == 1) << Straight;
+
+  pid_t Pid = ::fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    // Quiet child: the supervisor narrates the shutdown on stderr.
+    (void)std::freopen("/dev/null", "w", stdout);
+    (void)std::freopen("/dev/null", "w", stderr);
+    ::execl(VELO_CHECK_BIN, VELO_CHECK_BIN, "--supervise",
+            ("--checkpoint=" + Ckpt).c_str(), "--checkpoint-every=8",
+            TracePath.c_str(), static_cast<char *>(nullptr));
+    std::_Exit(127);
+  }
+
+  // Every-8-events checkpointing means the run's wall clock is almost all
+  // snapshot writes — wait for the first one, give the worker a moment to
+  // get deep into the trace, then pull the trigger.
+  bool Seen = false;
+  for (int I = 0; I < 2500 && !Seen; ++I) {
+    struct stat St;
+    Seen = ::stat(Ckpt.c_str(), &St) == 0;
+    if (!Seen)
+      ::usleep(2 * 1000);
+  }
+  ASSERT_TRUE(Seen) << "no checkpoint ever appeared";
+  ::usleep(30 * 1000);
+  ASSERT_EQ(::kill(Pid, SIGTERM), 0);
+  int Status = 0;
+  ASSERT_EQ(::waitpid(Pid, &Status, 0), Pid);
+  ASSERT_TRUE(WIFEXITED(Status))
+      << "supervisor must exit, not die on the forwarded signal";
+  EXPECT_EQ(WEXITSTATUS(Status), 128 + SIGTERM)
+      << "supervisor must report the forwarded signal";
+
+  // A graceful drain finishes its rename — no half-written snapshot left.
+  struct stat St;
+  EXPECT_NE(::stat((Ckpt + ".tmp").c_str(), &St), 0)
+      << "graceful shutdown left a torn snapshot temp file";
+  ASSERT_EQ(::stat(Ckpt.c_str(), &St), 0);
+
+  std::string Resumed;
+  int ResumedCode = runCmdStdout(std::string(VELO_CHECK_BIN) +
+                                     " --resume=" + Ckpt + " " + TracePath,
+                                 Resumed);
+  EXPECT_EQ(ResumedCode, StraightCode);
+  EXPECT_EQ(Resumed, Straight)
+      << "resume after graceful shutdown must be byte-identical";
+
+  std::remove(TracePath.c_str());
+  std::remove(Ckpt.c_str());
 }
 
 TEST(RunCliTest, PolicyAndCorruptionFlagsParse) {

@@ -26,6 +26,8 @@
 #include <cstdio>
 #include <string>
 
+#include "support/Syscalls.h"
+
 using namespace velo;
 
 namespace {
@@ -47,6 +49,7 @@ void usage() {
 } // namespace
 
 int main(int argc, char **argv) {
+  sys::ignoreSigpipe(); // closed pager/pipe must be a write error, not death
   std::string TraceFile, ReducedFile, ReduceSpec = "all";
   bool Lint = true;
   SanitizeMode Mode = SanitizeMode::Strict;

@@ -74,6 +74,7 @@
 #include "parallel/Pipeline.h"
 #include "staticpass/PassManager.h"
 #include "staticpass/ReductionFilter.h"
+#include "support/Syscalls.h"
 
 #include <cerrno>
 #include <csignal>
@@ -115,9 +116,12 @@ void usage() {
       "                       see docs/INGESTION.md)\n"
       "  --checkpoint=<file> --checkpoint-every=N --resume=<file>\n"
       "  --supervise --max-crashes=K   crash resilience\n"
+      "  --grace-ms=N   SIGTERM/SIGINT: wait N ms for the worker's final\n"
+      "                 checkpoint before SIGKILL (default 2000)\n"
       "                       (see docs/OPERATIONS.md)\n"
       "exit: 0 serializable, 1 violation, 2 usage/input error,\n"
-      "      3 resource-limited, 4 crashed under --supervise\n");
+      "      3 resource-limited, 4 crashed under --supervise,\n"
+      "      128+N stopped by signal N after a clean checkpoint\n");
 }
 
 /// Parse a full decimal uint64 ("--max-events="). Rejects empty strings,
@@ -140,6 +144,7 @@ struct Options {
   std::string CheckpointFile, ResumeFile;
   uint64_t CheckpointEvery = 4096;
   uint64_t MaxCrashes = 3;
+  uint64_t GraceMillis = 2000; ///< SIGTERM-to-SIGKILL escalation window
   uint64_t CrashAt = 0;  ///< test hook: die after N events this process
   uint64_t CrashSignal = SIGKILL;
   bool Supervise = false;
@@ -202,6 +207,9 @@ int parseArgs(int argc, char **argv, Options &O) {
     } else if (Arg.rfind("--max-crashes=", 0) == 0) {
       U64Target = &O.MaxCrashes;
       U64Prefix = 14;
+    } else if (Arg.rfind("--grace-ms=", 0) == 0) {
+      U64Target = &O.GraceMillis;
+      U64Prefix = 11;
     } else if (Arg.rfind("--crash-at=", 0) == 0) {
       U64Target = &O.CrashAt;
       U64Prefix = 11;
@@ -461,6 +469,34 @@ bool writeCheckpointCut(const Options &O, const CheckpointCut &Cut,
 }
 
 //===----------------------------------------------------------------------===//
+// Graceful shutdown: SIGTERM/SIGINT set a flag; the sequential loop drains
+// the record in flight, persists a final checkpoint at that boundary, and
+// exits 128+signal. The supervisor forwards the signal to its worker and
+// escalates to SIGKILL after --grace-ms, so a checkpoint write is never
+// torn (writeFile is rename-atomic regardless; the grace window just lets
+// the final snapshot land).
+//===----------------------------------------------------------------------===//
+
+volatile std::sig_atomic_t StopSignal = 0;
+
+void noteStopSignal(int Sig) { StopSignal = Sig; }
+
+void installStopHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = noteStopSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // no SA_RESTART: blocked waits must wake up
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+}
+
+void resetStopHandlers() {
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+}
+
+//===----------------------------------------------------------------------===//
 // One analysis run (fresh or resumed). Under --supervise this is the
 // worker; otherwise it is the whole program.
 //===----------------------------------------------------------------------===//
@@ -587,6 +623,13 @@ int runAnalysis(Options O) {
       O.CheckpointFile.empty() ? std::string() : O.CheckpointFile +
                                                      ".lastevents";
   crashdump::installHandlers(DumpPath.empty() ? nullptr : DumpPath.c_str());
+
+  // Graceful-shutdown flag: only the sequential streaming loop can drain
+  // to a checkpoint boundary; elsewhere the default disposition (die, let
+  // the rename-atomic checkpoint and the supervisor handle it) is the
+  // honest behavior.
+  if (!O.CheckpointFile.empty() && !O.Parallel && !O.Witness)
+    installStopHandlers();
 
   // Pass A of the static pipeline: stream the (sanitized) trace once with
   // no back-ends attached and classify every variable; pass B below then
@@ -904,6 +947,28 @@ int runAnalysis(Options O) {
           NextCkpt = EventsSeen + O.CheckpointEvery;
         }
       }
+      if (StopSignal != 0 && !Stopped) {
+        // Graceful drain: the record just processed is fully delivered, so
+        // this is a clean resume boundary; persist it and exit 128+signal.
+        int Sig = static_cast<int>(StopSignal);
+        uint64_t Off = 0;
+        if (!O.CheckpointFile.empty() && Src->tell(Off)) {
+          std::string Error;
+          if (!writeCheckpoint(O, Off, Src->lineNo(), EventsSeen,
+                               ThreadsSeen, StreamSyms, San,
+                               Reducing ? &Filter : nullptr, Delivery,
+                               Error))
+            std::fprintf(stderr, "error: cannot write checkpoint %s: %s\n",
+                         O.CheckpointFile.c_str(), Error.c_str());
+        }
+        std::fprintf(stderr,
+                     "shutdown: stopped by signal %d after %llu events; "
+                     "checkpoint %s is resumable\n",
+                     Sig, static_cast<unsigned long long>(EventsSeen),
+                     O.CheckpointFile.c_str());
+        std::fflush(nullptr);
+        return 128 + Sig;
+      }
     }
     if (Src->failed()) {
       // error() is "line N: message"; render as "<path>:N: message".
@@ -1087,6 +1152,7 @@ std::string writeCrashBundle(const Options &O, int Sig, uint64_t CkptEvents,
 int runSupervised(const Options &O) {
   uint64_t LastWindowEvents = ~0ull; // sentinel: no crash observed yet
   uint64_t SameWindow = 0;
+  installStopHandlers();
   for (;;) {
     Options Worker = O;
     Worker.Supervise = false;
@@ -1100,19 +1166,71 @@ int runSupervised(const Options &O) {
       return 2;
     }
     if (Pid == 0) {
+      // Drop the supervisor's handlers: the worker re-installs its own
+      // when it can drain gracefully (sequential + checkpointing), and
+      // must die by default elsewhere so escalation semantics stay honest.
+      resetStopHandlers();
       int Rc = runAnalysis(std::move(Worker));
       // _Exit skips atexit/static destructors (this is a fork, the parent
       // owns them) but also stdio flushing — do that explicitly.
       std::fflush(nullptr);
       std::_Exit(Rc);
     }
+    // Reap the worker with a WNOHANG poll so a stop signal is noticed
+    // race-free even if it lands between checks (EINTR wakes usleep).
     int Status = 0;
-    if (::waitpid(Pid, &Status, 0) < 0) {
-      std::perror("velodrome-check: waitpid");
-      return 2;
+    bool Stopping = false;
+    int StopSig = 0;
+    for (;;) {
+      if (StopSignal != 0 && !Stopping) {
+        // Graceful shutdown: forward the signal, give the worker
+        // --grace-ms to land its final checkpoint, then escalate.
+        Stopping = true;
+        StopSig = static_cast<int>(StopSignal);
+        ::kill(Pid, StopSig);
+        uint64_t WaitedMs = 0;
+        pid_t Done = 0;
+        while (WaitedMs < O.GraceMillis) {
+          Done = sys::waitpidRetry(Pid, &Status, WNOHANG);
+          if (Done == Pid)
+            break;
+          ::usleep(20 * 1000);
+          WaitedMs += 20;
+        }
+        if (Done != Pid) {
+          std::fprintf(stderr,
+                       "supervisor: worker did not stop within %llu ms; "
+                       "escalating to SIGKILL (checkpoint stays intact: "
+                       "writes are rename-atomic)\n",
+                       static_cast<unsigned long long>(O.GraceMillis));
+          ::kill(Pid, SIGKILL);
+          sys::waitpidRetry(Pid, &Status, 0);
+        }
+        break;
+      }
+      pid_t R = sys::waitpidRetry(Pid, &Status, WNOHANG);
+      if (R == Pid)
+        break;
+      if (R < 0) {
+        std::perror("velodrome-check: waitpid");
+        return 2;
+      }
+      ::usleep(10 * 1000);
     }
-    if (WIFEXITED(Status))
-      return WEXITSTATUS(Status);
+    if (Stopping) {
+      std::fprintf(stderr,
+                   "supervisor: stopped by signal %d; checkpoint %s is "
+                   "resumable\n",
+                   StopSig, O.CheckpointFile.c_str());
+      return 128 + StopSig;
+    }
+    if (WIFEXITED(Status)) {
+      int Rc = WEXITSTATUS(Status);
+      // A worker that drained on a direct SIGTERM/SIGINT (e.g. a signal
+      // sent to the whole process group) reports 128+signal; treat it as
+      // shutdown, not as a verdict to re-run for.
+      return Rc;
+    }
     int Sig = WIFSIGNALED(Status) ? WTERMSIG(Status) : 0;
     uint64_t CkptEvents = 0, CkptLine = 0;
     peekCheckpoint(O.CheckpointFile, CkptEvents, CkptLine);
@@ -1150,6 +1268,9 @@ int runSupervised(const Options &O) {
 } // namespace
 
 int main(int argc, char **argv) {
+  // A closed stdout pager or a dying supervisor pipe must surface as a
+  // failed write, not SIGPIPE process death.
+  sys::ignoreSigpipe();
   Options O;
   switch (parseArgs(argc, argv, O)) {
   case -1:

@@ -30,6 +30,8 @@
 #include <fstream>
 #include <string>
 
+#include "support/Syscalls.h"
+
 using namespace velo;
 
 namespace {
@@ -50,6 +52,7 @@ void usage() {
 } // namespace
 
 int main(int argc, char **argv) {
+  sys::ignoreSigpipe(); // closed pager/pipe must be a write error, not death
   std::string InFile, OutFile;
   TraceFormat To = TraceFormat::Text;
   bool HaveTo = false;

@@ -65,6 +65,8 @@
 #include <string>
 #include <vector>
 
+#include "support/Syscalls.h"
+
 using namespace velo;
 
 namespace {
@@ -556,6 +558,7 @@ bool checkMutant(const std::string &Text, BackendFanout *Pool, Rng &R,
 } // namespace
 
 int main(int argc, char **argv) {
+  sys::ignoreSigpipe(); // closed pager/pipe must be a write error, not death
   std::string CorpusDir = "tests/data/fuzz", SaveDir = ".";
   uint64_t Seed = 1, Iters = 500, ParallelThreads = 0;
   bool Verbose = false, Parallel = true;

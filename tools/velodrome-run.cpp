@@ -50,6 +50,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "support/Syscalls.h"
+
 using namespace velo;
 
 namespace {
@@ -109,6 +111,7 @@ void listWorkloads() {
 } // namespace
 
 int main(int argc, char **argv) {
+  sys::ignoreSigpipe(); // closed pager/pipe must be a write error, not death
   std::string Name, RecordFile, ReduceSpec;
   uint64_t Seed = 1;
   int Scale = 1;
