@@ -28,16 +28,24 @@ bool setNonBlocking(int Fd) {
   return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
 }
 
-/// Session names become state-file names; flatten anything that could
-/// escape the directory or collide with shell metacharacters.
+/// Session names become state-file names. Percent-encode everything
+/// outside [A-Za-z0-9._-] so distinct names can never collide on one
+/// state file — a lossy flattening would let tenant 'a/b' overwrite or
+/// resume tenant 'a_b's snapshot — and nothing can escape the directory.
 std::string sanitizeKey(const std::string &Key) {
+  static const char Hex[] = "0123456789ABCDEF";
   std::string Out;
   Out.reserve(Key.size());
-  for (char C : Key)
-    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '.' ||
-            C == '-' || C == '_')
-               ? C
-               : '_';
+  for (char C : Key) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (std::isalnum(U) || C == '.' || C == '-' || C == '_') {
+      Out += C;
+    } else {
+      Out += '%';
+      Out += Hex[U >> 4];
+      Out += Hex[U & 0xF];
+    }
+  }
   return Out;
 }
 
@@ -256,23 +264,22 @@ void Server::ioLoop() {
 
     for (size_t I = FirstConn; I < Fds.size(); ++I) {
       int Fd = ConnFds[I - FirstConn];
-      auto It = Conns.find(Fd);
-      if (It == Conns.end())
+      Conn *C = findConn(Fd);
+      if (!C)
         continue;
-      Conn &C = *It->second;
       if (Fds[I].revents & (POLLERR | POLLHUP | POLLNVAL)) {
         // Let a pending read drain first: POLLHUP often accompanies the
         // final bytes of a clean shutdown.
         if (Fds[I].revents & POLLIN)
-          readReady(C);
-        if (Conns.count(Fd))
-          disconnect(*Conns[Fd]);
+          readReady(*C);
+        if ((C = findConn(Fd)))
+          disconnect(*C);
         continue;
       }
       if (Fds[I].revents & POLLIN)
-        readReady(C);
-      if (Conns.count(Fd) && (Fds[I].revents & POLLOUT))
-        writeReady(*Conns[Fd]);
+        readReady(*C);
+      if ((C = findConn(Fd)) && (Fds[I].revents & POLLOUT))
+        writeReady(*C);
     }
 
     // Flush-and-close: a conn marked WantClose dies once its NAK/verdict
@@ -285,8 +292,8 @@ void Server::ioLoop() {
           Doomed.push_back(KV.first);
     }
     for (int Fd : Doomed)
-      if (Conns.count(Fd))
-        disconnect(*Conns[Fd]);
+      if (Conn *C = findConn(Fd))
+        disconnect(*C);
 
     housekeeping();
   }
@@ -383,12 +390,16 @@ void Server::handleFrame(Conn &C, uint8_t Kind, std::string Payload) {
   case EventsKind:
   case CheckpointKind:
   case FinishKind: {
+    // C.S is reset by workers under Mu (FINISH verdict, session-fatal
+    // NAK), so it may only be inspected — let alone dereferenced — while
+    // holding the lock: a client that pipelines a frame right behind its
+    // FINISH must get a clean NAK, not a torn shared_ptr.
+    std::lock_guard<std::mutex> Lock(Mu);
     if (!C.S) {
-      fatalNak(C, "protocol error: HELLO required before " +
-                      std::to_string(Kind));
+      fatalNakLocked(C, "protocol error: HELLO required before " +
+                            std::to_string(Kind));
       return;
     }
-    std::lock_guard<std::mutex> Lock(Mu);
     SessionState &S = *C.S;
     if (S.Dead)
       return; // the fatal NAK is already on its way out
@@ -435,12 +446,12 @@ void Server::handleHello(Conn &C, const std::string &Payload) {
                     std::to_string(ProtocolVersion) + ")");
     return;
   }
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Checked under Mu: workers reset C.S when they retire a session.
   if (C.S) {
-    fatalNak(C, "protocol error: session already established");
+    fatalNakLocked(C, "protocol error: session already established");
     return;
   }
-
-  std::lock_guard<std::mutex> Lock(Mu);
   auto It = Sessions.find(M.Name);
 
   std::shared_ptr<SessionState> S;
@@ -460,6 +471,14 @@ void Server::handleHello(Conn &C, const std::string &Payload) {
       // after a supervised restart).
       if (Opts.StateDir.empty()) {
         fatalNakLocked(C, "unknown session '" + M.Name + "'");
+        return;
+      }
+      // The cap applies to resumed sessions too: Ring capacity is sized
+      // to MaxSessions + Workers, which only bounds push() if the table
+      // never exceeds the cap.
+      if (Sessions.size() >= Opts.MaxSessions) {
+        fatalNakLocked(C, "session limit reached (" +
+                              std::to_string(Opts.MaxSessions) + ")");
         return;
       }
       S = std::make_shared<SessionState>();
@@ -523,6 +542,11 @@ void Server::handleHello(Conn &C, const std::string &Payload) {
 
 void Server::disconnect(Conn &C) {
   int Fd = C.Fd;
+  // The conn is unlinked from the table while holding Mu — workers
+  // iterate Conns under Mu (sendFrameLocked, FINISH/fatal-NAK fan-out),
+  // so the erase must not race them. The fd itself is closed after the
+  // lock drops so a slow close can't stall the worker pool.
+  std::unique_ptr<Conn> Owned;
   {
     std::lock_guard<std::mutex> Lock(Mu);
     if (C.S) {
@@ -549,9 +573,13 @@ void Server::disconnect(Conn &C) {
       }
       C.S.reset();
     }
+    auto It = Conns.find(Fd);
+    if (It != Conns.end()) {
+      Owned = std::move(It->second);
+      Conns.erase(It);
+    }
   }
   sys::closeQuiet(Fd);
-  Conns.erase(Fd);
 }
 
 void Server::housekeeping() {
@@ -581,10 +609,20 @@ void Server::housekeeping() {
       }
   }
   for (int Fd : SlowFds)
-    if (Conns.count(Fd))
-      fatalNak(*Conns[Fd],
+    if (Conn *C = findConn(Fd))
+      fatalNak(*C,
                "frame assembly timed out (slow client); reconnect and "
                "resume");
+}
+
+Server::Conn *Server::findConn(int Fd) {
+  // Only the I/O thread ever inserts or erases conns (both under Mu), so
+  // a pointer handed back to the I/O thread stays valid until the I/O
+  // thread itself disconnects that conn; the lock orders the lookup
+  // against worker iteration of the table in sendFrameLocked.
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Conns.find(Fd);
+  return It == Conns.end() ? nullptr : It->second.get();
 }
 
 void Server::sendFrame(uint64_t ConnId, uint8_t Kind,

@@ -127,8 +127,10 @@ private:
     uint64_t Id = 0;
     FrameSplitter In;
     std::string Out; ///< guarded by Server::Mu
-    std::shared_ptr<SessionState> S;
-    bool WantClose = false;
+    std::shared_ptr<SessionState> S; ///< guarded by Server::Mu
+    /// Atomic: workers set it under Mu but the I/O thread polls it in
+    /// readReady's frame-drain loop without taking the lock.
+    std::atomic<bool> WantClose{false};
     bool MidFrame = false;
     Clock::time_point FrameStart;
   };
@@ -144,6 +146,10 @@ private:
   void handleHello(Conn &C, const std::string &Payload);
   void disconnect(Conn &C);
   void housekeeping();
+  /// Locked Conns lookup. The returned pointer is stable for the I/O
+  /// thread (the only thread that erases conns) until it disconnects
+  /// that conn itself.
+  Conn *findConn(int Fd);
 
   /// Drain one session's queue on a worker; returns when the queue is
   /// empty and InFlight has been released.

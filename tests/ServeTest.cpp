@@ -36,7 +36,9 @@
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -648,6 +650,134 @@ TEST(ServeServerTest, FlowControlOverrunGetsFatalNak) {
     break;
   }
   EXPECT_TRUE(SawFatalNak) << "credit overrun must draw a fatal NAK";
+}
+
+std::string makeStateDir(const char *Tag) {
+  static std::atomic<int> Counter{0};
+  std::string Dir = "/tmp/velo-serve-test-" + std::string(Tag) + "-" +
+                    std::to_string(::getpid()) + "-" +
+                    std::to_string(Counter.fetch_add(1));
+  ::mkdir(Dir.c_str(), 0755);
+  return Dir;
+}
+
+size_t countStateFiles(const std::string &Dir) {
+  size_t N = 0;
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name.size() > 8 && Name.rfind(".session") == Name.size() - 8)
+        ++N;
+    }
+    ::closedir(D);
+  }
+  return N;
+}
+
+void removeStateDir(const std::string &Dir) {
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        ::unlink((Dir + "/" + Name).c_str());
+    }
+    ::closedir(D);
+  }
+  ::rmdir(Dir.c_str());
+}
+
+TEST(ServeServerTest, CollidingNamesGetDistinctStateFiles) {
+  // 'a/b' and 'a_b' must never share a state file: a lossy flattening
+  // would let one tenant's eviction overwrite — and its resume read —
+  // the other tenant's snapshot.
+  Trace TA = genTrace(71, 400), TB = genTrace(72, 400);
+  std::string WantA, WantB;
+  int ExitA = 0, ExitB = 0;
+  refVerdict(TA, WantA, ExitA, nullptr, "a/b");
+  refVerdict(TB, WantB, ExitB, nullptr, "a_b");
+
+  std::string Dir = makeStateDir("collide");
+  {
+    TestDaemon D([&](ServerOptions &O) { O.StateDir = Dir; });
+    ClientFaults Faults;
+    Faults.TornAfterFrames = 3; // detach mid-stream -> evict to disk
+    RunResult R1, R2;
+    runSession(D.Path, "a/b", TA, R1, /*EventsPerFrame=*/50, Faults);
+    runSession(D.Path, "a_b", TB, R2, 50, Faults);
+    for (int I = 0; I < 200 && D.Srv->evictions() < 2; ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_GE(D.Srv->evictions(), 2u);
+    EXPECT_EQ(countStateFiles(Dir), 2u)
+        << "colliding session names flattened onto one state file";
+
+    // Each resume must rehydrate its *own* snapshot and land its own
+    // verdict, byte-identical to the uninterrupted reference.
+    RunResult R3, R4;
+    runSession(D.Path, "a/b", TA, R3, 50, ClientFaults(), /*Resume=*/true);
+    runSession(D.Path, "a_b", TB, R4, 50, ClientFaults(), /*Resume=*/true);
+    ASSERT_TRUE(R3.GotVerdict) << (R3.GotNak ? R3.Nak.Reason : "no reply");
+    ASSERT_TRUE(R4.GotVerdict) << (R4.GotNak ? R4.Nak.Reason : "no reply");
+    EXPECT_EQ(R3.Verdict.Report, WantA);
+    EXPECT_EQ(R3.Verdict.ExitCode, ExitA);
+    EXPECT_EQ(R4.Verdict.Report, WantB);
+    EXPECT_EQ(R4.Verdict.ExitCode, ExitB);
+  }
+  removeStateDir(Dir);
+}
+
+TEST(ServeServerTest, ResumeFromDiskRespectsSessionCap) {
+  // The Ring is sized to MaxSessions + Workers on the promise that the
+  // session table never exceeds the cap; a resume-from-disk that slipped
+  // past the check would break that and unbound session memory.
+  Trace TA = genTrace(81, 300), TB = genTrace(82, 300);
+  std::string WantA;
+  int ExitA = 0;
+  refVerdict(TA, WantA, ExitA, nullptr, "one");
+
+  std::string Dir = makeStateDir("cap");
+  {
+    TestDaemon D([&](ServerOptions &O) { O.StateDir = Dir; });
+    ClientFaults Faults;
+    Faults.TornAfterFrames = 3;
+    RunResult R1, R2;
+    runSession(D.Path, "one", TA, R1, 50, Faults);
+    runSession(D.Path, "two", TB, R2, 50, Faults);
+    for (int I = 0; I < 200 && D.Srv->evictions() < 2; ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_GE(D.Srv->evictions(), 2u);
+  } // graceful stop persists both sessions under Dir
+
+  TestDaemon D2([&](ServerOptions &O) {
+    O.StateDir = Dir;
+    O.MaxSessions = 1;
+  });
+  Client C1;
+  std::string Err;
+  ASSERT_TRUE(C1.connectUnix(D2.Path, Err)) << Err;
+  HelloMsg H1;
+  H1.Name = "one";
+  H1.Resume = true;
+  HelloOkMsg Ok1;
+  ASSERT_TRUE(C1.hello(H1, Ok1, Err)) << Err; // fills the only slot
+
+  Client C2;
+  ASSERT_TRUE(C2.connectUnix(D2.Path, Err)) << Err;
+  HelloMsg H2;
+  H2.Name = "two";
+  H2.Resume = true;
+  HelloOkMsg Ok2;
+  NakMsg Nak;
+  ASSERT_FALSE(C2.hello(H2, Ok2, Err, &Nak))
+      << "resume-from-disk must respect the session cap";
+  EXPECT_NE(Err.find("session limit"), std::string::npos) << Err;
+
+  // The admitted session still completes cleanly.
+  RunResult R;
+  ASSERT_TRUE(C1.run(TA.symbols(), eventsOf(TA), Ok1, 50, 0, R, Err)) << Err;
+  ASSERT_TRUE(R.GotVerdict) << (R.GotNak ? R.Nak.Reason : "no reply");
+  EXPECT_EQ(R.Verdict.Report, WantA);
+  EXPECT_EQ(R.Verdict.ExitCode, ExitA);
+  removeStateDir(Dir);
 }
 
 } // namespace
