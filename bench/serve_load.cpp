@@ -55,6 +55,9 @@ void usage() {
       "  --seed=N          generator seed (default 1)\n"
       "  --reps=N          timing repetitions, best-of (default 3)\n"
       "  --socket=PATH     drive an external daemon instead of in-process\n"
+      "  --connect-timeout-ms=N  retry refused connects with backoff for\n"
+      "                    up to N ms (default 0 = one attempt); useful\n"
+      "                    with --socket while the daemon is still coming up\n"
       "  --check           gate: identity, then events/sec >= --min-eps\n"
       "  --min-eps=X       aggregate events/sec gate (default 50000;\n"
       "                    explicit value forces the gate on small hosts)\n");
@@ -106,7 +109,7 @@ struct SessionOutcome {
 int main(int argc, char **argv) {
   sys::ignoreSigpipe();
   uint64_t Sessions = 8, EventsPer = 100000, Threads = 4, FrameEvents = 4096;
-  uint64_t Workers = 4, Seed = 1, Reps = 3;
+  uint64_t Workers = 4, Seed = 1, Reps = 3, ConnectTimeoutMs = 0;
   std::string BackendSel = "velodrome", ExternalSocket;
   bool Check = false, ExplicitGate = false;
   double MinEps = 50000;
@@ -140,6 +143,9 @@ int main(int argc, char **argv) {
       BackendSel = Arg.substr(10);
     } else if (Arg.rfind("--socket=", 0) == 0) {
       ExternalSocket = Arg.substr(9);
+    } else if (Arg.rfind("--connect-timeout-ms=", 0) == 0) {
+      U64Target = &ConnectTimeoutMs;
+      U64Prefix = 21;
     } else if (Arg == "--check") {
       Check = true;
     } else if (Arg.rfind("--min-eps=", 0) == 0) {
@@ -223,6 +229,7 @@ int main(int argc, char **argv) {
       Drivers.emplace_back([&, I] {
         SessionOutcome &R = Out[I];
         Client Cl;
+        Cl.ConnectTimeoutMillis = static_cast<unsigned>(ConnectTimeoutMs);
         std::string Err;
         if (!Cl.connectUnix(Socket, Err)) {
           R.Error = Err;

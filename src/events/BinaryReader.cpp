@@ -31,6 +31,17 @@ bool BinaryTraceReader::fail(const std::string &Msg) {
 
 TraceReadStatus BinaryTraceReader::open(const std::string &Path,
                                         std::string &ErrorOut) {
+  return openPath(Path, ErrorOut, /*Salvage=*/false);
+}
+
+TraceReadStatus BinaryTraceReader::openSalvage(const std::string &Path,
+                                               std::string &ErrorOut) {
+  return openPath(Path, ErrorOut, /*Salvage=*/true);
+}
+
+TraceReadStatus BinaryTraceReader::openPath(const std::string &Path,
+                                            std::string &ErrorOut,
+                                            bool Salvage) {
   errno = 0;
   int Fd = ::open(Path.c_str(), O_RDONLY);
   if (Fd < 0) {
@@ -58,7 +69,7 @@ TraceReadStatus BinaryTraceReader::open(const std::string &Path,
     Data = static_cast<const uint8_t *>(Addr);
   }
   ::close(Fd);
-  if (!validateContainer()) {
+  if (!(Salvage ? salvageContainer() : validateContainer())) {
     ErrorOut = Error;
     return TraceReadStatus::ParseError;
   }
@@ -69,6 +80,12 @@ bool BinaryTraceReader::openBuffer(std::string_view Buf) {
   Data = reinterpret_cast<const uint8_t *>(Buf.data());
   Size = Buf.size();
   return validateContainer();
+}
+
+bool BinaryTraceReader::openBufferSalvage(std::string_view Buf) {
+  Data = reinterpret_cast<const uint8_t *>(Buf.data());
+  Size = Buf.size();
+  return salvageContainer();
 }
 
 bool BinaryTraceReader::validateContainer() {
@@ -148,6 +165,156 @@ bool BinaryTraceReader::validateContainer() {
     return fail("corrupt index frame (trailing bytes)");
   if (TotalEvents != ExpectOrdinal)
     return fail("corrupt index frame (total does not match entries)");
+  return true;
+}
+
+bool BinaryTraceReader::salvageContainer() {
+  // A complete container needs no recovery: accept it through the strict
+  // validator first, so salvage mode is a strict superset of a normal
+  // open and never changes the verdict on an intact file. The strict
+  // validator proves the frame tiling and the index, but frame *bodies*
+  // are only checksummed at load time — and a salvage open promises
+  // streaming never fails — so verify every body up front and drop to
+  // prefix recovery when one is corrupt.
+  if (validateContainer()) {
+    uint64_t SymsSeen[3] = {0, 0, 0};
+    bool BodiesGood = true;
+    for (const FrameInfo &F : Frames) {
+      const uint8_t *FH = Data + F.Offset;
+      auto Len = static_cast<size_t>(readU32le(FH + 1));
+      std::string_view View(
+          reinterpret_cast<const char *>(FH + FrameHeaderSize), Len);
+      uint64_t Count = 0;
+      if (FH[0] != EventsFrame || fnv1a64(View) != readU64le(FH + 5) ||
+          !scanFrame(FH + FrameHeaderSize, Len, SymsSeen, Count) ||
+          Count != F.Count) {
+        BodiesGood = false;
+        break;
+      }
+    }
+    if (BodiesGood)
+      return true;
+  }
+
+  // Strict validation failed — reset its state and scan the frame chain
+  // forward instead, keeping the longest prefix of intact events frames.
+  // The fixed header has no redundancy to recover from, so it must be
+  // clean; after that, each frame stands on its own checksum.
+  Failed = false;
+  Error.clear();
+  Frames.clear();
+  IdxOff = 0;
+  TotalEvents = 0;
+  Salvaged.Used = true;
+
+  if (Size < HeaderSize)
+    return fail("truncated container (missing header)");
+  if (std::memcmp(Data, Magic, sizeof(Magic)) != 0)
+    return fail("bad magic (not a VELOTRC file)");
+  if (readU32le(Data + 8) != Version)
+    return fail("unsupported container version " +
+                std::to_string(readU32le(Data + 8)));
+  if (readU32le(Data + 12) != 0)
+    return fail("corrupt header (reserved bits set)");
+
+  uint64_t Off = HeaderSize;
+  uint64_t ExpectOrdinal = 0;
+  uint64_t SymsSeen[3] = {0, 0, 0};
+  // Off only grows by whole validated frames, so Size - Off never
+  // underflows; lengths are bounds-checked in subtraction form exactly
+  // like validateContainer (wire data must never reach an addition).
+  while (Size - Off >= FrameHeaderSize) {
+    const uint8_t *FH = Data + Off;
+    if (FH[0] != EventsFrame)
+      break; // index frame (or garbage): the events prefix ends here
+    uint64_t Len = readU32le(FH + 1);
+    if (Len > MaxFramePayload || Len > Size - Off - FrameHeaderSize)
+      break; // truncated mid-frame
+    std::string_view View(reinterpret_cast<const char *>(FH + FrameHeaderSize),
+                          static_cast<size_t>(Len));
+    if (fnv1a64(View) != readU64le(FH + 5))
+      break; // torn or bit-flipped payload
+    uint64_t Count = 0;
+    if (!scanFrame(FH + FrameHeaderSize, static_cast<size_t>(Len), SymsSeen,
+                   Count))
+      break; // checksummed but structurally bogus: refuse to stream it
+    Frames.push_back({Off, ExpectOrdinal, Count});
+    ExpectOrdinal += Count;
+    Off += FrameHeaderSize + Len;
+  }
+  if (Frames.empty())
+    return fail("no intact frames to salvage");
+  IdxOff = Off; // end-of-prefix position: tell() at EOF, like a real index
+  TotalEvents = ExpectOrdinal;
+  Salvaged.FramesKept = Frames.size();
+  Salvaged.EventsKept = ExpectOrdinal;
+  Salvaged.BytesDropped = Size - Off;
+  return true;
+}
+
+bool BinaryTraceReader::scanFrame(const uint8_t *P, size_t N,
+                                  uint64_t SymsSeen[3], uint64_t &CountOut) {
+  size_t Pos = 0;
+  for (int B = 0; B < 3; ++B) {
+    uint64_t Base = 0, Count = 0;
+    if (!readVarint(P, N, Pos, Base) || !readVarint(P, N, Pos, Count))
+      return false;
+    if (Base != SymsSeen[B] || Count > N - Pos ||
+        Base + Count > maxTraceSymbols())
+      return false;
+    for (uint64_t I = 0; I < Count; ++I) {
+      uint64_t NameLen = 0;
+      if (!readVarint(P, N, Pos, NameLen) || NameLen > N - Pos)
+        return false;
+      Pos += static_cast<size_t>(NameLen);
+    }
+    SymsSeen[B] += Count;
+  }
+  uint64_t Num = 0;
+  if (!readVarint(P, N, Pos, Num))
+    return false;
+  for (uint64_t I = 0; I < Num; ++I) {
+    if (Pos >= N)
+      return false;
+    uint8_t OpByte = P[Pos++];
+    if (OpByte > static_cast<uint8_t>(Op::Join))
+      return false;
+    Op Kind = static_cast<Op>(OpByte);
+    uint64_t TidV = 0;
+    if (!readVarint(P, N, Pos, TidV) || TidV >= MaxTraceThreads)
+      return false;
+    if (Kind == Op::End)
+      continue;
+    uint64_t TgtV = 0;
+    if (!readVarint(P, N, Pos, TgtV))
+      return false;
+    switch (Kind) {
+    case Op::Read:
+    case Op::Write:
+      if (TgtV >= SymsSeen[0])
+        return false;
+      break;
+    case Op::Acquire:
+    case Op::Release:
+      if (TgtV >= SymsSeen[1])
+        return false;
+      break;
+    case Op::Begin:
+      if (TgtV != NoLabel && TgtV >= SymsSeen[2])
+        return false;
+      break;
+    case Op::Fork:
+    case Op::Join:
+      if (TgtV >= MaxTraceThreads)
+        return false;
+      break;
+    case Op::End:
+      break;
+    }
+  }
+  if (Pos != N)
+    return false; // trailing bytes after events
+  CountOut = Num;
   return true;
 }
 

@@ -41,9 +41,23 @@ public:
   /// stream it through their normal parse-error path); Ok otherwise.
   TraceReadStatus open(const std::string &Path, std::string &ErrorOut);
 
+  /// Like open(), but in salvage mode: a complete container is accepted
+  /// as-is, and a truncated or tail-corrupted one (crashed tracer, torn
+  /// final write) degrades to the longest prefix of intact events frames
+  /// — each frame checksummed *and* structurally pre-validated, so a
+  /// successful salvage never fails mid-stream. ParseError only when not
+  /// even one frame survives. salvage() describes what was recovered.
+  TraceReadStatus openSalvage(const std::string &Path, std::string &ErrorOut);
+
   /// Validate an in-memory container (tests, fuzzing). Data must outlive
   /// the reader. Returns false when malformed (failed() has the message).
   bool openBuffer(std::string_view Data);
+
+  /// Salvage-mode openBuffer (tests, fuzzing); see openSalvage.
+  bool openBufferSalvage(std::string_view Data);
+
+  /// Recovery outcome of the last salvage open.
+  const SalvageSummary &salvage() const { return Salvaged; }
 
   // TraceSource:
   bool next(Event &Out) override;
@@ -69,7 +83,16 @@ private:
 
   /// Record a malformed-container failure at the next event position.
   bool fail(const std::string &Msg);
+  TraceReadStatus openPath(const std::string &Path, std::string &ErrorOut,
+                           bool Salvage);
   bool validateContainer();
+  bool salvageContainer();
+  /// Structurally pre-validate one checksummed frame payload without
+  /// interning: symbol blocks contiguous with SymsSeen (var/lock/label
+  /// counts so far), every event decodable against them. On success bumps
+  /// SymsSeen and sets CountOut to the frame's event count.
+  bool scanFrame(const uint8_t *P, size_t N, uint64_t SymsSeen[3],
+                 uint64_t &CountOut);
   bool loadNextFrame();
 
   SymbolTable &Syms;
@@ -84,6 +107,7 @@ private:
   std::vector<FrameInfo> Frames;
   uint64_t IdxOff = 0;
   uint64_t TotalEvents = 0;
+  SalvageSummary Salvaged;
 
   /// Next frame to load; the current frame (if any) is FrameIdx - 1.
   size_t FrameIdx = 0;

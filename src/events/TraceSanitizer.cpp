@@ -20,6 +20,7 @@ std::string RepairCounts::summary() const {
   Add(UnheldReleases, "unheld releases");
   Add(UnmatchedEnds, "unmatched ends");
   Add(UnclosedTxns, "unclosed transactions");
+  Add(AbandonedLocks, "abandoned locks");
   Add(OrphanForks, "orphan forks");
   Add(DroppedForks, "dropped forks");
   Add(DroppedJoins, "dropped joins");
@@ -72,6 +73,22 @@ void TraceSanitizer::closeOpenBlocks(Tid T, ThreadState &TS,
   while (TS.Depth > 0) {
     Repairs.UnclosedTxns++;
     emit(Event::end(T), Out);
+  }
+}
+
+void TraceSanitizer::releaseHeldLocks(Tid T, std::vector<Event> &Out) {
+  // Snapshot and sort for a deterministic synthesis order (same reasoning
+  // as finish()). One release fully erases the lock even when re-entrant
+  // acquires were filtered at depth > 1: the emitted stream only ever saw
+  // the outermost acquire.
+  std::vector<LockId> Held;
+  for (const auto &[M, LS] : Locks)
+    if (LS.Holder == T)
+      Held.push_back(M);
+  std::sort(Held.begin(), Held.end());
+  for (LockId M : Held) {
+    Repairs.AbandonedLocks++;
+    emit(Event::release(T, M), Out);
   }
 }
 
@@ -180,10 +197,14 @@ bool TraceSanitizer::push(const Event &E, std::vector<Event> &Out,
       Repairs.DroppedJoins++;
       return true;
     }
-    // The joined thread ends here: auto-close its open atomic blocks.
-    // (Strict mode matches Trace::validate, which permits open blocks.)
-    if (!Strict)
+    // The joined thread ends here: release its abandoned locks (inside any
+    // open block, where the real release would have been) and auto-close
+    // its open atomic blocks. (Strict mode matches Trace::validate, which
+    // permits both.)
+    if (!Strict) {
+      releaseHeldLocks(E.child(), Out);
       closeOpenBlocks(E.child(), Threads[E.child()], Out);
+    }
     break;
   }
   }
@@ -196,16 +217,25 @@ bool TraceSanitizer::finish(std::vector<Event> &Out) {
   if (Failed)
     return false;
   if (Mode == SanitizeMode::Lenient) {
-    // Snapshot and sort: closeOpenBlocks only touches existing entries, but
-    // iterating the unordered map directly would make the synthesized-end
-    // order depend on hashing.
+    // Snapshot and sort: the synthesis helpers only touch existing
+    // entries, but iterating the unordered maps directly would make the
+    // synthesized-event order depend on hashing. Every thread ends at
+    // trace finish, so threads with open blocks *or* held locks get their
+    // tail synthesized, releases first (inside the block).
     std::vector<Tid> Open;
     for (const auto &[T, TS] : Threads)
       if (TS.Depth > 0)
         Open.push_back(T);
+    for (const auto &[M, LS] : Locks) {
+      (void)M;
+      if (std::find(Open.begin(), Open.end(), LS.Holder) == Open.end())
+        Open.push_back(LS.Holder);
+    }
     std::sort(Open.begin(), Open.end());
-    for (Tid T : Open)
+    for (Tid T : Open) {
+      releaseHeldLocks(T, Out);
       closeOpenBlocks(T, Threads[T], Out);
+    }
   }
   return true;
 }
@@ -241,6 +271,7 @@ void TraceSanitizer::serialize(SnapshotWriter &W) const {
   W.u64(Repairs.UnheldReleases);
   W.u64(Repairs.UnmatchedEnds);
   W.u64(Repairs.UnclosedTxns);
+  W.u64(Repairs.AbandonedLocks);
   W.u64(Repairs.OrphanForks);
   W.u64(Repairs.DroppedForks);
   W.u64(Repairs.DroppedJoins);
@@ -273,6 +304,7 @@ bool TraceSanitizer::deserialize(SnapshotReader &R) {
   Repairs.UnheldReleases = R.u64();
   Repairs.UnmatchedEnds = R.u64();
   Repairs.UnclosedTxns = R.u64();
+  Repairs.AbandonedLocks = R.u64();
   Repairs.OrphanForks = R.u64();
   Repairs.DroppedForks = R.u64();
   Repairs.DroppedJoins = R.u64();

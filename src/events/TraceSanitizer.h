@@ -29,6 +29,11 @@
 //   unmatched end        end without an open atomic block: dropped
 //   unclosed transaction end events synthesized for blocks still open when
 //                        the thread is joined or the trace finishes
+//   abandoned lock       lock still held when its holder is joined or the
+//                        trace finishes: a release is synthesized at the
+//                        thread's end (real programs exit holding locks
+//                        constantly; without this the next acquire cascades
+//                        into foreign-acquire/unheld-release drops)
 //   orphan fork          fork of a thread that already ran: dropped; the
 //                        child is promoted to an initial thread (the missing
 //                        fork is effectively synthesized at trace start)
@@ -65,6 +70,7 @@ struct RepairCounts {
   uint64_t UnheldReleases = 0;    ///< releases of unheld locks dropped
   uint64_t UnmatchedEnds = 0;     ///< ends without a begin dropped
   uint64_t UnclosedTxns = 0;      ///< ends synthesized for open blocks
+  uint64_t AbandonedLocks = 0;    ///< releases synthesized at thread end
   uint64_t OrphanForks = 0;       ///< stale forks of already-running threads
   uint64_t DroppedForks = 0;      ///< self-forks and duplicate forks dropped
   uint64_t DroppedJoins = 0;      ///< self-joins and duplicate joins dropped
@@ -72,8 +78,8 @@ struct RepairCounts {
 
   uint64_t total() const {
     return ReentrantAcquires + ForeignAcquires + UnheldReleases +
-           UnmatchedEnds + UnclosedTxns + OrphanForks + DroppedForks +
-           DroppedJoins + PostJoinEvents;
+           UnmatchedEnds + UnclosedTxns + AbandonedLocks + OrphanForks +
+           DroppedForks + DroppedJoins + PostJoinEvents;
   }
 
   /// "re-entrant acquires: 2; unheld releases: 1" — non-zero categories
@@ -95,9 +101,10 @@ public:
   /// further pushes fail).
   bool push(const Event &E, std::vector<Event> &Out, size_t SourceLine = 0);
 
-  /// End of input: in lenient mode, synthesize `end` events for atomic
-  /// blocks still open. Never fails (trailing open blocks are legal in
-  /// strict mode, matching Trace::validate).
+  /// End of input: in lenient mode, synthesize releases for locks still
+  /// held and `end` events for atomic blocks still open. Never fails
+  /// (trailing open blocks and held locks are legal in strict mode,
+  /// matching Trace::validate).
   bool finish(std::vector<Event> &Out);
 
   bool failed() const { return Failed; }
@@ -130,6 +137,9 @@ private:
 
   /// Synthesize `end` events closing T's open blocks.
   void closeOpenBlocks(Tid T, ThreadState &TS, std::vector<Event> &Out);
+
+  /// Synthesize releases for every lock T still holds (T is ending).
+  void releaseHeldLocks(Tid T, std::vector<Event> &Out);
 
   SanitizeMode Mode;
   std::unordered_map<Tid, ThreadState> Threads;

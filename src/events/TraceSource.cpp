@@ -14,12 +14,23 @@ std::unique_ptr<TraceSource> openTraceSource(const std::string &Path,
                                              SymbolTable &Syms,
                                              TraceReadStatus &StatusOut,
                                              std::string &ErrorOut) {
+  return openTraceSource(Path, Syms, StatusOut, ErrorOut, TraceOpenOptions{});
+}
+
+std::unique_ptr<TraceSource> openTraceSource(const std::string &Path,
+                                             SymbolTable &Syms,
+                                             TraceReadStatus &StatusOut,
+                                             std::string &ErrorOut,
+                                             const TraceOpenOptions &Opts) {
   if (detectTraceFormat(Path) == TraceFormat::Binary) {
     auto R = std::make_unique<BinaryTraceReader>(Syms);
-    StatusOut = R->open(Path, ErrorOut);
+    StatusOut = Opts.Salvage ? R->openSalvage(Path, ErrorOut)
+                             : R->open(Path, ErrorOut);
     if (StatusOut == TraceReadStatus::NotFound ||
         StatusOut == TraceReadStatus::IoError)
       return nullptr;
+    if (Opts.SalvageOut)
+      *Opts.SalvageOut = R->salvage();
     // ParseError: hand the failed reader back so the caller reports it
     // through the same path as a malformed text line.
     return R;

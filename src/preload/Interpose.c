@@ -1,0 +1,179 @@
+/*===- preload/Interpose.c - pthread interposition entry points ----------===*
+ *
+ * The LD_PRELOAD face of libvelodrome-trace.so: strong definitions of the
+ * pthread symbols we trace (mutex lock/trylock/unlock, create/join/exit)
+ * and of the velo_trace_* annotation API, each forwarding the real work
+ * to libc through dlsym(RTLD_NEXT) and the event bookkeeping to the
+ * runtime (TraceRuntime.h).
+ *
+ * This file is plain C on purpose: glibc's pthread prototypes carry
+ * exception-specifier macros (__THROW and friends) whose C++ expansion
+ * varies across glibc versions, making C++ redefinitions brittle. C has
+ * no exception specifiers, so the definitions here match any libc.
+ *
+ * Interposition discipline: the real call always happens, first, exactly
+ * once — recording strictly follows a successful real operation (or, for
+ * unlock, precedes it: the release must reach the trace file before the
+ * next holder can enter). When tracing is off, dead, or re-entered from
+ * the runtime's own bookkeeping, every wrapper is a pure pass-through,
+ * so the target runs unchanged.
+ *
+ *===---------------------------------------------------------------------===*/
+
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE /* RTLD_NEXT */
+#endif
+
+#include <dlfcn.h>
+#include <pthread.h>
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+#include "preload/TraceRuntime.h"
+
+typedef int (*MutexFn)(pthread_mutex_t *);
+typedef int (*CreateFn)(pthread_t *, const pthread_attr_t *,
+                        void *(*)(void *), void *);
+typedef int (*JoinFn)(pthread_t, void **);
+typedef void (*ExitFn)(void *) __attribute__((__noreturn__));
+
+static struct {
+  MutexFn Lock;
+  MutexFn Trylock;
+  MutexFn Unlock;
+  CreateFn Create;
+  JoinFn Join;
+  ExitFn Exit;
+} Real;
+
+/* Resolve the libc definitions. Idempotent, and benign if two early
+ * threads race (both write identical values). Called lazily from every
+ * wrapper because interposed functions can run before this library's
+ * constructor (from another preloaded library's constructor, say). */
+static void resolveReal(void) {
+  if (Real.Lock)
+    return;
+  /* The (void **) dance sidesteps the ISO C object/function pointer
+   * conversion warning; POSIX guarantees dlsym makes this valid. */
+  *(void **)&Real.Trylock = dlsym(RTLD_NEXT, "pthread_mutex_trylock");
+  *(void **)&Real.Unlock = dlsym(RTLD_NEXT, "pthread_mutex_unlock");
+  *(void **)&Real.Create = dlsym(RTLD_NEXT, "pthread_create");
+  *(void **)&Real.Join = dlsym(RTLD_NEXT, "pthread_join");
+  *(void **)&Real.Exit = dlsym(RTLD_NEXT, "pthread_exit");
+  *(void **)&Real.Lock = dlsym(RTLD_NEXT, "pthread_mutex_lock");
+  if (!Real.Lock || !Real.Trylock || !Real.Unlock || !Real.Create ||
+      !Real.Join || !Real.Exit) {
+    /* No libc underneath us means nothing can work; this cannot happen
+     * in a sane process, so die loudly rather than deadlock quietly. */
+    fprintf(stderr, "velodrome-trace: cannot resolve pthread symbols\n");
+    abort();
+  }
+}
+
+__attribute__((constructor)) static void veloTraceCtor(void) {
+  resolveReal();
+  velo_rt_init();
+}
+
+static int tracing(void) { return velo_rt_active() && !velo_rt_in_runtime(); }
+
+/*===--------------------------------------------------------------------===*
+ * Mutexes
+ *===--------------------------------------------------------------------===*/
+
+int pthread_mutex_lock(pthread_mutex_t *M) {
+  resolveReal();
+  int RC = Real.Lock(M);
+  if (RC == 0 && tracing())
+    velo_rt_lock_acquired(M);
+  return RC;
+}
+
+int pthread_mutex_trylock(pthread_mutex_t *M) {
+  resolveReal();
+  int RC = Real.Trylock(M);
+  if (RC == 0 && tracing())
+    velo_rt_lock_acquired(M);
+  return RC;
+}
+
+int pthread_mutex_unlock(pthread_mutex_t *M) {
+  resolveReal();
+  if (tracing())
+    velo_rt_lock_releasing(M); /* record + sync-flush before the unlock */
+  return Real.Unlock(M);
+}
+
+/*===--------------------------------------------------------------------===*
+ * Threads
+ *===--------------------------------------------------------------------===*/
+
+struct StartPack {
+  void *(*Fn)(void *);
+  void *Arg;
+  uint32_t Tid;
+};
+
+static void *trampoline(void *VP) {
+  struct StartPack P = *(struct StartPack *)VP;
+  free(VP);
+  velo_rt_child_start(P.Tid);
+  void *R = P.Fn(P.Arg);
+  velo_rt_thread_exit(); /* pthread_exit paths flush via the TSD dtor */
+  return R;
+}
+
+int pthread_create(pthread_t *Th, const pthread_attr_t *Attr,
+                   void *(*Fn)(void *), void *Arg) {
+  resolveReal();
+  if (!tracing())
+    return Real.Create(Th, Attr, Fn, Arg);
+  uint32_t Tid = velo_rt_fork_child();
+  if (Tid == UINT32_MAX) /* untraceable child: create it untraced */
+    return Real.Create(Th, Attr, Fn, Arg);
+  struct StartPack *P = malloc(sizeof *P);
+  if (!P)
+    return Real.Create(Th, Attr, Fn, Arg);
+  P->Fn = Fn;
+  P->Arg = Arg;
+  P->Tid = Tid;
+  int RC = Real.Create(Th, Attr, trampoline, P);
+  if (RC != 0) {
+    /* The fork event is already in the trace; the sanitizer's lenient
+     * mode repairs orphan forks, so a failed create stays harmless. */
+    free(P);
+    return RC;
+  }
+  velo_rt_child_created(Tid, (uint64_t)*Th);
+  return 0;
+}
+
+int pthread_join(pthread_t Th, void **RetVal) {
+  resolveReal();
+  int RC = Real.Join(Th, RetVal);
+  if (RC == 0 && tracing())
+    velo_rt_joined((uint64_t)Th);
+  return RC;
+}
+
+void pthread_exit(void *RetVal) {
+  resolveReal();
+  if (!velo_rt_in_runtime())
+    velo_rt_thread_exit();
+  Real.Exit(RetVal);
+  __builtin_unreachable();
+}
+
+/*===--------------------------------------------------------------------===*
+ * Annotations (strong definitions; targets declare these weak, see
+ * velo_trace.h)
+ *===--------------------------------------------------------------------===*/
+
+void velo_trace_read(const void *Addr) { velo_rt_read(Addr); }
+
+void velo_trace_write(const void *Addr) { velo_rt_write(Addr); }
+
+void velo_trace_begin(const char *Label) { velo_rt_begin(Label); }
+
+void velo_trace_end(void) { velo_rt_end(); }

@@ -1,0 +1,49 @@
+//===- preload/TraceConfig.h - VELO_TRACE_* environment parsing -*- C++ -*-===//
+//
+// Configuration for the LD_PRELOAD tracer, read once at load time from the
+// VELO_TRACE_* environment variables (docs/TRACING.md documents each knob).
+// The validation contract is strict: a malformed value never half-applies —
+// parseTraceConfig reports exactly one diagnostic and the caller disables
+// tracing entirely, so the target always runs, traced or not.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_PRELOAD_TRACECONFIG_H
+#define VELO_PRELOAD_TRACECONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace velo {
+namespace preload {
+
+struct TraceConfig {
+  /// Output container path (VELO_TRACE_OUT; default velodrome-<pid>.vtrc).
+  char OutPath[3072];
+  /// Keep 1 of every N annotated accesses per thread (VELO_TRACE_SAMPLE;
+  /// default 1 = every access). Lock and thread events are never sampled.
+  uint64_t SampleEvery = 1;
+  /// Per-thread event buffer capacity (VELO_TRACE_BUFFER_EVENTS;
+  /// default 4096, clamped range [64, 1<<20]).
+  uint32_t BufferEvents = 4096;
+  /// VELO_TRACE_FLUSH: true for "sync" (default; flush before every
+  /// unlock and thread create, giving exact per-lock cross-thread order
+  /// in the file), false for "buffer" (flush only when full or at
+  /// thread/process end; faster, approximate order).
+  bool SyncFlush = true;
+  /// VELO_TRACE_FORK: true for "reopen" (default; a forked child traces
+  /// into "<out>.<pid>"), false for "off" (child stops tracing). Either
+  /// way the parent's container is never touched by the child.
+  bool ReopenOnFork = true;
+};
+
+/// Read VELO_TRACE_* from the environment into C. Returns true when every
+/// set variable parses; on the first malformed value, returns false with a
+/// one-line description (no trailing newline) in Diag — the caller prints
+/// it once and disables tracing.
+bool parseTraceConfig(TraceConfig &C, char *Diag, size_t DiagLen);
+
+} // namespace preload
+} // namespace velo
+
+#endif // VELO_PRELOAD_TRACECONFIG_H

@@ -1,0 +1,87 @@
+//===- preload/TraceRuntime.h - Preload tracer core --------------*- C -*-===//
+//
+// The engine behind libvelodrome-trace.so: per-thread bounded event
+// buffers drained into a VELOTRC container through EINTR-safe write
+// wrappers, with crash-consistent flushing (docs/TRACING.md). This header
+// is the narrow surface the pthread interposers (Interpose.c, compiled as
+// plain C so the glibc prototypes can be re-defined portably) call; every
+// entry point is safe to call at any time — before initialization, after
+// a write error, with tracing disabled — and degrades to a no-op.
+//
+// Robustness invariants the implementation maintains:
+//
+//  * The target never blocks indefinitely or crashes because of tracing:
+//    a full buffer flushes (brief file I/O) or, once the writer is dead,
+//    drops events under a counter reported at exit.
+//  * The container on disk is always either complete (index + trailer,
+//    written by the atexit hook) or a clean frame prefix that
+//    `velodrome-check --salvage` accepts: frames are written atomically
+//    under one writer lock, and a fatal signal appends the crashing
+//    thread's buffer as a final frame via async-signal-safe code only.
+//  * fork() never corrupts the parent's file: the child drops inherited
+//    buffers and either re-opens "<out>.<pid>" lazily (so fork+exec
+//    leaves no debris) or disables itself, per VELO_TRACE_FORK.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_PRELOAD_TRACERUNTIME_H
+#define VELO_PRELOAD_TRACERUNTIME_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/// One-time initialization: parse VELO_TRACE_*, open the container, write
+/// its header, install the atexit/fatal-signal/fork hooks, and register
+/// the calling thread as tid 0. Idempotent; called from the library
+/// constructor and lazily from every interposer.
+void velo_rt_init(void);
+
+/// True while events should be recorded (initialized, not disabled by a
+/// bad environment or I/O failure, not dead after a crash flush).
+int velo_rt_active(void);
+
+/// True while the calling thread is inside the runtime itself (flushing,
+/// interning). Interposers skip recording then: any pthread operation the
+/// runtime's own bookkeeping triggers (e.g. via malloc) must not recurse
+/// into the trace.
+int velo_rt_in_runtime(void);
+
+/// Lock events. velo_rt_lock_acquired is called after the real
+/// lock/trylock succeeds; velo_rt_lock_releasing before the real unlock
+/// (it records the release and, under the sync flush policy, flushes the
+/// thread's buffer so the file orders this critical section before the
+/// next holder's). Re-entrant acquires of a recursive mutex are filtered
+/// to one event, matching the event model.
+void velo_rt_lock_acquired(void *Mutex);
+void velo_rt_lock_releasing(void *Mutex);
+
+/// Thread lifecycle. velo_rt_fork_child allocates the child tid, records
+/// fork(self, child) and flushes it (the file must order the fork before
+/// any child event); returns UINT32_MAX when the child cannot be traced
+/// (tid space exhausted / tracing off) — the caller then creates the
+/// thread un-traced. velo_rt_child_start runs first inside the new
+/// thread; velo_rt_child_created maps the pthread handle to the tid so a
+/// later pthread_join can be attributed; velo_rt_thread_exit flushes the
+/// calling thread's remaining buffer. A create that fails after
+/// velo_rt_fork_child leaves an orphan fork event in the trace — the
+/// sanitizer's lenient mode repairs it.
+uint32_t velo_rt_fork_child(void);
+void velo_rt_child_start(uint32_t Tid);
+void velo_rt_child_created(uint32_t Tid, uint64_t PthreadId);
+void velo_rt_joined(uint64_t PthreadId);
+void velo_rt_thread_exit(void);
+
+/// Annotation events (accesses sampled per VELO_TRACE_SAMPLE).
+void velo_rt_read(const void *Addr);
+void velo_rt_write(const void *Addr);
+void velo_rt_begin(const char *Label);
+void velo_rt_end(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif // VELO_PRELOAD_TRACERUNTIME_H

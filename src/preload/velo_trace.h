@@ -1,0 +1,40 @@
+/*===- preload/velo_trace.h - Annotation API for traced programs ---------===*
+ *
+ * Shared-access annotations for programs run under libvelodrome-trace.so
+ * (docs/TRACING.md). Every symbol is declared weak: an annotated program
+ * links and runs unchanged without the tracer — the references resolve to
+ * null — so call sites must be guarded:
+ *
+ *   #include "velo_trace.h"
+ *   ...
+ *   if (velo_trace_write) velo_trace_write(&balance);
+ *
+ * When the tracer is LD_PRELOADed its strong definitions win and the
+ * calls record events. This header is plain C so it drops into any
+ * pthread program; it has no dependency on the rest of the repo.
+ *
+ *===---------------------------------------------------------------------===*/
+
+#ifndef VELO_PRELOAD_VELO_TRACE_H
+#define VELO_PRELOAD_VELO_TRACE_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Record a read/write of the shared variable at Addr. The address is the
+ * variable's identity; distinct addresses are distinct variables. */
+__attribute__((weak)) void velo_trace_read(const void *Addr);
+__attribute__((weak)) void velo_trace_write(const void *Addr);
+
+/* Enter/exit an atomic block. Label names the block in violation reports
+ * (a method name, in RoadRunner terms); NULL means an unlabeled block.
+ * Blocks nest; velo_trace_end closes the innermost open block. */
+__attribute__((weak)) void velo_trace_begin(const char *Label);
+__attribute__((weak)) void velo_trace_end(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* VELO_PRELOAD_VELO_TRACE_H */

@@ -4,6 +4,7 @@
 
 #include "support/Syscalls.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -26,6 +27,26 @@ void Client::close() {
   }
 }
 
+bool Client::connectOnce(int Domain, const void *Addr, size_t AddrLen,
+                         bool &RetryableOut, std::string &Err) {
+  RetryableOut = false;
+  Fd = ::socket(Domain, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = "cannot create socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  if (::connect(Fd, static_cast<const sockaddr *>(Addr),
+                static_cast<socklen_t>(AddrLen)) != 0) {
+    // ECONNREFUSED: nothing listening yet. ENOENT: unix socket file not
+    // created yet. Both mean "daemon still starting" — worth retrying.
+    RetryableOut = errno == ECONNREFUSED || errno == ENOENT;
+    Err = std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
 bool Client::connectUnix(const std::string &Path, std::string &Err) {
   close();
   sockaddr_un Addr = {};
@@ -33,39 +54,48 @@ bool Client::connectUnix(const std::string &Path, std::string &Err) {
     Err = "socket path too long: " + Path;
     return false;
   }
-  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0) {
-    Err = "cannot create socket: " + std::string(std::strerror(errno));
-    return false;
-  }
   Addr.sun_family = AF_UNIX;
   std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
-    Err = "cannot connect to " + Path + ": " + std::strerror(errno);
-    close();
-    return false;
+
+  unsigned BackoffMillis = 1, ElapsedMillis = 0;
+  for (;;) {
+    bool Retryable = false;
+    if (connectOnce(AF_UNIX, &Addr, sizeof(Addr), Retryable, Err))
+      return true;
+    if (!Retryable || ElapsedMillis >= ConnectTimeoutMillis) {
+      Err = "cannot connect to " + Path + ": " + Err;
+      return false;
+    }
+    unsigned Sleep =
+        std::min(BackoffMillis, ConnectTimeoutMillis - ElapsedMillis);
+    std::this_thread::sleep_for(std::chrono::milliseconds(Sleep));
+    ElapsedMillis += Sleep;
+    BackoffMillis = std::min(BackoffMillis * 2, 100u);
   }
-  return true;
 }
 
 bool Client::connectTcp(int Port, std::string &Err) {
   close();
-  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (Fd < 0) {
-    Err = "cannot create socket: " + std::string(std::strerror(errno));
-    return false;
-  }
   sockaddr_in Addr = {};
   Addr.sin_family = AF_INET;
   Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   Addr.sin_port = htons(static_cast<uint16_t>(Port));
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
-    Err = "cannot connect to port " + std::to_string(Port) + ": " +
-          std::strerror(errno);
-    close();
-    return false;
+
+  unsigned BackoffMillis = 1, ElapsedMillis = 0;
+  for (;;) {
+    bool Retryable = false;
+    if (connectOnce(AF_INET, &Addr, sizeof(Addr), Retryable, Err))
+      return true;
+    if (!Retryable || ElapsedMillis >= ConnectTimeoutMillis) {
+      Err = "cannot connect to port " + std::to_string(Port) + ": " + Err;
+      return false;
+    }
+    unsigned Sleep =
+        std::min(BackoffMillis, ConnectTimeoutMillis - ElapsedMillis);
+    std::this_thread::sleep_for(std::chrono::milliseconds(Sleep));
+    ElapsedMillis += Sleep;
+    BackoffMillis = std::min(BackoffMillis * 2, 100u);
   }
-  return true;
 }
 
 bool Client::writeSlice(const char *Data, size_t N, std::string &Err) {

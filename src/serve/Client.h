@@ -57,6 +57,13 @@ public:
 
   bool connectUnix(const std::string &Path, std::string &Err);
   bool connectTcp(int Port, std::string &Err);
+
+  /// Connect-time retry budget in milliseconds. 0 = one attempt. When
+  /// set, connectUnix/connectTcp retry "daemon not up yet" failures
+  /// (ECONNREFUSED, and ENOENT for a unix socket not created yet) with
+  /// exponential backoff until the budget runs out; any other errno
+  /// fails immediately. Lets a client start before the daemon.
+  unsigned ConnectTimeoutMillis = 0;
   void close();
   bool connected() const { return Fd >= 0; }
   /// Raw socket (tests drive torn/slow frames through it directly).
@@ -86,6 +93,11 @@ private:
   bool sendFrame(uint8_t Kind, std::string_view Payload, bool &Tripped,
                  std::string &Err);
   bool writeSlice(const char *Data, size_t N, std::string &Err);
+  /// One socket()+connect() attempt per call from the retry loop; fills
+  /// Fd on success. RetryableOut reports whether the failure looks like
+  /// "daemon not up yet".
+  bool connectOnce(int Domain, const void *Addr, size_t AddrLen,
+                   bool &RetryableOut, std::string &Err);
 
   int Fd = -1;
   uint64_t FramesOut = 0;

@@ -19,7 +19,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
+#include <vector>
 
 using namespace velo;
 
@@ -410,6 +412,151 @@ TEST(BinaryFormat, SymbolCapAppliesToBinary) {
   EXPECT_NE(R.error().find("too many distinct variable names (cap 2)"),
             std::string::npos)
       << R.error();
+}
+
+/// End offsets of the events frames in Bin, in file order. The per-frame
+/// event counts for SmallTrace at FrameEvents=4 are 4, 4, 3 (cumulative
+/// 4, 8, 11), which the salvage tests below rely on.
+std::vector<size_t> eventsFrameEnds(const std::string &Bin) {
+  std::vector<size_t> Ends;
+  const auto *D = reinterpret_cast<const uint8_t *>(Bin.data());
+  size_t Off = binfmt::HeaderSize;
+  while (Off + binfmt::FrameHeaderSize <= Bin.size() &&
+         D[Off] == binfmt::EventsFrame) {
+    Off += binfmt::FrameHeaderSize + binfmt::readU32le(D + Off + 1);
+    Ends.push_back(Off);
+  }
+  return Ends;
+}
+
+TEST(BinaryFormat, SalvageAcceptsCompleteContainerUnchanged) {
+  // Salvage mode is a strict superset of a normal open: an intact
+  // container streams identically and reports no recovery.
+  Trace T = parseOrDie(SmallTrace);
+  const std::string Bin = printBinaryTrace(T, /*FrameEvents=*/4);
+  SymbolTable Syms;
+  BinaryTraceReader R(Syms);
+  ASSERT_TRUE(R.openBufferSalvage(Bin)) << R.error();
+  EXPECT_FALSE(R.salvage().Used);
+  std::vector<Event> Events = drain(R);
+  EXPECT_FALSE(R.failed()) << R.error();
+  ASSERT_EQ(Events.size(), T.size());
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I], T[I]) << "event " << I;
+}
+
+TEST(BinaryFormat, SalvageEveryTruncationKeepsWholeFramePrefix) {
+  // The salvage dual of EveryStrictPrefixIsRejected: for EVERY truncation
+  // length, salvage recovers exactly the complete events frames that fit,
+  // streams them without a mid-stream failure, and accounts for the rest
+  // as dropped bytes. Cuts shorter than the first frame are the only ones
+  // that fail (nothing intact to keep).
+  Trace T = parseOrDie(SmallTrace);
+  const std::string Bin = printBinaryTrace(T, /*FrameEvents=*/4);
+  const std::vector<size_t> Ends = eventsFrameEnds(Bin);
+  ASSERT_EQ(Ends.size(), 3u);
+  const size_t Cumulative[] = {4, 8, 11};
+
+  for (size_t Len = 0; Len < Bin.size(); ++Len) {
+    const std::string Cut = Bin.substr(0, Len);
+    size_t ExpectEvents = 0, ExpectEnd = 0;
+    for (size_t F = 0; F < Ends.size(); ++F)
+      if (Ends[F] <= Len) {
+        ExpectEvents = Cumulative[F];
+        ExpectEnd = Ends[F];
+      }
+
+    SymbolTable Syms;
+    BinaryTraceReader R(Syms);
+    bool Ok = R.openBufferSalvage(Cut);
+    ASSERT_EQ(Ok, ExpectEvents > 0) << "cut at " << Len;
+    if (!Ok)
+      continue;
+    const SalvageSummary &S = R.salvage();
+    EXPECT_TRUE(S.Used) << "cut at " << Len;
+    EXPECT_EQ(S.EventsKept, ExpectEvents) << "cut at " << Len;
+    EXPECT_EQ(S.BytesDropped, Len - ExpectEnd) << "cut at " << Len;
+    std::vector<Event> Events = drain(R);
+    ASSERT_FALSE(R.failed()) << "cut at " << Len << ": " << R.error();
+    ASSERT_EQ(Events.size(), ExpectEvents) << "cut at " << Len;
+    for (size_t I = 0; I < Events.size(); ++I)
+      EXPECT_EQ(Events[I], T[I]) << "cut at " << Len << " event " << I;
+  }
+}
+
+TEST(BinaryFormat, SalvageDropsTornTailFrame) {
+  // A byte flip inside the last events frame passes the strict open (frame
+  // bodies are only checksummed as they stream) but fails mid-stream;
+  // salvage verifies bodies up front and keeps the two frames before it.
+  Trace T = parseOrDie(SmallTrace);
+  std::string Bin = printBinaryTrace(T, /*FrameEvents=*/4);
+  const std::vector<size_t> Ends = eventsFrameEnds(Bin);
+  ASSERT_EQ(Ends.size(), 3u);
+  Bin[Ends[1] + binfmt::FrameHeaderSize + 2] ^= 0x20;
+
+  SymbolTable StrictSyms;
+  BinaryTraceReader Strict(StrictSyms);
+  ASSERT_TRUE(Strict.openBuffer(Bin)) << Strict.error();
+  drain(Strict);
+  EXPECT_TRUE(Strict.failed());
+
+  SymbolTable Syms;
+  BinaryTraceReader R(Syms);
+  ASSERT_TRUE(R.openBufferSalvage(Bin)) << R.error();
+  const SalvageSummary &S = R.salvage();
+  EXPECT_TRUE(S.Used);
+  EXPECT_EQ(S.FramesKept, 2u);
+  EXPECT_EQ(S.EventsKept, 8u);
+  EXPECT_EQ(S.BytesDropped, Bin.size() - Ends[1]);
+  std::vector<Event> Events = drain(R);
+  ASSERT_FALSE(R.failed()) << R.error();
+  ASSERT_EQ(Events.size(), 8u);
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I], T[I]) << "event " << I;
+}
+
+TEST(BinaryFormat, SalvageOptionPlumbedThroughFactory) {
+  // What velodrome-check --salvage does: openTraceSource with the salvage
+  // option on a truncated .vtrc file, summary delivered via SalvageOut.
+  Trace T = parseOrDie(SmallTrace);
+  const std::string Bin = printBinaryTrace(T, /*FrameEvents=*/4);
+  const std::vector<size_t> Ends = eventsFrameEnds(Bin);
+  ASSERT_EQ(Ends.size(), 3u);
+  std::string Path = ::testing::TempDir() + "/velo_salvage_test.vtrc";
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out.write(Bin.data(), static_cast<std::streamsize>(Ends[1] + 3));
+  }
+
+  SymbolTable Syms;
+  TraceReadStatus St = TraceReadStatus::Ok;
+  std::string Err;
+  SalvageSummary S;
+  TraceOpenOptions Opts;
+  Opts.Salvage = true;
+  Opts.SalvageOut = &S;
+  auto Src = openTraceSource(Path, Syms, St, Err, Opts);
+  ASSERT_TRUE(Src) << Err;
+  ASSERT_EQ(St, TraceReadStatus::Ok) << Err;
+  EXPECT_TRUE(S.Used);
+  EXPECT_EQ(S.EventsKept, 8u);
+  Event E;
+  size_t N = 0;
+  while (Src->next(E))
+    ++N;
+  EXPECT_FALSE(Src->failed()) << Src->error();
+  EXPECT_EQ(N, 8u);
+
+  // The same file without the option is rejected the normal way.
+  auto StrictSrc = openTraceSource(Path, Syms, St, Err);
+  bool StrictOk = StrictSrc != nullptr;
+  if (StrictOk) {
+    while (StrictSrc->next(E))
+      ;
+    StrictOk = !StrictSrc->failed();
+  }
+  EXPECT_FALSE(StrictOk);
+  std::remove(Path.c_str());
 }
 
 TEST(BinaryFormat, FactoryDetectsBothFormats) {

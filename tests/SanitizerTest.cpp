@@ -89,6 +89,84 @@ TEST(SanitizerGoldenTest, UnheldReleaseDropped) {
   EXPECT_EQ(C.total(), 1u);
 }
 
+TEST(SanitizerGoldenTest, AbandonedLockReleasedAtTraceEnd) {
+  RepairCounts C;
+  EXPECT_EQ(repairedText("T0 acq m\n"
+                         "T0 wr x\n",
+                         C),
+            "T0 acq m\n"
+            "T0 wr x\n"
+            "T0 rel m\n");
+  EXPECT_EQ(C.AbandonedLocks, 1u);
+  EXPECT_EQ(C.total(), 1u);
+}
+
+TEST(SanitizerGoldenTest, AbandonedLocksReleasedBeforeJoin) {
+  RepairCounts C;
+  // T1 is joined while holding both locks: the releases are synthesized at
+  // the thread's end, before the join, in lock-id order.
+  EXPECT_EQ(repairedText("T0 fork T1\n"
+                         "T1 acq a\n"
+                         "T1 acq b\n"
+                         "T1 wr x\n"
+                         "T0 join T1\n",
+                         C),
+            "T0 fork T1\n"
+            "T1 acq a\n"
+            "T1 acq b\n"
+            "T1 wr x\n"
+            "T1 rel a\n"
+            "T1 rel b\n"
+            "T0 join T1\n");
+  EXPECT_EQ(C.AbandonedLocks, 2u);
+  EXPECT_EQ(C.total(), 2u);
+}
+
+TEST(SanitizerGoldenTest, AbandonedLockReleasedInsideOpenBlock) {
+  RepairCounts C;
+  // The synthesized release precedes the synthesized end: it belongs
+  // inside the block, where the real release would have been.
+  EXPECT_EQ(repairedText("T0 fork T1\n"
+                         "T1 begin work\n"
+                         "T1 acq m\n"
+                         "T1 wr x\n"
+                         "T0 join T1\n",
+                         C),
+            "T0 fork T1\n"
+            "T1 begin work\n"
+            "T1 acq m\n"
+            "T1 wr x\n"
+            "T1 rel m\n"
+            "T1 end\n"
+            "T0 join T1\n");
+  EXPECT_EQ(C.AbandonedLocks, 1u);
+  EXPECT_EQ(C.UnclosedTxns, 1u);
+  EXPECT_EQ(C.total(), 2u);
+}
+
+TEST(SanitizerGoldenTest, AbandonedLockRepairStopsAcquireCascade) {
+  RepairCounts C;
+  // Without the synthesized release, T0's later acquire of m would be a
+  // foreign acquire and its release an unheld release — one abandoned lock
+  // would cascade into three repairs and two dropped real events.
+  EXPECT_EQ(repairedText("T0 fork T1\n"
+                         "T1 acq m\n"
+                         "T0 join T1\n"
+                         "T0 acq m\n"
+                         "T0 wr x\n"
+                         "T0 rel m\n",
+                         C),
+            "T0 fork T1\n"
+            "T1 acq m\n"
+            "T1 rel m\n"
+            "T0 join T1\n"
+            "T0 acq m\n"
+            "T0 wr x\n"
+            "T0 rel m\n");
+  EXPECT_EQ(C.AbandonedLocks, 1u);
+  EXPECT_EQ(C.total(), 1u);
+}
+
 TEST(SanitizerGoldenTest, UnmatchedEndDropped) {
   RepairCounts C;
   EXPECT_EQ(repairedText("T0 begin a\n"

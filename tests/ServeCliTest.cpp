@@ -149,13 +149,9 @@ struct Daemon {
 /// Connect with retries — covers daemon startup and supervised restarts.
 bool connectRetry(Client &Cl, const std::string &Socket,
                   unsigned TimeoutMillis = 10000) {
+  Cl.ConnectTimeoutMillis = TimeoutMillis;
   std::string Err;
-  for (unsigned Waited = 0; Waited < TimeoutMillis; Waited += 20) {
-    if (Cl.connectUnix(Socket, Err))
-      return true;
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  }
-  return false;
+  return Cl.connectUnix(Socket, Err);
 }
 
 /// One full session against the daemon: connect, HELLO (resuming if the

@@ -377,6 +377,7 @@ struct TestDaemon {
     Opts.Verbose = false;
     if (Tune)
       Tune(Opts);
+    Path = Opts.SocketPath; // Tune may have picked its own socket
     Srv = std::make_unique<Server>(Opts);
     std::string Err;
     if (!Srv->start(Err)) {
@@ -427,6 +428,50 @@ TEST(ServeServerTest, VerdictMatchesDirectSession) {
   EXPECT_EQ(R.Verdict.Report, WantReport);
   EXPECT_EQ(R.Verdict.ExitCode, WantExit);
   EXPECT_EQ(R.Verdict.Notes, WantNotes);
+}
+
+TEST(ServeServerTest, ClientStartedBeforeDaemonStillConnects) {
+  Trace T = genTrace(41, 300);
+  std::string WantReport;
+  int WantExit = 0;
+  refVerdict(T, WantReport, WantExit, nullptr, "early");
+
+  std::string Path =
+      "/tmp/velo-serve-early-" + std::to_string(::getpid()) + ".sock";
+
+  // Without a retry budget the connect must fail immediately — nothing is
+  // listening yet.
+  {
+    Client Cl;
+    std::string Err;
+    EXPECT_FALSE(Cl.connectUnix(Path, Err));
+  }
+
+  // Start the daemon only after the client is already inside its connect
+  // retry loop; the backoff must bridge the gap.
+  std::unique_ptr<TestDaemon> D;
+  std::thread Starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    D = std::make_unique<TestDaemon>(
+        [&](ServerOptions &O) { O.SocketPath = Path; });
+  });
+
+  Client Cl;
+  Cl.ConnectTimeoutMillis = 10000;
+  std::string Err;
+  bool Connected = Cl.connectUnix(Path, Err);
+  Starter.join();
+  ASSERT_TRUE(Connected) << Err;
+
+  HelloMsg H;
+  H.Name = "early";
+  HelloOkMsg Ok;
+  ASSERT_TRUE(Cl.hello(H, Ok, Err)) << Err;
+  RunResult R;
+  ASSERT_TRUE(Cl.run(T.symbols(), eventsOf(T), Ok, 64, 0, R, Err)) << Err;
+  ASSERT_TRUE(R.GotVerdict) << (R.GotNak ? R.Nak.Reason : "no reply");
+  EXPECT_EQ(R.Verdict.Report, WantReport);
+  EXPECT_EQ(R.Verdict.ExitCode, WantExit);
 }
 
 TEST(ServeServerTest, ConcurrentSessionsAllByteIdentical) {

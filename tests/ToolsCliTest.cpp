@@ -175,6 +175,57 @@ TEST(CheckCliTest, LenientModeRepairsAndReportsAVerdict) {
             1);
 }
 
+TEST(CheckCliTest, SalvageRecoversTruncatedContainerVerdict) {
+  // Convert a golden trace to .vtrc, chop the trailer byte a dying writer
+  // would have lost: the strict open rejects the file, --salvage keeps
+  // every intact events frame and reproduces the intact verdict.
+  std::string Bin = ::testing::TempDir() + "/velo_salv_cli.vtrc";
+  ASSERT_EQ(runCmd(std::string(VELO_CONVERT_BIN) + " " +
+                   dataFile("rmw_violation.trace") + " " + Bin),
+            0);
+  std::string Want;
+  int WantCode =
+      runCmdStdout(std::string(VELO_CHECK_BIN) + " " + Bin, Want);
+  EXPECT_EQ(WantCode, 1);
+
+  std::string Bytes;
+  {
+    std::ifstream In(Bin, std::ios::binary);
+    Bytes.assign(std::istreambuf_iterator<char>(In),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(Bytes.size(), 1u);
+  {
+    std::ofstream Out(Bin, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size() - 1));
+  }
+
+  std::string Diag;
+  EXPECT_EQ(runCmdAll(std::string(VELO_CHECK_BIN) + " " + Bin, Diag), 2);
+  EXPECT_NE(Diag.find("truncated"), std::string::npos) << Diag;
+
+  std::string Got;
+  EXPECT_EQ(runCmdStdout(std::string(VELO_CHECK_BIN) + " --salvage " + Bin,
+                         Got),
+            WantCode);
+  EXPECT_EQ(Got, Want) << "salvaged verdict must match the intact one";
+  std::string All;
+  runCmdAll(std::string(VELO_CHECK_BIN) + " --salvage " + Bin, All);
+  EXPECT_NE(All.find("salvage: recovered"), std::string::npos) << All;
+  std::remove(Bin.c_str());
+}
+
+TEST(CheckCliTest, SalvageRefusesTextInput) {
+  std::string Out;
+  EXPECT_EQ(runCmdAll(std::string(VELO_CHECK_BIN) + " --salvage " +
+                          dataFile("rmw_violation.trace"),
+                      Out),
+            2);
+  EXPECT_NE(Out.find("requires a VELOTRC binary container"),
+            std::string::npos)
+      << Out;
+}
+
 TEST(CheckCliTest, GovernorDegradationKeepsTheVerdict) {
   // A 1-node cap forces immediate degradation from the graph checker to
   // the vector-clock fallback; the verdict must be unchanged.

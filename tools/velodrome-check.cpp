@@ -108,6 +108,9 @@ void usage() {
       "  --stats        print happens-before graph statistics\n"
       "  --quiet        verdict only\n"
       "  --lenient      repair ill-formed traces instead of rejecting\n"
+      "  --salvage      accept the longest intact frame prefix of a\n"
+      "                 truncated .vtrc container (crashed tracer; see\n"
+      "                 docs/TRACING.md)\n"
       "  --parallel[=N] multi-threaded pipeline, N back-end workers\n"
       "                 (byte-identical report; see docs/PARALLEL.md)\n"
       "  --batch-events=N  events per pipeline batch (default 4096)\n"
@@ -148,6 +151,7 @@ struct Options {
   uint64_t CrashAt = 0;  ///< test hook: die after N events this process
   uint64_t CrashSignal = SIGKILL;
   bool Supervise = false;
+  bool Salvage = false; ///< --salvage: longest-prefix recovery for .vtrc
   bool Witness = false, NoMerge = false, Stats = false, Quiet = false;
   bool Parallel = false;       ///< --parallel given
   uint64_t ParallelWorkers = 0; ///< 0 = one worker per back-end
@@ -185,6 +189,8 @@ int parseArgs(int argc, char **argv, Options &O) {
       O.Mode = SanitizeMode::Lenient;
     } else if (Arg == "--strict") {
       O.Mode = SanitizeMode::Strict;
+    } else if (Arg == "--salvage") {
+      O.Salvage = true;
     } else if (Arg.rfind("--checkpoint=", 0) == 0) {
       O.CheckpointFile = Arg.substr(13);
     } else if (Arg.rfind("--resume=", 0) == 0) {
@@ -501,6 +507,43 @@ void resetStopHandlers() {
 // worker; otherwise it is the whole program.
 //===----------------------------------------------------------------------===//
 
+/// One stderr note per run describing what --salvage recovered, mirroring
+/// the "lenient: repaired ..." note.
+void printSalvageNote(const SalvageSummary &S) {
+  if (!S.Used)
+    return;
+  std::fprintf(stderr,
+               "salvage: recovered %llu frame(s) (%llu event(s)); dropped "
+               "%llu trailing byte(s)\n",
+               static_cast<unsigned long long>(S.FramesKept),
+               static_cast<unsigned long long>(S.EventsKept),
+               static_cast<unsigned long long>(S.BytesDropped));
+}
+
+/// Buffered read for the --witness path under --salvage: stream the
+/// recovered prefix into a Trace. Err comes back already path-prefixed.
+bool readTraceSalvaged(const std::string &Path, Trace &Out,
+                       SalvageSummary &Salv, std::string &Err) {
+  TraceReadStatus St = TraceReadStatus::Ok;
+  std::string OpenErr;
+  TraceOpenOptions Opts;
+  Opts.Salvage = true;
+  Opts.SalvageOut = &Salv;
+  auto Src = openTraceSource(Path, Out.symbols(), St, OpenErr, Opts);
+  if (!Src) {
+    Err = OpenErr;
+    return false;
+  }
+  Event E;
+  while (Src->next(E))
+    Out.push(E);
+  if (Src->failed()) {
+    Err = Path + ":" + (Src->error().c_str() + 5);
+    return false;
+  }
+  return true;
+}
+
 int runAnalysis(Options O) {
   ResumeState RS;
   bool Resuming = !O.ResumeFile.empty();
@@ -636,12 +679,31 @@ int runAnalysis(Options O) {
   // filters on replay. Both passes parse the same bytes with fresh symbol
   // tables, so variable ids line up. A resumed run restores the filter
   // from the snapshot instead and skips this sweep.
+  // --salvage only makes sense for a VELOTRC container; a text trace (or a
+  // prefix too short to even keep its 8-byte magic) has nothing frame-
+  // structured to salvage.
+  if (O.Salvage &&
+      detectTraceFormat(O.TraceFile) != TraceFormat::Binary) {
+    if (::access(O.TraceFile.c_str(), R_OK) != 0)
+      std::fprintf(stderr, "error: cannot open %s: %s\n", O.TraceFile.c_str(),
+                   std::strerror(errno));
+    else
+      std::fprintf(stderr,
+                   "error: --salvage requires a VELOTRC binary container "
+                   "and %s is not one\n",
+                   O.TraceFile.c_str());
+    return 2;
+  }
+
   ReductionFilter Filter;
   if (Reducing && !Resuming) {
     SymbolTable ClsSyms;
     TraceReadStatus ClsSt = TraceReadStatus::Ok;
     std::string ClsErr;
-    auto ClsSrc = openTraceSource(O.TraceFile, ClsSyms, ClsSt, ClsErr);
+    TraceOpenOptions ClsOpts;
+    ClsOpts.Salvage = O.Salvage;
+    auto ClsSrc =
+        openTraceSource(O.TraceFile, ClsSyms, ClsSt, ClsErr, ClsOpts);
     if (!ClsSrc) {
       std::fprintf(stderr, "error: %s\n", ClsErr.c_str());
       return 2;
@@ -716,10 +778,19 @@ int runAnalysis(Options O) {
     // then replay the repaired trace.
     Trace Raw;
     std::string Error;
-    TraceReadStatus St = readTraceFileStatus(O.TraceFile, Raw, Error);
-    if (St != TraceReadStatus::Ok) {
-      std::fprintf(stderr, "error: %s\n", Error.c_str());
-      return 2;
+    if (O.Salvage) {
+      SalvageSummary Salv;
+      if (!readTraceSalvaged(O.TraceFile, Raw, Salv, Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 2;
+      }
+      printSalvageNote(Salv);
+    } else {
+      TraceReadStatus St = readTraceFileStatus(O.TraceFile, Raw, Error);
+      if (St != TraceReadStatus::Ok) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 2;
+      }
     }
     RepairCounts Repairs;
     if (!sanitizeTrace(Raw, O.Mode, Buffered, &Repairs, Error)) {
@@ -747,11 +818,16 @@ int runAnalysis(Options O) {
     // flow through the same loop.
     TraceReadStatus SrcSt = TraceReadStatus::Ok;
     std::string SrcErr;
-    auto Src = openTraceSource(O.TraceFile, StreamSyms, SrcSt, SrcErr);
+    TraceOpenOptions SrcOpts;
+    SrcOpts.Salvage = O.Salvage;
+    SalvageSummary Salv;
+    SrcOpts.SalvageOut = &Salv;
+    auto Src = openTraceSource(O.TraceFile, StreamSyms, SrcSt, SrcErr, SrcOpts);
     if (!Src) {
       std::fprintf(stderr, "error: %s\n", SrcErr.c_str());
       return 2;
     }
+    printSalvageNote(Salv);
 
     if (Resuming) {
       // Restore order matters: symbols first (backends keep a reference to
@@ -1121,7 +1197,8 @@ std::string writeCrashBundle(const Options &O, int Sig, uint64_t CkptEvents,
       SymbolTable Syms;
       BinaryTraceReader R(Syms);
       std::string Err;
-      if (R.open(O.TraceFile, Err) == TraceReadStatus::Ok) {
+      if ((O.Salvage ? R.openSalvage(O.TraceFile, Err)
+                     : R.open(O.TraceFile, Err)) == TraceReadStatus::Ok) {
         Event E;
         while (R.next(E)) {
           uint64_t N = R.lineNo();

@@ -25,10 +25,14 @@
 #include "events/TraceSource.h"
 #include "events/TraceText.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
+
+#include <unistd.h>
 
 #include "support/Syscalls.h"
 
@@ -43,6 +47,8 @@ void usage() {
       "  --to=<text|binary>  output format (default: by <out-trace>\n"
       "                      extension -- .vtrc means binary, else text)\n"
       "  --frame-events=N    events per binary frame (default %zu)\n"
+      "  --salvage           accept the longest intact frame prefix of a\n"
+      "                      truncated .vtrc input (see docs/TRACING.md)\n"
       "converts between the text trace grammar and the VELOTRC binary\n"
       "container (docs/INGESTION.md); input format is auto-detected\n"
       "exit: 0 converted, 2 usage/input/parse error\n",
@@ -56,6 +62,7 @@ int main(int argc, char **argv) {
   std::string InFile, OutFile;
   TraceFormat To = TraceFormat::Text;
   bool HaveTo = false;
+  bool Salvage = false;
   size_t FrameEvents = BinaryTraceWriter::DefaultFrameEvents;
 
   for (int I = 1; I < argc; ++I) {
@@ -80,6 +87,8 @@ int main(int argc, char **argv) {
         return 2;
       }
       FrameEvents = static_cast<size_t>(N);
+    } else if (Arg == "--salvage") {
+      Salvage = true;
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -103,14 +112,37 @@ int main(int argc, char **argv) {
   if (!HaveTo)
     To = traceFormatForWrite(OutFile);
 
+  if (Salvage && detectTraceFormat(InFile) != TraceFormat::Binary) {
+    if (::access(InFile.c_str(), R_OK) != 0)
+      std::fprintf(stderr, "error: cannot open %s: %s\n", InFile.c_str(),
+                   std::strerror(errno));
+    else
+      std::fprintf(stderr,
+                   "error: --salvage requires a VELOTRC binary container "
+                   "and %s is not one\n",
+                   InFile.c_str());
+    return 2;
+  }
+
   SymbolTable Syms;
   TraceReadStatus St = TraceReadStatus::Ok;
   std::string Err;
-  auto Src = openTraceSource(InFile, Syms, St, Err);
+  TraceOpenOptions Opts;
+  Opts.Salvage = Salvage;
+  SalvageSummary Salv;
+  Opts.SalvageOut = &Salv;
+  auto Src = openTraceSource(InFile, Syms, St, Err, Opts);
   if (!Src) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 2;
   }
+  if (Salv.Used)
+    std::fprintf(stderr,
+                 "salvage: recovered %llu frame(s) (%llu event(s)); dropped "
+                 "%llu trailing byte(s)\n",
+                 static_cast<unsigned long long>(Salv.FramesKept),
+                 static_cast<unsigned long long>(Salv.EventsKept),
+                 static_cast<unsigned long long>(Salv.BytesDropped));
 
   std::ofstream Out(OutFile, std::ios::binary | std::ios::trunc);
   if (!Out) {

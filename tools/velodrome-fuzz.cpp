@@ -26,6 +26,11 @@
 //      random truncations and bit flips of the container bytes are always
 //      rejected with a clean "line N:" diagnostic — never a crash, never
 //      a silently different event stream.
+//  10. salvage recovery: under the --salvage reader mode, an intact
+//      container salvages to itself with recovery disengaged, and every
+//      truncation (exhaustive for small containers) or bit flip either
+//      salvages to a strict frame prefix of the original events or fails
+//      cleanly — never a crash, never invented or reordered events.
 //
 // Failing inputs are written to --save for triage and check-in under
 // tests/data/fuzz/ as regression seeds. Fully deterministic for a given
@@ -212,6 +217,7 @@ struct FuzzStats {
   uint64_t RepairEvents = 0, Violations = 0, Serializable = 0;
   uint64_t Snapshots = 0, ReducedDropped = 0;
   uint64_t BinaryRoundTrips = 0, BinaryRejected = 0;
+  uint64_t SalvagePrefixes = 0, SalvageRejects = 0;
 };
 
 /// Check 9 helper: a corrupted container must be rejected — either at
@@ -233,6 +239,46 @@ bool binaryRejectsCleanly(const std::string &Bytes, std::string &WhyOut) {
              "'";
     return false;
   }
+  return true;
+}
+
+/// Check 10 helper: under salvage the same corrupted container must either
+/// fail cleanly (with the "line N:" diagnostic) or open and stream to a
+/// strict prefix of Full's events — never crash, never invent events, and
+/// never fail mid-stream after a successful salvage open (the structural
+/// pre-scan promises streaming cannot fail). Sets Recovered so callers can
+/// count which way it went.
+bool binarySalvagesToPrefix(const std::string &Bytes, const Trace &Full,
+                            bool &Recovered, std::string &WhyOut) {
+  Recovered = false;
+  Trace Got;
+  BinaryTraceReader Reader(Got.symbols());
+  if (!Reader.openBufferSalvage(Bytes)) {
+    if (Reader.error().rfind("line ", 0) != 0) {
+      WhyOut = "salvage reject lacks a line diagnostic: '" + Reader.error() +
+               "'";
+      return false;
+    }
+    return true;
+  }
+  Event E;
+  while (Reader.next(E))
+    Got.push(E);
+  if (Reader.failed()) {
+    WhyOut = "salvage open succeeded but streaming failed: " +
+             Reader.error();
+    return false;
+  }
+  // printTrace prefix equality covers events and symbol names at once:
+  // symbols intern in first-use order, so a true event prefix renders as
+  // a string prefix.
+  if (printTrace(Full).rfind(printTrace(Got), 0) != 0) {
+    WhyOut = "salvaged events are not a prefix of the original (" +
+             std::to_string(Got.size()) + " of " +
+             std::to_string(Full.size()) + " events)";
+    return false;
+  }
+  Recovered = true;
   return true;
 }
 
@@ -550,6 +596,56 @@ bool checkMutant(const std::string &Text, BackendFanout *Pool, Rng &R,
         }
         ++Stats.BinaryRejected;
       }
+
+      // 10. Salvage recovery (velodrome-check --salvage). An intact
+      // container must salvage to itself with recovery disengaged; every
+      // truncation must either salvage to a strict prefix of the original
+      // events or fail cleanly (exhaustively for small containers, sampled
+      // for large ones); and bit flips must never crash the salvage scan
+      // or break the prefix property.
+      {
+        SymbolTable SalvSyms;
+        BinaryTraceReader SalvReader(SalvSyms);
+        if (!SalvReader.openBufferSalvage(Bytes) ||
+            SalvReader.salvage().Used) {
+          WhyOut = "salvage open of an intact container failed or engaged "
+                   "recovery";
+          return false;
+        }
+      }
+      auto CheckCut = [&](size_t N) {
+        bool Recovered = false;
+        if (!binarySalvagesToPrefix(Bytes.substr(0, N), Repaired, Recovered,
+                                    WhyOut)) {
+          WhyOut += " (salvage of a truncation to " + std::to_string(N) +
+                    " of " + std::to_string(Bytes.size()) + " bytes)";
+          return false;
+        }
+        ++(Recovered ? Stats.SalvagePrefixes : Stats.SalvageRejects);
+        return true;
+      };
+      if (Bytes.size() <= 256) {
+        for (size_t N = 0; N < Bytes.size(); ++N)
+          if (!CheckCut(N))
+            return false;
+      } else {
+        for (int K = 0; K < 8; ++K)
+          if (!CheckCut(R.below(Bytes.size())))
+            return false;
+      }
+      for (int K = 0; K < 4; ++K) {
+        std::string Flip = Bytes;
+        size_t P = R.below(Flip.size());
+        Flip[P] = static_cast<char>(static_cast<uint8_t>(Flip[P]) ^
+                                    (1u << R.below(8)));
+        bool Recovered = false;
+        if (!binarySalvagesToPrefix(Flip, Repaired, Recovered, WhyOut)) {
+          WhyOut += " (salvage with bit flipped at byte " +
+                    std::to_string(P) + ")";
+          return false;
+        }
+        ++(Recovered ? Stats.SalvagePrefixes : Stats.SalvageRejects);
+      }
     }
   }
   return true;
@@ -688,7 +784,8 @@ int main(int argc, char **argv) {
   std::printf("parsed=%llu rejected=%llu strict-ok=%llu repaired=%llu "
               "(%llu repairs) violations=%llu serializable=%llu "
               "snapshots=%llu reduced-dropped=%llu binary-rt=%llu "
-              "binary-rejected=%llu\n",
+              "binary-rejected=%llu salvage-prefix=%llu "
+              "salvage-rejected=%llu\n",
               static_cast<unsigned long long>(Stats.ParsedOk),
               static_cast<unsigned long long>(Stats.ParseRejected),
               static_cast<unsigned long long>(Stats.StrictOk),
@@ -699,7 +796,9 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Stats.Snapshots),
               static_cast<unsigned long long>(Stats.ReducedDropped),
               static_cast<unsigned long long>(Stats.BinaryRoundTrips),
-              static_cast<unsigned long long>(Stats.BinaryRejected));
+              static_cast<unsigned long long>(Stats.BinaryRejected),
+              static_cast<unsigned long long>(Stats.SalvagePrefixes),
+              static_cast<unsigned long long>(Stats.SalvageRejects));
   if (Failures != 0) {
     std::fprintf(stderr, "velodrome-fuzz: %llu failure(s)\n",
                  static_cast<unsigned long long>(Failures));
