@@ -22,6 +22,8 @@
 
 #include "aero/AeroDrome.h"
 
+#include "report/Report.h"
+
 #include <algorithm>
 #include <string>
 #include <vector>
@@ -142,12 +144,19 @@ void AeroDrome::reportViolation(ThreadState &TS, Tid T, Tid Witness,
   V.Kind = E.Kind;
   V.Target = E.Target;
   Violations.push_back(V);
-  if (Violations.size() > Opts.MaxWarnings)
+  if (ReportManager::capReached(Violations.size() - 1, Opts.MaxWarnings))
     return;
   Warning W;
   W.Analysis = "aerodrome";
   W.Category = "atomicity";
   W.Method = Method;
+  W.RuleId = "VELO-ATOM-002";
+  W.Thread = T;
+  W.Ordinal = eventOrdinal();
+  WarningSite Site;
+  Site.Thread = Witness;
+  Site.Note = "open transaction the dependency cycle closes through";
+  W.Related.push_back(std::move(Site));
   W.Message = "atomicity violation in " +
               (Method == NoLabel
                    ? std::string("unary operation")

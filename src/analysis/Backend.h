@@ -20,14 +20,31 @@
 
 namespace velo {
 
+/// One coordinate attached to a warning: a participant in the blamed
+/// cycle, a witness access, or one edge of a lock-order cycle. Rendered
+/// as a SARIF relatedLocation (docs/REPORTING.md).
+struct WarningSite {
+  Tid Thread = 0;       ///< Thread that performed the operation.
+  uint64_t Ordinal = 0; ///< 1-based sanitized-stream event ordinal (0 unknown).
+  Label Method = NoLabel; ///< Enclosing atomic block, or NoLabel.
+  std::string Note;     ///< Role, e.g. the cycle-edge kind.
+};
+
 /// One analysis warning. Warnings are deduplicated by (Category, Method) in
 /// the evaluation harness, matching the paper's "distinct warnings" counting.
+/// Message stays the single human-readable rendering (and must not change
+/// under trace reduction); the structured fields below feed the JSON/SARIF
+/// renderers in src/report.
 struct Warning {
   std::string Analysis; ///< Back-end that produced it ("velodrome", ...).
   std::string Category; ///< "atomicity", "race", ...
   Label Method;         ///< Blamed atomic block / method label, or NoLabel.
   std::string Message;  ///< Human-readable description.
   std::string Dot;      ///< Optional rendered error graph (dot syntax).
+  std::string RuleId;   ///< Stable rule id ("VELO-ATOM-001"); "" = legacy.
+  Tid Thread = 0;       ///< Thread of the triggering event.
+  uint64_t Ordinal = 0; ///< Sanitized-stream ordinal of that event (0 unknown).
+  std::vector<WarningSite> Related; ///< Cycle edges / witness coordinates.
 };
 
 /// Base class for analysis back-ends.
@@ -87,6 +104,16 @@ public:
   const std::vector<Warning> &warnings() const { return Reports; }
   uint64_t eventCount() const { return NumEvents; }
 
+  /// Source coordinate of the next onEvent(): the event's 1-based ordinal
+  /// in the sanitized stream — which equals its line number in the
+  /// canonical text rendering (velodrome-convert --to=text), and is the
+  /// same in sequential, parallel, reduced, and resumed runs. Drivers set
+  /// it before each delivery; wrapper back-ends forward it to their
+  /// children. 0 means "driver provided none" and warnings then omit the
+  /// coordinate.
+  void setEventOrdinal(uint64_t O) { CurOrdinal = O; }
+  uint64_t eventOrdinal() const { return CurOrdinal; }
+
   /// Clear warnings and counters so the back-end object can be reused for
   /// another trace (state must be reset by the subclass via beginAnalysis).
   void resetReports() {
@@ -107,6 +134,7 @@ protected:
 private:
   std::vector<Warning> Reports;
   uint64_t NumEvents = 0;
+  uint64_t CurOrdinal = 0;
 };
 
 /// Feed a recorded trace through a back-end (begin, all events, end).

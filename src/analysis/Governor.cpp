@@ -43,10 +43,14 @@ void GovernedAnalysis::onEvent(const Event &E) {
   }
 
   ++Delivered;
-  if (State == GovernorState::Normal)
+  if (State == GovernorState::Normal) {
+    Primary.setEventOrdinal(eventOrdinal());
     Primary.onEvent(E);
-  if (Fallback)
+  }
+  if (Fallback) {
+    Fallback->setEventOrdinal(eventOrdinal());
     Fallback->onEvent(E);
+  }
 
   if (State == GovernorState::Normal && PrimaryFailed) {
     std::string Why = PrimaryFailed();

@@ -32,6 +32,7 @@ public:
   void beginAnalysis(const SymbolTable &Syms) override {
     Backend::beginAnalysis(Syms);
     San = TraceSanitizer(Mode);
+    FwdOrdinal = 0;
     for (Backend *B : Inner)
       B->beginAnalysis(Syms);
   }
@@ -59,16 +60,25 @@ public:
   const RepairCounts &repairs() const { return San.repairs(); }
 
 private:
+  // The gate is the sanitizer for live streams, so it also owns ordinal
+  // assignment: each forwarded event gets its 1-based position in the
+  // post-sanitizer stream — the coordinate space warnings report into
+  // (docs/REPORTING.md).
   void forward() {
-    for (const Event &E : Scratch)
-      for (Backend *B : Inner)
+    for (const Event &E : Scratch) {
+      ++FwdOrdinal;
+      for (Backend *B : Inner) {
+        B->setEventOrdinal(FwdOrdinal);
         B->onEvent(E);
+      }
+    }
   }
 
   std::vector<Backend *> Inner;
   SanitizeMode Mode;
   TraceSanitizer San;
   std::vector<Event> Scratch;
+  uint64_t FwdOrdinal = 0;
 };
 
 } // namespace velo

@@ -26,6 +26,9 @@ void Atomizer::violate(ThreadState &TS, const Event &E, const char *Why) {
   W.Analysis = "atomizer";
   W.Category = "atomicity";
   W.Method = TS.Outer;
+  W.RuleId = "VELO-ATOM-003";
+  W.Thread = E.Thread;
+  W.Ordinal = eventOrdinal();
   W.Message =
       "potential atomicity violation in " +
       (Symbols ? Symbols->labelName(TS.Outer) : std::to_string(TS.Outer)) +

@@ -2,6 +2,7 @@
 
 #include "core/Velodrome.h"
 
+#include "report/Report.h"
 #include "support/DotWriter.h"
 
 #include <algorithm>
@@ -484,7 +485,7 @@ void Velodrome::reportCycle(const CycleReport &Cycle, ThreadState &TS) {
   // dot rendering again.
   if (!ReportedMethods.insert(V.Method).second)
     return;
-  if (Violations.size() >= Opts.MaxWarnings)
+  if (ReportManager::capReached(Violations.size(), Opts.MaxWarnings))
     return;
   Violations.push_back(V);
 
@@ -492,6 +493,9 @@ void Velodrome::reportCycle(const CycleReport &Cycle, ThreadState &TS) {
   W.Analysis = "velodrome";
   W.Category = "atomicity";
   W.Method = V.Method;
+  W.RuleId = "VELO-ATOM-001";
+  W.Thread = V.Thread;
+  W.Ordinal = eventOrdinal();
   std::string MethodName =
       V.Method == NoLabel
           ? std::string("(unattributed)")
@@ -508,6 +512,11 @@ void Velodrome::reportCycle(const CycleReport &Cycle, ThreadState &TS) {
                      : (Symbols ? Symbols->labelName(Entry.Root)
                                 : std::to_string(Entry.Root));
     W.Message += " --[" + describeEdge(Entry.OutEdge.Info) + "]--> ";
+    WarningSite Site;
+    Site.Thread = Entry.Owner;
+    Site.Method = Entry.Root;
+    Site.Note = describeEdge(Entry.OutEdge.Info);
+    W.Related.push_back(std::move(Site));
   }
   if (Opts.EmitDot)
     W.Dot = renderDot(Cycle, V.Method);

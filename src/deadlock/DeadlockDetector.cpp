@@ -1,0 +1,292 @@
+//===- deadlock/DeadlockDetector.cpp - Lock-order deadlock check ----------===//
+
+#include "deadlock/DeadlockDetector.h"
+
+#include "report/Report.h"
+
+#include <algorithm>
+#include <set>
+
+namespace velo {
+
+void DeadlockDetector::beginAnalysis(const SymbolTable &Syms) {
+  Backend::beginAnalysis(Syms);
+  Held.clear();
+  Edges.clear();
+}
+
+std::vector<LockId> &DeadlockDetector::held(Tid T) {
+  if (T >= Held.size())
+    Held.resize(T + 1);
+  return Held[T];
+}
+
+void DeadlockDetector::addEdge(LockId Src, LockId Dst, const EdgeInst &Inst) {
+  std::vector<EdgeInst> &Insts = Edges[{Src, Dst}];
+  // One instance per (thread, gate set) is enough: extra copies cannot
+  // enable a cycle the first one does not.
+  for (const EdgeInst &Have : Insts)
+    if (Have.Thread == Inst.Thread && Have.Gates == Inst.Gates)
+      return;
+  if (Insts.size() >= MaxInstPerEdge)
+    return;
+  Insts.push_back(Inst);
+}
+
+void DeadlockDetector::onEvent(const Event &E) {
+  countEvent();
+  switch (E.Kind) {
+  case Op::Acquire: {
+    std::vector<LockId> &H = held(E.Thread);
+    // The sanitizer repairs unbalanced locking, but stay defensive:
+    // a reentrant acquire adds no ordering information.
+    if (std::find(H.begin(), H.end(), E.lock()) != H.end())
+      return;
+    if (!H.empty()) {
+      EdgeInst Inst;
+      Inst.Thread = E.Thread;
+      Inst.Ordinal = eventOrdinal();
+      Inst.Gates = H;
+      std::sort(Inst.Gates.begin(), Inst.Gates.end());
+      for (LockId Src : H)
+        addEdge(Src, E.lock(), Inst);
+    }
+    H.push_back(E.lock());
+    return;
+  }
+  case Op::Release: {
+    std::vector<LockId> &H = held(E.Thread);
+    for (size_t I = H.size(); I > 0; --I) {
+      if (H[I - 1] == E.lock()) {
+        H.erase(H.begin() + (I - 1));
+        return;
+      }
+    }
+    return;
+  }
+  case Op::Read:
+  case Op::Write:
+  case Op::Begin:
+  case Op::End:
+  case Op::Fork:
+  case Op::Join:
+    return;
+  }
+}
+
+void DeadlockDetector::endAnalysis() { searchCycles(); }
+
+std::string DeadlockDetector::lockName(LockId M) const {
+  return Symbols ? Symbols->lockName(M) : ("m" + std::to_string(M));
+}
+
+//===----------------------------------------------------------------------===//
+// Cycle search. Elementary cycles are enumerated canonically — each cycle
+// exactly once, rooted at its smallest lock id, neighbors in ascending
+// order — so the warning list is deterministic regardless of input
+// container, pipeline mode, or resume point. Both the cycle length and the
+// total step count are bounded; the bounds are far above anything a real
+// lock graph produces and exist to keep fuzzer-generated graphs cheap.
+//===----------------------------------------------------------------------===//
+
+void DeadlockDetector::searchCycles() {
+  std::map<LockId, std::vector<LockId>> Adj;
+  for (const auto &KV : Edges)
+    Adj[KV.first.first].push_back(KV.first.second);
+  for (auto &KV : Adj)
+    std::sort(KV.second.begin(), KV.second.end());
+
+  size_t Steps = 0;
+  std::vector<LockId> Path;
+  for (const auto &KV : Adj) {
+    Path.assign(1, KV.first);
+    dfsCycles(KV.first, KV.first, Adj, Path, Steps);
+    if (Steps >= MaxSearchSteps)
+      return;
+    if (ReportManager::capReached(warnings().size(), Opts.MaxWarnings))
+      return;
+  }
+}
+
+void DeadlockDetector::dfsCycles(
+    LockId Start, LockId Cur, const std::map<LockId, std::vector<LockId>> &Adj,
+    std::vector<LockId> &Path, size_t &Steps) {
+  auto It = Adj.find(Cur);
+  if (It == Adj.end())
+    return;
+  for (LockId Next : It->second) {
+    if (++Steps >= MaxSearchSteps)
+      return;
+    if (ReportManager::capReached(warnings().size(), Opts.MaxWarnings))
+      return;
+    if (Next == Start) {
+      if (Path.size() < 2)
+        continue; // no self-loops in the order graph anyway
+      std::vector<const EdgeInst *> Chosen;
+      if (chooseInstances(Path, 0, Chosen))
+        reportCycle(Path, Chosen);
+      continue;
+    }
+    // Only visit locks above the root: every elementary cycle is found
+    // exactly once, from its minimal node.
+    if (Next < Start || Path.size() >= MaxCycleLen)
+      continue;
+    if (std::find(Path.begin(), Path.end(), Next) != Path.end())
+      continue;
+    Path.push_back(Next);
+    dfsCycles(Start, Next, Adj, Path, Steps);
+    Path.pop_back();
+  }
+}
+
+/// Pick one witnessed instance per cycle edge such that the witnessing
+/// threads are pairwise distinct and the gate sets pairwise disjoint. Any
+/// shared thread or shared gate lock serializes the cycle and suppresses
+/// the report.
+bool DeadlockDetector::chooseInstances(const std::vector<LockId> &Cycle,
+                                       size_t EdgeIdx,
+                                       std::vector<const EdgeInst *> &Chosen) {
+  if (EdgeIdx == Cycle.size())
+    return true;
+  LockId Src = Cycle[EdgeIdx];
+  LockId Dst = Cycle[(EdgeIdx + 1) % Cycle.size()];
+  auto It = Edges.find({Src, Dst});
+  if (It == Edges.end())
+    return false;
+  for (const EdgeInst &Cand : It->second) {
+    bool Ok = true;
+    for (const EdgeInst *Prev : Chosen) {
+      if (Prev->Thread == Cand.Thread) {
+        Ok = false;
+        break;
+      }
+      // Gate sets are sorted; any common element kills the candidate.
+      for (LockId G : Cand.Gates) {
+        if (std::binary_search(Prev->Gates.begin(), Prev->Gates.end(), G)) {
+          Ok = false;
+          break;
+        }
+      }
+      if (!Ok)
+        break;
+    }
+    if (!Ok)
+      continue;
+    Chosen.push_back(&Cand);
+    if (chooseInstances(Cycle, EdgeIdx + 1, Chosen))
+      return true;
+    Chosen.pop_back();
+  }
+  return false;
+}
+
+void DeadlockDetector::reportCycle(const std::vector<LockId> &Cycle,
+                                   const std::vector<const EdgeInst *> &Chosen) {
+  Warning W;
+  W.Analysis = "deadlock";
+  W.Category = "deadlock";
+  W.Method = NoLabel;
+  W.RuleId = "VELO-DLK-001";
+  W.Thread = Chosen.front()->Thread;
+  W.Ordinal = Chosen.front()->Ordinal;
+
+  std::string Msg = "potential deadlock: lock-order cycle ";
+  for (size_t I = 0; I < Cycle.size(); ++I) {
+    Msg += lockName(Cycle[I]);
+    Msg += " -> ";
+  }
+  Msg += lockName(Cycle.front());
+  for (size_t I = 0; I < Cycle.size(); ++I) {
+    const EdgeInst *Inst = Chosen[I];
+    LockId Dst = Cycle[(I + 1) % Cycle.size()];
+    std::string Note = "acquires " + lockName(Dst) + " while holding ";
+    for (size_t G = 0; G < Inst->Gates.size(); ++G) {
+      if (G)
+        Note += ", ";
+      Note += lockName(Inst->Gates[G]);
+    }
+    Msg += "\n    T" + std::to_string(Inst->Thread) + " " + Note;
+
+    WarningSite Site;
+    Site.Thread = Inst->Thread;
+    Site.Ordinal = Inst->Ordinal;
+    Site.Method = NoLabel;
+    Site.Note = Note;
+    W.Related.push_back(std::move(Site));
+  }
+  W.Message = std::move(Msg);
+  report(std::move(W));
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot round-trip: the complete order graph and per-thread held sets,
+// in deterministic (map / tid) order.
+//===----------------------------------------------------------------------===//
+
+void DeadlockDetector::serialize(SnapshotWriter &W) const {
+  serializeBase(W);
+  W.u64(Held.size());
+  for (const std::vector<LockId> &H : Held) {
+    W.u64(H.size());
+    for (LockId M : H)
+      W.u32(M);
+  }
+  W.u64(Edges.size());
+  for (const auto &KV : Edges) {
+    W.u32(KV.first.first);
+    W.u32(KV.first.second);
+    W.u64(KV.second.size());
+    for (const EdgeInst &Inst : KV.second) {
+      W.u32(Inst.Thread);
+      W.u64(Inst.Ordinal);
+      W.u64(Inst.Gates.size());
+      for (LockId G : Inst.Gates)
+        W.u32(G);
+    }
+  }
+}
+
+bool DeadlockDetector::deserialize(SnapshotReader &R) {
+  if (!deserializeBase(R))
+    return false;
+  uint64_t NumThreads = R.u64();
+  if (NumThreads > (1u << 24))
+    return false;
+  Held.clear();
+  Held.resize(NumThreads);
+  for (uint64_t T = 0; T < NumThreads && !R.failed(); ++T) {
+    uint64_t N = R.u64();
+    if (N > (1u << 24))
+      return false;
+    Held[T].reserve(N);
+    for (uint64_t I = 0; I < N && !R.failed(); ++I)
+      Held[T].push_back(R.u32());
+  }
+  uint64_t NumEdges = R.u64();
+  if (NumEdges > (1u << 24))
+    return false;
+  Edges.clear();
+  for (uint64_t I = 0; I < NumEdges && !R.failed(); ++I) {
+    LockId Src = R.u32();
+    LockId Dst = R.u32();
+    uint64_t NumInst = R.u64();
+    if (NumInst > MaxInstPerEdge)
+      return false;
+    std::vector<EdgeInst> &Insts = Edges[{Src, Dst}];
+    for (uint64_t K = 0; K < NumInst && !R.failed(); ++K) {
+      EdgeInst Inst;
+      Inst.Thread = R.u32();
+      Inst.Ordinal = R.u64();
+      uint64_t NumGates = R.u64();
+      if (NumGates > (1u << 24))
+        return false;
+      Inst.Gates.reserve(NumGates);
+      for (uint64_t G = 0; G < NumGates && !R.failed(); ++G)
+        Inst.Gates.push_back(R.u32());
+      Insts.push_back(std::move(Inst));
+    }
+  }
+  return !R.failed();
+}
+
+} // namespace velo

@@ -44,6 +44,9 @@ public:
         W.Analysis = "eraser";
         W.Category = "race";
         W.Method = NoLabel;
+        W.RuleId = "VELO-RACE-002";
+        W.Thread = E.Thread;
+        W.Ordinal = eventOrdinal();
         W.Message =
             "possible race: variable " +
             (Symbols ? Symbols->varName(E.var()) : std::to_string(E.var())) +

@@ -111,6 +111,13 @@ void HbRaceDetector::reportRace(const Event &E, Tid Witness,
   W.Analysis = "hb";
   W.Category = "race";
   W.Method = NoLabel;
+  W.RuleId = "VELO-RACE-001";
+  W.Thread = E.Thread;
+  W.Ordinal = eventOrdinal();
+  WarningSite Site;
+  Site.Thread = Witness;
+  Site.Note = std::string("prior concurrent ") + PriorKind;
+  W.Related.push_back(std::move(Site));
   W.Message = "race: " + std::string(opName(E.Kind)) + " of " +
               (Symbols ? Symbols->varName(E.var()) : std::to_string(E.var())) +
               " by T" + std::to_string(E.Thread) + " is concurrent with a " +

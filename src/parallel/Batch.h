@@ -92,6 +92,11 @@ struct EventBatch {
   /// 1-based source line of each event (0 for synthesized events).
   /// Parallel to Events.
   std::vector<uint32_t> Lines;
+  /// 1-based sanitized-stream ordinal of each event, parallel to Events.
+  /// Assigned by the sanitizer stage (reader batches leave it empty) and
+  /// preserved through reduction, so warnings carry the same coordinate
+  /// in plain and --reduce runs.
+  std::vector<uint64_t> Ordinals;
   SymbolDelta Symbols;
   /// Checkpoint boundary marker; null for ordinary batches.
   std::shared_ptr<CheckpointTicket> Ticket;

@@ -268,8 +268,10 @@ void ParallelPipeline::sanitizerMain() {
         Failed = true;
         break;
       }
-      for (const Event &E : Scratch)
+      for (const Event &E : Scratch) {
         Out->add(E, B->Lines[I]);
+        Out->Ordinals.push_back(++SanOrdinal);
+      }
     }
     if (Failed) {
       // Deliver the events accepted before the rejection — the sequential
@@ -310,8 +312,10 @@ void ParallelPipeline::sanitizerMain() {
     if (!Stop.load() && !Scratch.empty()) {
       auto Out = std::make_unique<EventBatch>();
       Out->Seq = ~0ull; // after every reader batch
-      for (const Event &E : Scratch)
+      for (const Event &E : Scratch) {
         Out->add(E, 0);
+        Out->Ordinals.push_back(++SanOrdinal);
+      }
       if (Filter)
         QF.push(std::move(Out));
       else
@@ -339,8 +343,10 @@ void ParallelPipeline::filterMain() {
     Out->Symbols = std::move(B->Symbols);
     Out->Ticket = std::move(B->Ticket);
     for (size_t I = 0; I < B->Events.size(); ++I)
-      if (Filter->keep(B->Events[I]))
+      if (Filter->keep(B->Events[I])) {
         Out->add(B->Events[I], B->Lines[I]);
+        Out->Ordinals.push_back(I < B->Ordinals.size() ? B->Ordinals[I] : 0);
+      }
     if (Out->Ticket)
       deposit(Out->Ticket, [this](CheckpointCut &Cut) {
         SnapshotWriter W;
@@ -421,9 +427,13 @@ void ParallelPipeline::workerMain(size_t Index) {
   while (W.Ring->pop(B)) {
     maybeStall(PipelineStall::Worker, static_cast<int>(Index));
     B->Symbols.applyTo(W.Replica);
-    for (const Event &E : B->Events) {
-      for (size_t Idx : Live)
+    for (size_t EI = 0; EI < B->Events.size(); ++EI) {
+      const Event &E = B->Events[EI];
+      const uint64_t Ord = EI < B->Ordinals.size() ? B->Ordinals[EI] : 0;
+      for (size_t Idx : Live) {
+        Delivery[Idx]->setEventOrdinal(Ord);
         Delivery[Idx]->onEvent(E);
+      }
       if (Opts.KeepDelivering)
         Live.erase(std::remove_if(Live.begin(), Live.end(),
                                   [&](size_t Idx) {
@@ -460,6 +470,7 @@ void ParallelPipeline::workerMain(size_t Index) {
 PipelineResult ParallelPipeline::run() {
   EventsSeen = Opts.StartEvents;
   ThreadsSeen = Opts.StartThreads;
+  SanOrdinal = Opts.StartOrdinal;
 
   // Group co-located back-ends, then deal groups to workers round-robin
   // in delivery order.
@@ -522,6 +533,7 @@ PipelineResult ParallelPipeline::run() {
   PipelineResult R;
   R.EventsSeen = EventsSeen;
   R.ThreadsSeen = ThreadsSeen;
+  R.SanitizedEvents = SanOrdinal;
   R.Stopped = Stop.load();
   R.Batches = Batches;
   R.ReaderRingHigh = Q1.highWater();

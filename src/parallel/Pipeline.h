@@ -81,6 +81,9 @@ struct PipelineResult {
   std::string Detail;
   uint64_t EventsSeen = 0; ///< events delivered to the back-ends
   uint32_t ThreadsSeen = 0;
+  /// Sanitized-stream events produced (pre-reduction): the upper bound of
+  /// the ordinal coordinate space warnings report into.
+  uint64_t SanitizedEvents = 0;
   bool Stopped = false;    ///< the stop probe fired (governor exhaustion)
   uint64_t Batches = 0;    ///< batches produced by the reader
   size_t ReaderRingHigh = 0; ///< peak Q1 occupancy (backpressure evidence)
@@ -111,6 +114,11 @@ struct ParallelOptions {
   uint64_t StartLine = 0;
   uint64_t StartEvents = 0;
   uint32_t StartThreads = 0;
+  /// Sanitized-stream events already consumed before this run (resume):
+  /// the next sanitized event gets ordinal StartOrdinal + 1. Under
+  /// --reduce this is the restored filter's input count; otherwise it
+  /// equals StartEvents.
+  uint64_t StartOrdinal = 0;
 
   /// Record delivered events in the global crash-diagnostics ring
   /// (analysis/CrashDump.h). The ring is process-global and
@@ -225,6 +233,10 @@ private:
   uint64_t EventsSeen = 0;
   uint32_t ThreadsSeen = 0;
   uint64_t Batches = 0;
+
+  // Sanitized-stream ordinal assignment (single-threaded: sanitizer
+  // stage only).
+  uint64_t SanOrdinal = 0;
 };
 
 } // namespace velo

@@ -1,0 +1,96 @@
+//===- report/Json.cpp - Deterministic JSON writer ------------------------===//
+
+#include "report/Json.h"
+
+#include <cstdio>
+
+namespace velo {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::separate() {
+  if (PendingKey)
+    return; // the value follows its key on the same line
+  if (!HasItem.empty()) {
+    if (HasItem.back())
+      Out += ',';
+    HasItem.back() = true;
+    if (Pretty) {
+      Out += '\n';
+      indent();
+    }
+  }
+}
+
+void JsonWriter::indent() {
+  Out.append(2 * HasItem.size(), ' ');
+}
+
+void JsonWriter::key(const char *K) {
+  separate();
+  Out += '"';
+  Out += jsonEscape(K);
+  Out += Pretty ? "\": " : "\":";
+  PendingKey = true;
+}
+
+void JsonWriter::open(char C) {
+  separate();
+  PendingKey = false;
+  Out += C;
+  HasItem.push_back(false);
+}
+
+void JsonWriter::close(char C) {
+  bool WroteAny = !HasItem.empty() && HasItem.back();
+  HasItem.pop_back();
+  if (Pretty && WroteAny) {
+    Out += '\n';
+    indent();
+  }
+  Out += C;
+}
+
+void JsonWriter::scalar(const std::string &Text) {
+  separate();
+  PendingKey = false;
+  Out += Text;
+}
+
+std::string JsonWriter::take() {
+  Out += '\n';
+  return std::move(Out);
+}
+
+} // namespace velo

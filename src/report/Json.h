@@ -1,0 +1,61 @@
+//===- report/Json.h - Deterministic JSON writer ----------------*- C++ -*-===//
+//
+// A minimal streaming JSON emitter for the report renderers. Output is
+// fully deterministic — keys appear exactly in the order the caller emits
+// them, numbers are plain decimal, and strings are escaped the same way
+// every time — which is what makes golden-fixture byte-identity tests
+// possible. No parsing, no DOM; the renderers never need either.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef VELO_REPORT_JSON_H
+#define VELO_REPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace velo {
+
+/// Escape S for inclusion in a JSON string literal (no quotes added).
+std::string jsonEscape(const std::string &S);
+
+/// Streaming JSON writer with automatic comma placement. The caller is
+/// responsible for balanced begin/end calls; key() must precede every
+/// value inside an object.
+class JsonWriter {
+public:
+  /// Pretty printing: two-space indent, one key or element per line —
+  /// stable bytes, pleasant diffs. Compact: no whitespace at all.
+  explicit JsonWriter(bool Pretty = true) : Pretty(Pretty) {}
+
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  void key(const char *K);
+  void str(const std::string &V) { scalar('"' + jsonEscape(V) + '"'); }
+  void num(uint64_t V) { scalar(std::to_string(V)); }
+  void num(int V) { scalar(std::to_string(V)); }
+  void boolean(bool V) { scalar(V ? "true" : "false"); }
+
+  /// The finished document, newline-terminated.
+  std::string take();
+
+private:
+  void open(char C);
+  void close(char C);
+  void scalar(const std::string &Text);
+  void separate();
+  void indent();
+
+  std::string Out;
+  std::vector<bool> HasItem; ///< per open container: anything emitted yet?
+  bool PendingKey = false;
+  bool Pretty;
+};
+
+} // namespace velo
+
+#endif // VELO_REPORT_JSON_H

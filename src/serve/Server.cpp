@@ -513,6 +513,7 @@ void Server::handleHello(Conn &C, const std::string &Payload) {
     Config.Name = M.Name;
     Config.BackendSel = M.BackendSel;
     Config.Lenient = M.Lenient;
+    Config.Format = static_cast<ReportFormat>(M.Format);
     Config.Limits = M.Limits.any() ? M.Limits : Opts.SessionLimits;
     if (Config.Limits.CheckIntervalEvents == 0)
       Config.Limits.CheckIntervalEvents = GovernorLimits().CheckIntervalEvents;

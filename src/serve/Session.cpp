@@ -127,8 +127,13 @@ void Session::deliver(const Event &E) {
     P.ThreadsSeen = E.Thread + 1;
   if ((E.Kind == Op::Fork || E.Kind == Op::Join) && E.child() >= P.ThreadsSeen)
     P.ThreadsSeen = E.child() + 1;
-  for (Backend *B : P.Delivery)
+  // EventsSeen doubles as the sanitized-stream ordinal (serve never
+  // reduces, so delivered position == post-sanitizer position), and it is
+  // restored on rehydrate — warning coordinates survive eviction.
+  for (Backend *B : P.Delivery) {
+    B->setEventOrdinal(P.EventsSeen);
     B->onEvent(E);
+  }
   // Same rule as the CLI: once the governor leaves Normal, the reference
   // checker (no GC, quadratic cycle checks) is dropped from delivery; its
   // warnings up to this point are kept.
@@ -195,44 +200,45 @@ bool Session::finish(std::string &Err) {
 
 void Session::renderReport() {
   Pipeline &P = *Pipe;
-  char Buf[512];
-  std::snprintf(Buf, sizeof(Buf), "%s: %llu events, %u threads\n",
-                Config.Name.c_str(),
-                static_cast<unsigned long long>(P.EventsSeen), P.ThreadsSeen);
-  Report = Buf;
-  for (Backend *B : P.Reporting) {
-    std::snprintf(Buf, sizeof(Buf), "[%s] %zu warning(s)\n", B->name(),
-                  B->warnings().size());
-    Report += Buf;
-    for (const Warning &W : B->warnings())
-      Report += "  " + W.Message + "\n";
-  }
+  // Same manager as the CLI (src/report): the text rendering is
+  // byte-identical to velodrome-check's stdout, and Json/Sarif reuse the
+  // identical findings, so the wire report cannot drift from the CLI's.
+  ReportManager RM;
+  RM.Run.Tool = "velodrome-serve";
+  RM.Run.Trace = Config.Name;
+  RM.Run.Events = P.EventsSeen;
+  RM.Run.SanitizedEvents = P.EventsSeen;
+  RM.Run.Threads = P.ThreadsSeen;
+  for (Backend *B : P.Reporting)
+    RM.addSection(B->name(), B->warnings(), &P.Syms);
 
   if (P.Governed) {
     switch (P.Gov->verdict()) {
     case GovernorVerdict::Violation:
-      Report += "verdict: NOT conflict-serializable\n";
+      RM.Run.Verdict = "NOT conflict-serializable";
       Exit = 1;
-      return;
+      break;
     case GovernorVerdict::Unknown:
-      Report += "verdict: resource-limited: verdict unknown\n";
+      RM.Run.Verdict = "resource-limited: verdict unknown";
       Exit = 3;
-      return;
+      break;
     case GovernorVerdict::Serializable:
+      RM.Run.Verdict = "serializable";
+      Exit = 0;
       break;
     }
-    Report += "verdict: serializable\n";
-    Exit = 0;
-    return;
+  } else {
+    const std::string &Sel = Config.BackendSel;
+    bool Violation = (Sel == "velodrome" || Sel == "all")
+                         ? P.Velo.sawViolation()
+                     : Sel == "basic" ? P.Basic.sawViolation()
+                     : Sel == "aero"  ? P.Aero.sawViolation()
+                                      : false;
+    RM.Run.Verdict = Violation ? "NOT conflict-serializable" : "serializable";
+    Exit = Violation ? 1 : 0;
   }
-  const std::string &Sel = Config.BackendSel;
-  bool Violation = (Sel == "velodrome" || Sel == "all") ? P.Velo.sawViolation()
-                   : Sel == "basic"                     ? P.Basic.sawViolation()
-                   : Sel == "aero"                      ? P.Aero.sawViolation()
-                                                        : false;
-  Report += Violation ? "verdict: NOT conflict-serializable\n"
-                      : "verdict: serializable\n";
-  Exit = Violation ? 1 : 0;
+  RM.Run.ExitCode = Exit;
+  Report = RM.render(Config.Format);
 }
 
 uint64_t Session::eventsSeen() const { return Pipe ? Pipe->EventsSeen : Saved.EventsSeen; }
@@ -256,6 +262,7 @@ bool Session::snapshot(std::string &Blob, std::string &Err) {
   W.str(Config.Name);
   W.str(Config.BackendSel);
   W.boolean(Config.Lenient);
+  W.u32(static_cast<uint32_t>(Config.Format));
   W.u64(Config.Limits.MaxEvents);
   W.u64(Config.Limits.MaxLiveNodes);
   W.u64(Config.Limits.MaxMemoryBytes);
@@ -301,6 +308,12 @@ bool Session::rehydrate(const std::string &Blob, std::string &Err) {
   C.Name = R.str();
   C.BackendSel = R.str();
   C.Lenient = R.boolean();
+  uint32_t Fmt = R.u32();
+  if (Fmt > 2) {
+    Err = "corrupt session snapshot (report format)";
+    return false;
+  }
+  C.Format = static_cast<ReportFormat>(Fmt);
   C.Limits.MaxEvents = R.u64();
   C.Limits.MaxLiveNodes = R.u64();
   C.Limits.MaxMemoryBytes = R.u64();

@@ -21,6 +21,7 @@
 
 #include "analysis/Governor.h"
 #include "events/TraceSanitizer.h"
+#include "report/Report.h"
 
 #include <memory>
 #include <string>
@@ -33,6 +34,9 @@ struct SessionConfig {
   std::string Name;               ///< display name (the CLI's trace path)
   std::string BackendSel = "all"; ///< velodrome|basic|aero|atomizer|eraser|hb|all
   bool Lenient = false;
+  /// VERDICT report rendering; Text reproduces velodrome-check's stdout
+  /// byte for byte, Json/Sarif swap in the machine documents.
+  ReportFormat Format = ReportFormat::Text;
   /// Per-session governor caps. Default-constructed SessionConfig carries
   /// the CLI default (MaxLiveNodes = 60000), so a plain session is governed
   /// exactly like a plain `velodrome-check` run.

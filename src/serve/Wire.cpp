@@ -76,6 +76,7 @@ std::string encodeHello(const HelloMsg &M) {
   appendVarint(Out, M.Limits.MaxMemoryBytes);
   appendVarint(Out, M.Limits.DeadlineMillis);
   appendVarint(Out, M.Limits.CheckIntervalEvents);
+  appendVarint(Out, M.Format);
   return Out;
 }
 
@@ -92,10 +93,15 @@ bool decodeHello(const uint8_t *Data, size_t Size, HelloMsg &Out,
   Out.Limits.MaxMemoryBytes = C.varint();
   Out.Limits.DeadlineMillis = C.varint();
   Out.Limits.CheckIntervalEvents = static_cast<uint32_t>(C.varint());
+  Out.Format = static_cast<uint8_t>(C.varint());
   if (!C.done())
     return malformed(Err, "hello");
   if (Out.Name.empty() || Out.Name.size() > 256) {
     Err = "session name must be 1..256 bytes";
+    return false;
+  }
+  if (Out.Format > 2) {
+    Err = "unknown report format " + std::to_string(Out.Format);
     return false;
   }
   return true;

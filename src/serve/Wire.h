@@ -70,6 +70,9 @@ struct HelloMsg {
   std::string BackendSel = "all";
   bool Lenient = false;
   bool Resume = false; ///< rehydrate the named session from its snapshot
+  /// Report rendering for the VERDICT frame: 0 text (byte-identical to
+  /// velodrome-check stdout), 1 json, 2 sarif (docs/REPORTING.md).
+  uint8_t Format = 0;
   /// Per-session governor caps; zeroes mean "server defaults".
   GovernorLimits Limits;
 };

@@ -21,6 +21,9 @@ void Strict2PL::violate(ThreadState &TS, const Event &E, const char *Why) {
   W.Analysis = "strict2pl";
   W.Category = "atomicity";
   W.Method = TS.Outer;
+  W.RuleId = "VELO-ATOM-004";
+  W.Thread = E.Thread;
+  W.Ordinal = eventOrdinal();
   W.Message =
       "strict-2PL violation in " +
       (Symbols ? Symbols->labelName(TS.Outer) : std::to_string(TS.Outer)) +

@@ -1,0 +1,210 @@
+//===- tests/DeadlockTest.cpp - Lock-order deadlock detector tests --------===//
+//
+// Unit tests for the GoodLock-style lock-order-graph detector behind
+// --backend=deadlock: AB/BA cycle detection with sanitized-stream
+// coordinates, gate-lock and same-thread suppression, longer cycles,
+// reentrant-acquire handling, the shared MaxWarnings cap, and snapshot
+// round-trips mid-trace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deadlock/DeadlockDetector.h"
+#include "events/TraceText.h"
+
+#include <gtest/gtest.h>
+
+namespace velo {
+namespace {
+
+Trace parse(const std::string &Text) {
+  Trace T;
+  std::string Error;
+  EXPECT_TRUE(parseTrace(Text, T, Error)) << Error;
+  return T;
+}
+
+const char *kAbBa = "T0 acq a\n"
+                    "T0 acq b\n"
+                    "T0 rel b\n"
+                    "T0 rel a\n"
+                    "T1 acq b\n"
+                    "T1 acq a\n"
+                    "T1 rel a\n"
+                    "T1 rel b\n";
+
+TEST(DeadlockTest, AbBaCycleReported) {
+  Trace T = parse(kAbBa);
+  DeadlockDetector D;
+  replay(T, D);
+
+  ASSERT_EQ(D.warnings().size(), 1u);
+  const Warning &W = D.warnings().front();
+  EXPECT_EQ(W.RuleId, "VELO-DLK-001");
+  EXPECT_EQ(W.Analysis, "deadlock");
+  EXPECT_EQ(W.Category, "deadlock");
+  EXPECT_NE(W.Message.find("lock-order cycle a -> b -> a"), std::string::npos)
+      << W.Message;
+
+  // The primary coordinate is the first edge's witnessing acquisition:
+  // T0 acquires b at sanitized ordinal 2.
+  EXPECT_EQ(W.Thread, 0u);
+  EXPECT_EQ(W.Ordinal, 2u);
+
+  // One relatedLocation per cycle edge, in cycle order.
+  ASSERT_EQ(W.Related.size(), 2u);
+  EXPECT_EQ(W.Related[0].Thread, 0u);
+  EXPECT_EQ(W.Related[0].Ordinal, 2u);
+  EXPECT_NE(W.Related[0].Note.find("acquires b while holding a"),
+            std::string::npos);
+  EXPECT_EQ(W.Related[1].Thread, 1u);
+  EXPECT_EQ(W.Related[1].Ordinal, 6u);
+  EXPECT_NE(W.Related[1].Note.find("acquires a while holding b"),
+            std::string::npos);
+
+  // A pure observer: deadlock findings never flip the serializability
+  // verdict.
+  EXPECT_FALSE(D.sawViolation());
+}
+
+TEST(DeadlockTest, GateLockSuppressesCycle) {
+  // Both inversions happen under a common outer lock g, so the cycle can
+  // never deadlock at runtime: the gate sets {g, a} and {g, b} intersect.
+  Trace T = parse("T0 acq g\n"
+                  "T0 acq a\n"
+                  "T0 acq b\n"
+                  "T0 rel b\n"
+                  "T0 rel a\n"
+                  "T0 rel g\n"
+                  "T1 acq g\n"
+                  "T1 acq b\n"
+                  "T1 acq a\n"
+                  "T1 rel a\n"
+                  "T1 rel b\n"
+                  "T1 rel g\n");
+  DeadlockDetector D;
+  replay(T, D);
+  EXPECT_TRUE(D.warnings().empty());
+  EXPECT_GT(D.edgeCount(), 0u);
+}
+
+TEST(DeadlockTest, SameThreadInversionSuppressed) {
+  // One thread performing both orders sequentially cannot deadlock with
+  // itself: cycle witnesses must come from pairwise-distinct threads.
+  Trace T = parse("T0 acq a\n"
+                  "T0 acq b\n"
+                  "T0 rel b\n"
+                  "T0 rel a\n"
+                  "T0 acq b\n"
+                  "T0 acq a\n"
+                  "T0 rel a\n"
+                  "T0 rel b\n");
+  DeadlockDetector D;
+  replay(T, D);
+  EXPECT_TRUE(D.warnings().empty());
+  EXPECT_EQ(D.edgeCount(), 2u) << "both order edges exist, just unreported";
+}
+
+TEST(DeadlockTest, ThreeLockCycleReported) {
+  Trace T = parse("T0 acq a\n"
+                  "T0 acq b\n"
+                  "T0 rel b\n"
+                  "T0 rel a\n"
+                  "T1 acq b\n"
+                  "T1 acq c\n"
+                  "T1 rel c\n"
+                  "T1 rel b\n"
+                  "T2 acq c\n"
+                  "T2 acq a\n"
+                  "T2 rel a\n"
+                  "T2 rel c\n");
+  DeadlockDetector D;
+  replay(T, D);
+  ASSERT_EQ(D.warnings().size(), 1u);
+  EXPECT_NE(
+      D.warnings()[0].Message.find("lock-order cycle a -> b -> c -> a"),
+      std::string::npos)
+      << D.warnings()[0].Message;
+  ASSERT_EQ(D.warnings()[0].Related.size(), 3u);
+}
+
+TEST(DeadlockTest, ReentrantAcquireAddsNoEdges) {
+  Trace T = parse("T0 acq a\n"
+                  "T0 acq a\n"
+                  "T0 rel a\n"
+                  "T0 rel a\n");
+  DeadlockDetector D;
+  replay(T, D);
+  EXPECT_EQ(D.edgeCount(), 0u);
+  EXPECT_TRUE(D.warnings().empty());
+}
+
+TEST(DeadlockTest, MaxWarningsCapAndUnlimited) {
+  // Two independent AB/BA cycles: {a, b} and {c, d}.
+  std::string Text = kAbBa;
+  Text += "T2 acq c\n"
+          "T2 acq d\n"
+          "T2 rel d\n"
+          "T2 rel c\n"
+          "T3 acq d\n"
+          "T3 acq c\n"
+          "T3 rel c\n"
+          "T3 rel d\n";
+  Trace T = parse(Text);
+
+  DeadlockOptions Capped;
+  Capped.MaxWarnings = 1;
+  DeadlockDetector DCapped(Capped);
+  replay(T, DCapped);
+  EXPECT_EQ(DCapped.warnings().size(), 1u);
+
+  DeadlockOptions Unlimited;
+  Unlimited.MaxWarnings = 0; // 0 = unlimited, uniformly across checkers.
+  DeadlockDetector DAll(Unlimited);
+  replay(T, DAll);
+  EXPECT_EQ(DAll.warnings().size(), 2u);
+}
+
+TEST(DeadlockTest, SnapshotRoundTripMidTrace) {
+  Trace T = parse(kAbBa);
+
+  DeadlockDetector Full;
+  replay(T, Full);
+  ASSERT_EQ(Full.warnings().size(), 1u);
+
+  // Run the first half, snapshot, restore into a fresh detector, and
+  // finish the trace there: the resumed run must produce the identical
+  // warning, coordinates included.
+  DeadlockDetector First;
+  First.beginAnalysis(T.symbols());
+  for (size_t I = 0; I < 4; ++I) {
+    First.setEventOrdinal(I + 1);
+    First.onEvent(T[I]);
+  }
+  SnapshotWriter W;
+  First.serialize(W);
+
+  DeadlockDetector Resumed;
+  Resumed.beginAnalysis(T.symbols());
+  SnapshotReader R(W.payload());
+  ASSERT_TRUE(Resumed.deserialize(R));
+  for (size_t I = 4; I < T.size(); ++I) {
+    Resumed.setEventOrdinal(I + 1);
+    Resumed.onEvent(T[I]);
+  }
+  Resumed.endAnalysis();
+
+  ASSERT_EQ(Resumed.warnings().size(), 1u);
+  EXPECT_EQ(Resumed.warnings()[0].Message, Full.warnings()[0].Message);
+  EXPECT_EQ(Resumed.warnings()[0].Ordinal, Full.warnings()[0].Ordinal);
+  ASSERT_EQ(Resumed.warnings()[0].Related.size(),
+            Full.warnings()[0].Related.size());
+  for (size_t I = 0; I < Full.warnings()[0].Related.size(); ++I) {
+    EXPECT_EQ(Resumed.warnings()[0].Related[I].Ordinal,
+              Full.warnings()[0].Related[I].Ordinal);
+    EXPECT_EQ(Resumed.warnings()[0].Related[I].Thread,
+              Full.warnings()[0].Related[I].Thread);
+  }
+}
+
+} // namespace
+} // namespace velo

@@ -98,6 +98,7 @@ RunResult runSequential(const std::string &Text, SanitizeMode Mode,
 
   std::vector<Event> Clean;
   Event E;
+  uint64_t Ord = 0; // 1-based post-sanitizer pre-reduction ordinal
   bool Failed = false;
   while (!Failed && TS.next(E)) {
     Clean.clear();
@@ -108,11 +109,14 @@ RunResult runSequential(const std::string &Text, SanitizeMode Mode,
       break;
     }
     for (const Event &C : Clean) {
+      ++Ord;
       if (Plan && !Filter.keep(C))
         continue;
       ++Out.Events;
-      for (Backend *B : Set.all())
+      for (Backend *B : Set.all()) {
+        B->setEventOrdinal(Ord);
         B->onEvent(C);
+      }
     }
   }
   if (!Failed && TS.failed()) {
@@ -124,11 +128,14 @@ RunResult runSequential(const std::string &Text, SanitizeMode Mode,
     Clean.clear();
     San.finish(Clean);
     for (const Event &C : Clean) {
+      ++Ord;
       if (Plan && !Filter.keep(C))
         continue;
       ++Out.Events;
-      for (Backend *B : Set.all())
+      for (Backend *B : Set.all()) {
+        B->setEventOrdinal(Ord);
         B->onEvent(C);
+      }
     }
     for (Backend *B : Set.all())
       B->endAnalysis();
@@ -467,8 +474,10 @@ TEST(BackendFanout, ReplayAllMatchesSequential) {
   BackendSet SeqSet;
   for (Backend *B : SeqSet.all()) {
     B->beginAnalysis(T.symbols());
-    for (size_t I = 0; I < T.size(); ++I)
+    for (size_t I = 0; I < T.size(); ++I) {
+      B->setEventOrdinal(I + 1);
       B->onEvent(T[I]);
+    }
     B->endAnalysis();
   }
 

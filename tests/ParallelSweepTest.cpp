@@ -79,26 +79,33 @@ void runSequentialInto(const std::string &Text, const ReductionPlan *Plan,
     B->beginAnalysis(Syms);
   std::vector<Event> Clean;
   Event E;
+  uint64_t Ord = 0; // 1-based post-sanitizer pre-reduction ordinal
   while (TS.next(E)) {
     Clean.clear();
     ASSERT_TRUE(San.push(E, Clean, TS.lineNo())) << San.error();
     for (const Event &C : Clean) {
+      ++Ord;
       if (Plan && !Filter.keep(C))
         continue;
       ++Out.Events;
-      for (Backend *B : Set.all())
+      for (Backend *B : Set.all()) {
+        B->setEventOrdinal(Ord);
         B->onEvent(C);
+      }
     }
   }
   ASSERT_FALSE(TS.failed()) << TS.error();
   Clean.clear();
   San.finish(Clean);
   for (const Event &C : Clean) {
+    ++Ord;
     if (Plan && !Filter.keep(C))
       continue;
     ++Out.Events;
-    for (Backend *B : Set.all())
+    for (Backend *B : Set.all()) {
+      B->setEventOrdinal(Ord);
       B->onEvent(C);
+    }
   }
   for (Backend *B : Set.all())
     B->endAnalysis();

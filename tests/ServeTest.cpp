@@ -97,6 +97,7 @@ TEST(ServeWireTest, MessageCodecsRoundTrip) {
   H.Resume = true;
   H.Limits.MaxEvents = 123;
   H.Limits.DeadlineMillis = 456;
+  H.Format = 2; // sarif
   std::string Bytes = encodeHello(H);
   HelloMsg H2;
   std::string Err;
@@ -109,6 +110,7 @@ TEST(ServeWireTest, MessageCodecsRoundTrip) {
   EXPECT_TRUE(H2.Resume);
   EXPECT_EQ(H2.Limits.MaxEvents, 123u);
   EXPECT_EQ(H2.Limits.DeadlineMillis, 456u);
+  EXPECT_EQ(H2.Format, 2);
 
   HelloOkMsg Ok{777, 8, 3, 2, 1};
   Bytes = encodeHelloOk(Ok);
@@ -170,6 +172,14 @@ TEST(ServeWireTest, DecodersRejectHostileInput) {
   Bytes = encodeHello(HelloMsg{}) + "x";
   EXPECT_FALSE(decodeHello(reinterpret_cast<const uint8_t *>(Bytes.data()),
                            Bytes.size(), H, Err));
+  // A report format the registry doesn't know is rejected at the codec.
+  HelloMsg BadFmt;
+  BadFmt.Name = "sess";
+  BadFmt.Format = 3;
+  Bytes = encodeHello(BadFmt);
+  EXPECT_FALSE(decodeHello(reinterpret_cast<const uint8_t *>(Bytes.data()),
+                           Bytes.size(), H, Err));
+  EXPECT_NE(Err.find("format"), std::string::npos) << Err;
 }
 
 TEST(ServeWireTest, EventsPayloadRoundTripsExactly) {
@@ -313,6 +323,60 @@ TEST(ServeSessionTest, EvictRehydrateByteIdentical) {
     EXPECT_EQ(S.report(), WantReport) << "seed " << Seed;
     EXPECT_EQ(S.exitCode(), WantExit) << "seed " << Seed;
   }
+}
+
+/// A session asked for --format=json in its Hello renders the verdict
+/// report as the structured document — and eviction/rehydration preserves
+/// both the choice and the bytes (the format rides in the snapshot).
+TEST(ServeSessionTest, JsonFormatSurvivesEvictRehydrate) {
+  Trace T = genTrace(9, 500);
+
+  auto runWith = [&](bool Evict, std::string &Report, int &Exit) {
+    Session S;
+    SessionConfig C;
+    C.Name = "sess";
+    C.Format = ReportFormat::Json;
+    std::string Err;
+    ASSERT_TRUE(S.configure(C, Err)) << Err;
+    S.symbols().Vars.syncFrom(T.symbols().Vars);
+    S.symbols().Locks.syncFrom(T.symbols().Locks);
+    S.symbols().Labels.syncFrom(T.symbols().Labels);
+    size_t N = 0;
+    for (const Event &E : T) {
+      ASSERT_TRUE(S.feed(E, Err)) << Err;
+      if (Evict && ++N % 97 == 0) {
+        std::string Blob;
+        ASSERT_TRUE(S.evict(Blob, Err)) << Err;
+        ASSERT_TRUE(S.rehydrate(Blob, Err)) << Err;
+      }
+    }
+    ASSERT_TRUE(S.finish(Err)) << Err;
+    Report = S.report();
+    Exit = S.exitCode();
+  };
+
+  std::string Straight, Evicted;
+  int StraightExit = 0, EvictedExit = 0;
+  runWith(false, Straight, StraightExit);
+  runWith(true, Evicted, EvictedExit);
+
+  EXPECT_NE(Straight.find("\"schema\": \"velodrome-report\""),
+            std::string::npos);
+  EXPECT_NE(Straight.find("\"tool\": \"velodrome-serve\""),
+            std::string::npos);
+  EXPECT_NE(Straight.find("\"exitCode\": " + std::to_string(StraightExit)),
+            std::string::npos);
+  EXPECT_EQ(Evicted, Straight)
+      << "rehydrated session must render the identical JSON document";
+  EXPECT_EQ(EvictedExit, StraightExit);
+
+  // The same trace under the default format renders the historical text
+  // report with the same verdict/exit — the format changes bytes only.
+  std::string TextReport;
+  int TextExit = 0;
+  refVerdict(T, TextReport, TextExit);
+  EXPECT_EQ(TextExit, StraightExit);
+  EXPECT_EQ(TextReport.find("\"schema\""), std::string::npos);
 }
 
 TEST(ServeSessionTest, GovernorExhaustionMapsToExit3) {

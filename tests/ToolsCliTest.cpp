@@ -571,7 +571,7 @@ TEST(AnalyzeCliTest, ReportsLintAndReduction) {
   int Code = runCmdStdout(std::string(VELO_ANALYZE_BIN) + " " +
                               dataFile("set_add.trace"),
                           Out);
-  EXPECT_EQ(Code, 0) << "lint is a report, not a verdict";
+  EXPECT_EQ(Code, 0) << "set_add has no lint findings";
   EXPECT_NE(Out.find("lock-discipline lint:"), std::string::npos) << Out;
   EXPECT_NE(Out.find("passes: all"), std::string::npos) << Out;
   EXPECT_NE(Out.find("reduction:"), std::string::npos) << Out;
@@ -589,8 +589,8 @@ TEST(AnalyzeCliTest, WrittenReducedTraceKeepsTheCheckVerdict) {
   for (const char *F : {"rmw_violation.trace", "flag_handoff.trace"}) {
     std::string T = dataFile(F);
     int Plain = runCmd(std::string(VELO_CHECK_BIN) + " --quiet " + T);
-    ASSERT_EQ(runCmd(std::string(VELO_ANALYZE_BIN) + " --write-reduced=" +
-                     Reduced + " " + T),
+    ASSERT_EQ(runCmd(std::string(VELO_ANALYZE_BIN) +
+                     " --lint-ok --write-reduced=" + Reduced + " " + T),
               0)
         << F;
     EXPECT_EQ(runCmd(std::string(VELO_CHECK_BIN) + " --quiet " + Reduced),
@@ -987,8 +987,9 @@ TEST(ConvertCliTest, KillResumeOnBinaryMatchesStraightRun) {
 
 TEST(ConvertCliTest, AnalyzeWritesReducedBinaryByExtension) {
   std::string Red = ::testing::TempDir() + "/velo_reduced.vtrc";
-  ASSERT_EQ(runCmd(std::string(VELO_ANALYZE_BIN) + " --write-reduced=" +
-                   Red + " " + dataFile("flag_handoff.trace")),
+  ASSERT_EQ(runCmd(std::string(VELO_ANALYZE_BIN) +
+                   " --lint-ok --write-reduced=" + Red + " " +
+                   dataFile("flag_handoff.trace")),
             0);
   EXPECT_EQ(readFileBytes(Red).compare(0, 8, "VELOTRC\n"), 0);
   int Code = runCmd(std::string(VELO_CHECK_BIN) + " " + Red);

@@ -5,7 +5,14 @@
 //
 //   velodrome-check [options] <trace-file>
 //
-//     --backend=<velodrome|basic|aero|atomizer|eraser|hb|all>  (default all)
+//     --backend=<velodrome|basic|aero|atomizer|eraser|hb|deadlock|all>
+//                      (default all; deadlock is the lock-order-cycle
+//                      checker and must be selected explicitly)
+//     --format=<text|json|sarif>  report rendering (default text; see
+//                      docs/REPORTING.md for the JSON schema and SARIF
+//                      conventions). Machine formats replace the stdout
+//                      report; stderr and the exit code are unchanged.
+//     --max-warnings=N cap recorded warnings per back-end (0 = unlimited)
 //     --dot=<file>     write the first violation's error graph as dot
 //     --witness        print a serial witness when the trace is serializable
 //     --no-merge       run Velodrome with the naive [INS OUTSIDE] rule
@@ -63,6 +70,7 @@
 #include "atomizer/Atomizer.h"
 #include "core/BasicVelodrome.h"
 #include "core/Velodrome.h"
+#include "deadlock/DeadlockDetector.h"
 #include "eraser/Eraser.h"
 #include "events/BinaryReader.h"
 #include "events/TraceSanitizer.h"
@@ -72,6 +80,7 @@
 #include "hbrace/HbRaceDetector.h"
 #include "oracle/SerializabilityOracle.h"
 #include "parallel/Pipeline.h"
+#include "report/Report.h"
 #include "staticpass/PassManager.h"
 #include "staticpass/ReductionFilter.h"
 #include "support/Syscalls.h"
@@ -97,8 +106,12 @@ void usage() {
       "usage: velodrome-check [options] <trace-file>\n"
       "  <trace-file> may be text or a VELOTRC .vtrc container\n"
       "  (auto-detected; see velodrome-convert and docs/INGESTION.md)\n"
-      "  --backend=<velodrome|basic|aero|atomizer|eraser|hb|all>"
+      "  --backend=<velodrome|basic|aero|atomizer|eraser|hb|deadlock|all>"
       "  (default all)\n"
+      "  --format=<text|json|sarif>  report rendering (default text;\n"
+      "                 see docs/REPORTING.md)\n"
+      "  --max-warnings=N  cap recorded warnings per back-end\n"
+      "                 (0 = unlimited)\n"
       "  --dot=<file>   write the first violation's error graph\n"
       "  --witness      print a serial witness when serializable\n"
       "  --no-merge     disable the merge optimization\n"
@@ -160,6 +173,9 @@ struct Options {
   bool ExplicitLimits = false; ///< any resource-cap flag given
   SanitizeMode Mode = SanitizeMode::Strict;
   GovernorLimits Limits;
+  ReportFormat Format = ReportFormat::Text;
+  uint64_t MaxWarnings = 0;  ///< only applied when MaxWarningsSet
+  bool MaxWarningsSet = false;
 };
 
 /// Returns 0 to continue, 2 on usage error, -1 when --help was handled.
@@ -191,6 +207,16 @@ int parseArgs(int argc, char **argv, Options &O) {
       O.Mode = SanitizeMode::Strict;
     } else if (Arg == "--salvage") {
       O.Salvage = true;
+    } else if (Arg.rfind("--format=", 0) == 0) {
+      if (!parseReportFormat(Arg.substr(9), O.Format)) {
+        std::fprintf(stderr, "invalid value in '%s'\n", Arg.c_str());
+        usage();
+        return 2;
+      }
+    } else if (Arg.rfind("--max-warnings=", 0) == 0) {
+      U64Target = &O.MaxWarnings;
+      U64Prefix = 15;
+      O.MaxWarningsSet = true;
     } else if (Arg.rfind("--checkpoint=", 0) == 0) {
       O.CheckpointFile = Arg.substr(13);
     } else if (Arg.rfind("--resume=", 0) == 0) {
@@ -592,19 +618,31 @@ int runAnalysis(Options O) {
   bool RunAtom = O.BackendSel == "atomizer" || O.BackendSel == "all";
   bool RunEraser = O.BackendSel == "eraser" || O.BackendSel == "all";
   bool RunHb = O.BackendSel == "hb" || O.BackendSel == "all";
-  if (!(RunVelo || RunBasic || RunAero || RunAtom || RunEraser || RunHb)) {
+  // The lock-order deadlock checker is opt-in only: "all" keeps meaning
+  // the atomicity/race table, so default reports are unchanged.
+  bool RunDeadlock = O.BackendSel == "deadlock";
+  if (!(RunVelo || RunBasic || RunAero || RunAtom || RunEraser || RunHb ||
+        RunDeadlock)) {
     std::fprintf(stderr, "unknown backend: %s\n", O.BackendSel.c_str());
     return 2;
   }
 
   VelodromeOptions VOpts;
   VOpts.UseMerge = !O.NoMerge;
+  AeroDromeOptions AOpts;
+  DeadlockOptions DOpts;
+  if (O.MaxWarningsSet) {
+    VOpts.MaxWarnings = O.MaxWarnings;
+    AOpts.MaxWarnings = O.MaxWarnings;
+    DOpts.MaxWarnings = O.MaxWarnings;
+  }
   Velodrome Velo(VOpts);
   BasicVelodrome Basic;
-  AeroDrome Aero;
+  AeroDrome Aero(AOpts);
   Atomizer Atom;
   Eraser Race;
   HbRaceDetector Hb;
+  DeadlockDetector Deadlock(DOpts);
 
   // The backends whose warnings are reported, in table order.
   std::vector<Backend *> Reporting;
@@ -620,6 +658,8 @@ int runAnalysis(Options O) {
     Reporting.push_back(&Race);
   if (RunHb)
     Reporting.push_back(&Hb);
+  if (RunDeadlock)
+    Reporting.push_back(&Deadlock);
 
   // The governor wraps the verdict-producing pair: the selected graph
   // checker as primary, the vector-clock checker as its degradation target.
@@ -741,6 +781,9 @@ int runAnalysis(Options O) {
   uint64_t EventsSeen = 0;
   uint32_t ThreadsSeen = 0;
   uint64_t EventsAtStart = 0; // resumed offset, for the --crash-at hook
+  // 1-based ordinal of the current event in the sanitized (pre-reduction)
+  // stream: the coordinate warnings report into (docs/REPORTING.md).
+  uint64_t SanOrdinal = 0;
   std::vector<Event> Scratch;
 
   auto Deliver = [&](const Event &E, uint64_t Line) {
@@ -751,8 +794,10 @@ int runAnalysis(Options O) {
     if ((E.Kind == Op::Fork || E.Kind == Op::Join) &&
         E.child() >= ThreadsSeen)
       ThreadsSeen = E.child() + 1;
-    for (Backend *B : Delivery)
+    for (Backend *B : Delivery) {
+      B->setEventOrdinal(SanOrdinal);
       B->onEvent(E);
+    }
     // The reference checker has no GC and quadratic cycle checks; once the
     // governor trips a cap the trace is past test scale, and keeping the
     // reference fed would defeat the bound. Its warnings up to this point
@@ -805,6 +850,7 @@ int runAnalysis(Options O) {
     for (Backend *B : Delivery)
       B->beginAnalysis(Buffered.symbols());
     for (const Event &E : Buffered) {
+      ++SanOrdinal;
       Deliver(E, 0);
       if (Governed && Gov.state() == GovernorState::Exhausted)
         break;
@@ -891,6 +937,10 @@ int runAnalysis(Options O) {
       EventsSeen = RS.EventsSeen;
       ThreadsSeen = RS.ThreadsSeen;
       EventsAtStart = EventsSeen;
+      // The sanitized-stream position needs no extra checkpoint field:
+      // under --reduce the restored filter counted every sanitized event
+      // it was offered; otherwise every sanitized event was delivered.
+      SanOrdinal = Reducing ? Filter.stats().Input : RS.EventsSeen;
       std::string SeekErr;
       if (!Src->seekTo(RS.ByteOffset, RS.LineNo, RS.EventsSeen, SeekErr)) {
         std::fprintf(stderr, "error: cannot resume from %s: %s\n",
@@ -913,6 +963,7 @@ int runAnalysis(Options O) {
         POpts.StartLine = RS.LineNo;
         POpts.StartEvents = RS.EventsSeen;
         POpts.StartThreads = RS.ThreadsSeen;
+        POpts.StartOrdinal = SanOrdinal;
       }
       if (!O.CheckpointFile.empty()) {
         POpts.CheckpointEvery = O.CheckpointEvery;
@@ -977,6 +1028,7 @@ int runAnalysis(Options O) {
       }
       EventsSeen = PR.EventsSeen;
       ThreadsSeen = PR.ThreadsSeen;
+      SanOrdinal = PR.SanitizedEvents;
       if (San.repairs().total() != 0)
         std::fprintf(stderr, "lenient: repaired %llu event(s): %s\n",
                      static_cast<unsigned long long>(San.repairs().total()),
@@ -994,6 +1046,7 @@ int runAnalysis(Options O) {
         return 2;
       }
       for (const Event &Out : Scratch) {
+        ++SanOrdinal;
         if (Reducing && !Filter.keep(Out))
           continue;
         Deliver(Out, Src->lineNo());
@@ -1054,9 +1107,11 @@ int runAnalysis(Options O) {
     }
     Scratch.clear();
     San.finish(Scratch);
-    for (const Event &Out : Scratch)
+    for (const Event &Out : Scratch) {
+      ++SanOrdinal;
       if (!Stopped && (!Reducing || Filter.keep(Out)))
         Deliver(Out, 0);
+    }
     for (Backend *B : Delivery)
       B->endAnalysis();
     if (San.repairs().total() != 0)
@@ -1073,17 +1128,24 @@ int runAnalysis(Options O) {
                        "(blame and error graphs unavailable)"
                      : "; analysis stopped");
 
-  if (!O.Quiet) {
-    std::printf("%s: %llu events, %u threads\n", O.TraceFile.c_str(),
-                static_cast<unsigned long long>(EventsSeen), ThreadsSeen);
-    for (Backend *B : Reporting) {
-      std::printf("[%s] %zu warning(s)\n", B->name(), B->warnings().size());
-      for (const Warning &W : B->warnings())
-        std::printf("  %s\n", W.Message.c_str());
-    }
-    if (O.Stats && RunVelo) {
-      std::printf("[graph] allocated=%llu maxAlive=%llu edges=%llu "
-                  "merged=%llu\n",
+  // Everything below flows through the report manager; the text renderer
+  // reproduces the historical stdout byte for byte, and --format=json or
+  // =sarif swaps in a machine rendering of the same findings.
+  ReportManager RM;
+  RM.Run.Tool = "velodrome-check";
+  RM.Run.Trace = O.TraceFile;
+  RM.Run.Events = EventsSeen;
+  RM.Run.SanitizedEvents = SanOrdinal;
+  RM.Run.Threads = ThreadsSeen;
+  const SymbolTable &ReportSyms =
+      O.Witness ? Buffered.symbols() : StreamSyms;
+  for (Backend *B : Reporting)
+    RM.addSection(B->name(), B->warnings(), &ReportSyms);
+  if (O.Stats && RunVelo) {
+    char StatBuf[192];
+    std::snprintf(StatBuf, sizeof(StatBuf),
+                  "[graph] allocated=%llu maxAlive=%llu edges=%llu "
+                  "merged=%llu",
                   static_cast<unsigned long long>(
                       Velo.graph().nodesAllocated()),
                   static_cast<unsigned long long>(
@@ -1091,28 +1153,27 @@ int runAnalysis(Options O) {
                   static_cast<unsigned long long>(Velo.graph().edgesAdded()),
                   static_cast<unsigned long long>(
                       Velo.graph().nodesMerged()));
-    }
-    if (O.Stats && Reducing)
-      std::printf("[reduce] %s\n", Filter.stats().summary().c_str());
+    RM.addStatLine(StatBuf);
   }
+  if (O.Stats && Reducing)
+    RM.addStatLine("[reduce] " + Filter.stats().summary());
 
   if (!O.DotFile.empty() && RunVelo && !Velo.warnings().empty() &&
       !Velo.warnings()[0].Dot.empty()) {
     std::ofstream Out(O.DotFile);
     Out << Velo.warnings()[0].Dot;
     if (!O.Quiet)
-      std::printf("error graph written to %s\n", O.DotFile.c_str());
+      RM.addNote("error graph written to " + O.DotFile + "\n");
   }
 
   if (O.Witness) {
     OracleResult Oracle = checkSerializable(Buffered);
     if (Oracle.Serializable) {
       TxnIndex Index = buildTxnIndex(Buffered);
-      std::printf("# serial witness\n%s",
-                  printTrace(buildSerialWitness(Buffered, Index,
-                                                Oracle)).c_str());
+      RM.addNote("# serial witness\n" +
+                 printTrace(buildSerialWitness(Buffered, Index, Oracle)));
     } else if (!O.Quiet) {
-      std::printf("no witness: trace is not serializable\n");
+      RM.addNote("no witness: trace is not serializable\n");
     }
   }
 
@@ -1120,27 +1181,34 @@ int runAnalysis(Options O) {
   // the vector-clock back-end supplies the verdict only when it runs alone.
   // Under the governor, its verdict already encodes that priority plus
   // degradation.
+  int Exit = 0;
   if (Governed) {
     switch (Gov.verdict()) {
     case GovernorVerdict::Violation:
-      std::printf("verdict: NOT conflict-serializable\n");
-      return 1;
+      RM.Run.Verdict = "NOT conflict-serializable";
+      Exit = 1;
+      break;
     case GovernorVerdict::Unknown:
-      std::printf("verdict: resource-limited: verdict unknown\n");
-      return 3;
+      RM.Run.Verdict = "resource-limited: verdict unknown";
+      Exit = 3;
+      break;
     case GovernorVerdict::Serializable:
+      RM.Run.Verdict = "serializable";
       break;
     }
-    std::printf("verdict: serializable\n");
-    return 0;
+  } else {
+    bool Violation = RunVelo    ? Velo.sawViolation()
+                     : RunBasic ? Basic.sawViolation()
+                     : RunAero  ? Aero.sawViolation()
+                                : false;
+    RM.Run.Verdict =
+        Violation ? "NOT conflict-serializable" : "serializable";
+    Exit = Violation ? 1 : 0;
   }
-  bool Violation = RunVelo    ? Velo.sawViolation()
-                   : RunBasic ? Basic.sawViolation()
-                   : RunAero  ? Aero.sawViolation()
-                              : false;
-  std::printf("verdict: %s\n",
-              Violation ? "NOT conflict-serializable" : "serializable");
-  return Violation ? 1 : 0;
+  RM.Run.ExitCode = Exit;
+  const std::string Doc = RM.render(O.Format, O.Quiet);
+  std::fwrite(Doc.data(), 1, Doc.size(), stdout);
+  return Exit;
 }
 
 //===----------------------------------------------------------------------===//

@@ -11,6 +11,9 @@
 //     --to=<text|binary>   output format (default: by <out-trace>
 //                          extension — .vtrc means binary, else text)
 //     --frame-events=N     events per binary frame (default 4096)
+//     --format=<text|json|sarif>  conversion-summary rendering: json and
+//                          sarif write a findings-free report document to
+//                          stdout (docs/REPORTING.md)
 //
 // Both directions are verdict-preserving by construction (the checker
 // sees the identical event stream), and binary -> text -> binary is a
@@ -24,6 +27,7 @@
 #include "events/BinaryWriter.h"
 #include "events/TraceSource.h"
 #include "events/TraceText.h"
+#include "report/Report.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -49,6 +53,8 @@ void usage() {
       "  --frame-events=N    events per binary frame (default %zu)\n"
       "  --salvage           accept the longest intact frame prefix of a\n"
       "                      truncated .vtrc input (see docs/TRACING.md)\n"
+      "  --format=<text|json|sarif>  summary rendering (default text;\n"
+      "                      see docs/REPORTING.md)\n"
       "converts between the text trace grammar and the VELOTRC binary\n"
       "container (docs/INGESTION.md); input format is auto-detected\n"
       "exit: 0 converted, 2 usage/input/parse error\n",
@@ -63,6 +69,7 @@ int main(int argc, char **argv) {
   TraceFormat To = TraceFormat::Text;
   bool HaveTo = false;
   bool Salvage = false;
+  ReportFormat Format = ReportFormat::Text;
   size_t FrameEvents = BinaryTraceWriter::DefaultFrameEvents;
 
   for (int I = 1; I < argc; ++I) {
@@ -89,6 +96,12 @@ int main(int argc, char **argv) {
       FrameEvents = static_cast<size_t>(N);
     } else if (Arg == "--salvage") {
       Salvage = true;
+    } else if (Arg.rfind("--format=", 0) == 0) {
+      if (!parseReportFormat(Arg.substr(9), Format)) {
+        std::fprintf(stderr, "invalid value in '%s'\n", Arg.c_str());
+        usage();
+        return 2;
+      }
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -190,5 +203,17 @@ int main(int argc, char **argv) {
   std::fprintf(stderr, "converted %llu events: %s -> %s (%s)\n",
                static_cast<unsigned long long>(Converted), InFile.c_str(),
                OutFile.c_str(), To == TraceFormat::Binary ? "binary" : "text");
+  if (Format != ReportFormat::Text) {
+    // A conversion has no findings; the machine report carries the run
+    // metadata so callers get one uniform document shape across tools.
+    ReportManager RM;
+    RM.Run.Tool = "velodrome-convert";
+    RM.Run.Trace = InFile;
+    RM.Run.Events = Converted;
+    RM.Run.SanitizedEvents = Converted;
+    RM.Run.ExitCode = 0;
+    const std::string Doc = RM.render(Format);
+    std::fwrite(Doc.data(), 1, Doc.size(), stdout);
+  }
   return 0;
 }

@@ -31,6 +31,12 @@
 //      truncation (exhaustive for small containers) or bit flip either
 //      salvages to a strict frame prefix of the original events or fails
 //      cleanly — never a crash, never invented or reordered events.
+//  11. the deadlock checker and the report layer: the lock-order-graph
+//      back-end (--backend=deadlock) runs every repaired mutant without
+//      crashing, its warning list is invariant under --reduce=all and
+//      under a snapshot/restore round-trip, and the --format=json and
+//      --format=sarif renderings of the full multi-checker report parse
+//      as well-formed JSON.
 //
 // Failing inputs are written to --save for triage and check-in under
 // tests/data/fuzz/ as regression seeds. Fully deterministic for a given
@@ -49,6 +55,7 @@
 #include "atomizer/Atomizer.h"
 #include "core/BasicVelodrome.h"
 #include "core/Velodrome.h"
+#include "deadlock/DeadlockDetector.h"
 #include "eraser/Eraser.h"
 #include "events/BinaryReader.h"
 #include "events/BinaryWriter.h"
@@ -57,8 +64,10 @@
 #include "events/TraceText.h"
 #include "hbrace/HbRaceDetector.h"
 #include "parallel/Fanout.h"
+#include "report/Report.h"
 #include "staticpass/StaticPipeline.h"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -218,6 +227,169 @@ struct FuzzStats {
   uint64_t Snapshots = 0, ReducedDropped = 0;
   uint64_t BinaryRoundTrips = 0, BinaryRejected = 0;
   uint64_t SalvagePrefixes = 0, SalvageRejects = 0;
+  uint64_t DeadlockCycles = 0, ReportsChecked = 0;
+};
+
+/// Check 11 helper: a strict recursive-descent JSON well-formedness check,
+/// so "the machine report parses" is a real grammar property, not a brace
+/// count. Accepts exactly one value spanning the whole input.
+class JsonValidator {
+public:
+  explicit JsonValidator(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  bool value() {
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (peek() == '}')
+      return ++Pos, true;
+    for (;;) {
+      skipWs();
+      if (peek() != '"' || !string())
+        return false;
+      skipWs();
+      if (peek() != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}')
+        return ++Pos, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (peek() == ']')
+      return ++Pos, true;
+    for (;;) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']')
+        return ++Pos, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    ++Pos; // '"'
+    while (Pos < S.size()) {
+      unsigned char C = static_cast<unsigned char>(S[Pos]);
+      if (C == '"')
+        return ++Pos, true;
+      if (C < 0x20)
+        return false; // control characters must be escaped
+      if (C == '\\') {
+        if (++Pos >= S.size())
+          return false;
+        char E = S[Pos];
+        if (E == 'u') {
+          if (Pos + 4 >= S.size())
+            return false;
+          for (int I = 1; I <= 4; ++I)
+            if (!std::isxdigit(static_cast<unsigned char>(S[Pos + I])))
+              return false;
+          Pos += 4;
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      }
+      ++Pos;
+    }
+    return false;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    if (!std::isdigit(peek()))
+      return false;
+    if (peek() == '0')
+      ++Pos;
+    else
+      while (std::isdigit(peek()))
+        ++Pos;
+    if (peek() == '.') {
+      ++Pos;
+      if (!std::isdigit(peek()))
+        return false;
+      while (std::isdigit(peek()))
+        ++Pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      if (!std::isdigit(peek()))
+        return false;
+      while (std::isdigit(peek()))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  bool literal(const char *L) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  char peek() const { return Pos < S.size() ? S[Pos] : '\0'; }
+
+  const std::string &S;
+  size_t Pos = 0;
 };
 
 /// Check 9 helper: a corrupted container must be rejected — either at
@@ -648,6 +820,88 @@ bool checkMutant(const std::string &Text, BackendFanout *Pool, Rng &R,
       }
     }
   }
+
+  // 11. The deadlock checker and the structured report layer.
+  {
+    DeadlockDetector Dlk;
+    replay(Repaired, Dlk);
+    Stats.DeadlockCycles += Dlk.warnings().size();
+
+    // Reduce invariance: the static passes drop only accesses, so the
+    // nested-acquisition order graph — and therefore the cycle list — is
+    // identical on the reduced trace.
+    Trace DlkReduced =
+        reduceTrace(Repaired, planTrace(Repaired, PassMask::all()), nullptr);
+    DeadlockDetector RDlk;
+    replay(DlkReduced, RDlk);
+    if (Dlk.warnings().size() != RDlk.warnings().size()) {
+      WhyOut = "Deadlock: cycle count changed under --reduce=all (" +
+               std::to_string(Dlk.warnings().size()) + " vs " +
+               std::to_string(RDlk.warnings().size()) + ")";
+      return false;
+    }
+    for (size_t J = 0; J < Dlk.warnings().size(); ++J)
+      if (Dlk.warnings()[J].Message != RDlk.warnings()[J].Message) {
+        WhyOut = "Deadlock: cycle " + std::to_string(J) +
+                 " changed under --reduce=all: '" +
+                 Dlk.warnings()[J].Message + "' vs '" +
+                 RDlk.warnings()[J].Message + "'";
+        return false;
+      }
+
+    if (!snapshotRoundTrips<DeadlockDetector>(Repaired, "Deadlock", Stats,
+                                              WhyOut))
+      return false;
+
+    // The full multi-checker report, as velodrome-check would assemble it,
+    // must render to well-formed JSON in both machine formats — and the
+    // JSON must be identical when rebuilt from a snapshot-restored
+    // warning list (reports survive kill/--resume byte for byte).
+    ReportManager RM;
+    RM.Run.Tool = "velodrome-fuzz";
+    RM.Run.Trace = "mutant";
+    RM.Run.Events = Repaired.size();
+    RM.Run.SanitizedEvents = Repaired.size();
+    RM.Run.Threads = Repaired.numThreads();
+    RM.Run.Verdict =
+        Velo.sawViolation() ? "NOT conflict-serializable" : "serializable";
+    RM.Run.ExitCode = Velo.sawViolation() ? 1 : 0;
+    const Backend *ReportBackends[] = {&Velo, &Basic, &Aero, &Atom,
+                                       &Race, &Hb,   &Dlk};
+    for (const Backend *B : ReportBackends)
+      RM.addSection(B->name(), B->warnings(), &Repaired.symbols());
+    const std::string Json = RM.renderJson();
+    if (!JsonValidator(Json).valid()) {
+      WhyOut = "report JSON is not well formed: " + Json.substr(0, 200);
+      return false;
+    }
+    const std::string Sarif = RM.renderSarif();
+    if (!JsonValidator(Sarif).valid()) {
+      WhyOut = "report SARIF is not well formed: " + Sarif.substr(0, 200);
+      return false;
+    }
+
+    SnapshotWriter DlkW;
+    Dlk.serialize(DlkW);
+    DeadlockDetector DlkBack;
+    DlkBack.beginAnalysis(Repaired.symbols());
+    SnapshotReader DlkR(DlkW.payload());
+    if (!DlkBack.deserialize(DlkR)) {
+      WhyOut = "Deadlock: report snapshot failed to restore";
+      return false;
+    }
+    ReportManager RM2;
+    RM2.Run = RM.Run;
+    for (const Backend *B : ReportBackends)
+      RM2.addSection(B->name(),
+                     B == &Dlk ? DlkBack.warnings() : B->warnings(),
+                     &Repaired.symbols());
+    if (RM2.renderJson() != Json) {
+      WhyOut = "report JSON changed across a snapshot round-trip";
+      return false;
+    }
+    ++Stats.ReportsChecked;
+  }
   return true;
 }
 
@@ -785,7 +1039,7 @@ int main(int argc, char **argv) {
               "(%llu repairs) violations=%llu serializable=%llu "
               "snapshots=%llu reduced-dropped=%llu binary-rt=%llu "
               "binary-rejected=%llu salvage-prefix=%llu "
-              "salvage-rejected=%llu\n",
+              "salvage-rejected=%llu deadlock-cycles=%llu reports=%llu\n",
               static_cast<unsigned long long>(Stats.ParsedOk),
               static_cast<unsigned long long>(Stats.ParseRejected),
               static_cast<unsigned long long>(Stats.StrictOk),
@@ -798,7 +1052,9 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Stats.BinaryRoundTrips),
               static_cast<unsigned long long>(Stats.BinaryRejected),
               static_cast<unsigned long long>(Stats.SalvagePrefixes),
-              static_cast<unsigned long long>(Stats.SalvageRejects));
+              static_cast<unsigned long long>(Stats.SalvageRejects),
+              static_cast<unsigned long long>(Stats.DeadlockCycles),
+              static_cast<unsigned long long>(Stats.ReportsChecked));
   if (Failures != 0) {
     std::fprintf(stderr, "velodrome-fuzz: %llu failure(s)\n",
                  static_cast<unsigned long long>(Failures));

@@ -19,6 +19,8 @@
 //                          run the back-ends on the reduced trace offline
 //                          (docs/STATIC.md); results are identical to live
 //                          monitoring of the same execution
+//     --format=<text|json|sarif>  report rendering (default text;
+//                          see docs/REPORTING.md)
 //     --max-events=N       stop the analysis after N events (0 = unlimited)
 //     --max-live-nodes=N   graph node cap, fall back to the vector-clock
 //                          checker on breach               (default 60000)
@@ -41,6 +43,7 @@
 #include "atomizer/Atomizer.h"
 #include "core/Velodrome.h"
 #include "events/TraceText.h"
+#include "report/Report.h"
 #include "staticpass/StaticPipeline.h"
 #include "workloads/Workload.h"
 
@@ -65,6 +68,7 @@ void usage() {
                "  --backend=velodrome|aero|both\n"
                "  --disable=SITE  --adversarial  --policy=POLICY\n"
                "  --exclude-known  --reduce=SPEC\n"
+               "  --format=text|json|sarif   report rendering\n"
                "  --max-events=N  --max-live-nodes=N  --max-memory-mb=N\n"
                "  --deadline-ms=N      resource governor caps\n");
 }
@@ -117,6 +121,7 @@ int main(int argc, char **argv) {
   int Scale = 1;
   bool RunVelo = true, RunAero = false;
   bool Adversarial = false, ExcludeKnown = false;
+  ReportFormat Format = ReportFormat::Text;
   StallPolicy Policy = StallPolicy::AllOps;
   std::vector<std::string> Disabled;
   GovernorLimits Limits;
@@ -183,6 +188,12 @@ int main(int argc, char **argv) {
       ExcludeKnown = true;
     } else if (Arg.rfind("--reduce=", 0) == 0) {
       ReduceSpec = Arg.substr(9);
+    } else if (Arg.rfind("--format=", 0) == 0) {
+      if (!parseReportFormat(Arg.substr(9), Format)) {
+        std::fprintf(stderr, "invalid value in '%s'\n", Arg.c_str());
+        usage();
+        return 2;
+      }
     } else if (Arg.rfind("--max-events=", 0) == 0) {
       U64Target = &Limits.MaxEvents;
       U64Prefix = 13;
@@ -335,10 +346,28 @@ int main(int argc, char **argv) {
     replayAll(Reduced, Backends);
   }
 
-  std::printf("%s: seed=%llu scale=%d events=%llu\n", W->name(),
-              static_cast<unsigned long long>(Seed), Scale,
-              static_cast<unsigned long long>(RT.eventCount()));
-  if (RunVelo) {
+  // The workload summary keeps its historical text layout; --format=json
+  // or =sarif swaps in a machine rendering of the same findings
+  // (docs/REPORTING.md), with the human text suppressed.
+  const bool Text = Format == ReportFormat::Text;
+  ReportManager RM;
+  RM.Run.Tool = "velodrome-run";
+  RM.Run.Trace = Name;
+  RM.Run.Events = RT.eventCount();
+  RM.Run.SanitizedEvents = Reducing ? Reduced.size() : RT.eventCount();
+  RM.Run.Threads =
+      (!RecordFile.empty() || Reducing) ? Rec.trace().numThreads() : 0;
+  if (RunVelo)
+    RM.addSection(Velo.name(), Velo.warnings(), &RT.symbols());
+  if (RunAero)
+    RM.addSection(Aero.name(), Aero.warnings(), &RT.symbols());
+  RM.addSection(Atom.name(), Atom.warnings(), &RT.symbols());
+
+  if (Text)
+    std::printf("%s: seed=%llu scale=%d events=%llu\n", W->name(),
+                static_cast<unsigned long long>(Seed), Scale,
+                static_cast<unsigned long long>(RT.eventCount()));
+  if (RunVelo && Text) {
     std::printf("[Velodrome] %zu violation(s)\n", Velo.violations().size());
     for (const AtomicityViolation &V : Velo.violations())
       std::printf("  %s (%s, cycle of %zu)\n",
@@ -346,7 +375,7 @@ int main(int argc, char **argv) {
                   V.BlameResolved ? "blame resolved" : "blame unresolved",
                   V.CycleLength);
   }
-  if (RunAero) {
+  if (RunAero && Text) {
     std::printf("[AeroDrome] %zu violation(s)\n", Aero.violations().size());
     for (const AeroViolation &V : Aero.violations())
       std::printf("  %s (witness T%u)\n",
@@ -363,20 +392,24 @@ int main(int argc, char **argv) {
                  "warning: backend verdicts disagree "
                  "(Velodrome=%d AeroDrome=%d)\n",
                  Velo.sawViolation(), Aero.sawViolation());
-  std::printf("[Atomizer]  %zu warning(s)\n", Atom.warnings().size());
-  for (const Warning &Warn : Atom.warnings())
-    std::printf("  %s\n", Warn.Message.c_str());
-  if (Reducing)
-    std::printf("[reduce]    %s\n", ReduceStats.summary().c_str());
+  if (Text) {
+    std::printf("[Atomizer]  %zu warning(s)\n", Atom.warnings().size());
+    for (const Warning &Warn : Atom.warnings())
+      std::printf("  %s\n", Warn.Message.c_str());
+    if (Reducing)
+      std::printf("[reduce]    %s\n", ReduceStats.summary().c_str());
+  }
 
   if (!RecordFile.empty()) {
     if (!writeTraceFile(Rec.trace(), RecordFile)) {
       std::fprintf(stderr, "error: cannot write %s\n", RecordFile.c_str());
       return 2;
     }
-    std::printf("trace written to %s (%zu events)\n", RecordFile.c_str(),
-                Rec.trace().size());
+    if (Text)
+      std::printf("trace written to %s (%zu events)\n", RecordFile.c_str(),
+                  Rec.trace().size());
   }
+  int Exit = 0;
   if (Governed) {
     if (Gov.state() != GovernorState::Normal)
       std::fprintf(stderr, "governor: %s%s\n", Gov.breachReason().c_str(),
@@ -385,15 +418,29 @@ int main(int argc, char **argv) {
                        : "; analysis stopped");
     switch (Gov.verdict()) {
     case GovernorVerdict::Violation:
-      return 1;
+      RM.Run.Verdict = "NOT conflict-serializable";
+      Exit = 1;
+      break;
     case GovernorVerdict::Unknown:
-      std::printf("verdict: resource-limited: verdict unknown\n");
-      return 3;
+      if (Text)
+        std::printf("verdict: resource-limited: verdict unknown\n");
+      RM.Run.Verdict = "resource-limited: verdict unknown";
+      Exit = 3;
+      break;
     case GovernorVerdict::Serializable:
-      return 0;
+      RM.Run.Verdict = "serializable";
+      break;
     }
+  } else {
+    bool Violation =
+        (RunVelo && Velo.sawViolation()) || (RunAero && Aero.sawViolation());
+    RM.Run.Verdict = Violation ? "NOT conflict-serializable" : "serializable";
+    Exit = Violation ? 1 : 0;
   }
-  bool Violation =
-      (RunVelo && Velo.sawViolation()) || (RunAero && Aero.sawViolation());
-  return Violation ? 1 : 0;
+  RM.Run.ExitCode = Exit;
+  if (!Text) {
+    const std::string Doc = RM.render(Format);
+    std::fwrite(Doc.data(), 1, Doc.size(), stdout);
+  }
+  return Exit;
 }
